@@ -1,0 +1,76 @@
+// Ablation: index width vs index compression — the scenario in the
+// paper's conclusions: "as the available physical memory of machines
+// increases and it becomes possible to support matrices which require
+// 64-bit index addressing", the index share of the working set grows and
+// CSR-DU's leverage grows with it.
+//
+// For each matrix: col_ind stored as u16 (when possible), u32 (the
+// paper's baseline), u64 (the future regime) and as the CSR-DU ctl
+// stream; sizes and serial SpMV times side by side.
+#include <iostream>
+
+#include "spc/bench/harness.hpp"
+#include "spc/formats/csr.hpp"
+#include "spc/formats/csr_du.hpp"
+#include "spc/mm/vector.hpp"
+#include "spc/spmv/kernels.hpp"
+#include "spc/support/strutil.hpp"
+#include "spc/support/timing.hpp"
+
+namespace spc {
+namespace {
+
+template <typename M>
+double time_serial(const M& m, const Vector& x, Vector& y,
+                   std::size_t iters) {
+  spmv(m, x.data(), y.data());
+  Timer t;
+  for (std::size_t i = 0; i < iters; ++i) {
+    spmv(m, x.data(), y.data());
+  }
+  return t.elapsed_s();
+}
+
+void run() {
+  BenchConfig cfg = BenchConfig::from_env();
+  cfg.max_matrices = cfg.max_matrices ? cfg.max_matrices : 8;
+  std::cout << "=== Ablation: index width (u16/u32/u64) vs CSR-DU "
+               "compression ===\n[" << cfg.describe() << "]\n";
+  TextTable table({"matrix", "index data", "u16", "u32", "u64", "ctl",
+                   "t16 ms", "t32 ms", "t64 ms", "t-du ms"});
+  for_each_matrix(cfg, [&](MatrixCase& mc) {
+    Rng rng(1);
+    const Vector x = random_vector(mc.mat.ncols(), rng);
+    Vector y(mc.mat.nrows(), 0.0);
+
+    const Csr m32 = Csr::from_triplets(mc.mat);
+    const Csr64 m64 = Csr64::from_triplets(mc.mat);
+    const CsrDu du = CsrDu::from_triplets(mc.mat);
+
+    const double idx32 = static_cast<double>(m32.nnz()) * 4.0;
+    std::string s16 = "n/a", t16 = "n/a";
+    if (csr16_applicable(mc.mat)) {
+      const Csr16 m16 = Csr16::from_triplets(mc.mat);
+      s16 = fmt_fixed(static_cast<double>(m16.nnz()) * 2.0 / idx32, 2);
+      t16 = fmt_fixed(time_serial(m16, x, y, cfg.iterations) * 1e3, 2);
+    }
+    table.add_row(
+        {mc.name, human_bytes(static_cast<usize_t>(idx32)), s16, "1.00",
+         "2.00",
+         fmt_fixed(static_cast<double>(du.ctl_bytes()) / idx32, 2), t16,
+         fmt_fixed(time_serial(m32, x, y, cfg.iterations) * 1e3, 2),
+         fmt_fixed(time_serial(m64, x, y, cfg.iterations) * 1e3, 2),
+         fmt_fixed(time_serial(du, x, y, cfg.iterations) * 1e3, 2)});
+  });
+  table.print(std::cout);
+  std::cout << "shape check: t64 > t32 (wider index stream), and the ctl "
+               "column shows what DU removes of it\n\n";
+}
+
+}  // namespace
+}  // namespace spc
+
+int main() {
+  spc::run();
+  return 0;
+}

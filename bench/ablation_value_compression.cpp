@@ -1,0 +1,67 @@
+// Ablation of value compression (DESIGN.md §6, item 3): how the
+// total-to-unique ratio drives CSR-VI and CSR-DU-VI size and speed. The
+// structure is held fixed (banded) while the value pool sweeps from 2
+// distinct values to fully random, crossing the u8/u16 index widths and
+// the paper's ttu > 5 applicability threshold.
+#include <iostream>
+
+#include "spc/bench/harness.hpp"
+#include "spc/gen/generators.hpp"
+#include "spc/mm/stats.hpp"
+#include "spc/spmv/instance.hpp"
+#include "spc/support/strutil.hpp"
+
+namespace spc {
+namespace {
+
+void run() {
+  const BenchConfig cfg = BenchConfig::from_env();
+  std::cout << "=== Ablation: value compression vs total-to-unique ratio "
+               "===\n[" << cfg.describe() << "]\n";
+
+  const index_t n = cfg.scale == CorpusScale::kBench   ? 200000
+                    : cfg.scale == CorpusScale::kSmall ? 40000
+                                                       : 2000;
+  TextTable table({"value pool", "ttu", "vi width", "vi size/csr",
+                   "du-vi size/csr", "csr ms", "vi ms", "du-vi ms",
+                   "vi speedup"});
+  for (const std::uint32_t pool :
+       {2u, 8u, 64u, 250u, 1000u, 20000u, 0u}) {
+    Rng rng(pool + 1);
+    const Triplets t = gen_banded(
+        n, 60, 10, rng,
+        pool ? ValueModel::pooled(pool) : ValueModel::random());
+    const MatrixStats s = compute_stats(t);
+
+    SpmvInstance csr(t, Format::kCsr);
+    SpmvInstance vi(t, Format::kCsrVi);
+    SpmvInstance duvi(t, Format::kCsrDuVi);
+    const double csr_b = static_cast<double>(csr.matrix_bytes());
+
+    const double t_csr = time_spmv(csr, cfg.iterations, cfg.warmup);
+    const double t_vi = time_spmv(vi, cfg.iterations, cfg.warmup);
+    const double t_duvi = time_spmv(duvi, cfg.iterations, cfg.warmup);
+
+    const char* width = s.unique_values <= 256     ? "u8"
+                        : s.unique_values <= 65536 ? "u16"
+                                                   : "u32";
+    table.add_row({pool ? std::to_string(pool) : "random",
+                   fmt_fixed(s.ttu, 1), width,
+                   fmt_fixed(static_cast<double>(vi.matrix_bytes()) / csr_b, 2),
+                   fmt_fixed(static_cast<double>(duvi.matrix_bytes()) / csr_b, 2),
+                   fmt_fixed(t_csr * 1e3, 2), fmt_fixed(t_vi * 1e3, 2),
+                   fmt_fixed(t_duvi * 1e3, 2),
+                   fmt_fixed(t_vi > 0 ? t_csr / t_vi : 0.0, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "expected shape: size ratio and speedup improve with ttu; "
+               "the paper's ttu>5 rule marks where vi stops paying off\n\n";
+}
+
+}  // namespace
+}  // namespace spc
+
+int main() {
+  spc::run();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// The §II-B memory-bandwidth model, evaluated: calibrate the host's
+// streaming bandwidth, then compare each matrix's measured serial SpMV
+// time against the bandwidth-bound lower bound for CSR and CSR-DU/VI.
+//
+//   measured/model ≈ 1   → the kernel is memory bound (the paper's
+//                          regime; compression pays off directly)
+//   measured/model << 1  → the working set is cache resident on this
+//                          host and compression trades at CPU cost
+#include <iostream>
+
+#include "spc/bench/harness.hpp"
+#include "spc/bench/model.hpp"
+#include "spc/support/strutil.hpp"
+
+namespace spc {
+namespace {
+
+void run() {
+  BenchConfig cfg = BenchConfig::from_env();
+  cfg.max_matrices = cfg.max_matrices ? cfg.max_matrices : 10;
+  std::cout << "=== Memory-bandwidth model (the paper's §II-B premise) "
+               "===\n[" << cfg.describe() << "]\n";
+  const BandwidthCalibration cal =
+      calibrate_bandwidth(cfg.scale == CorpusScale::kBench ? 256ull << 20
+                                                           : 64ull << 20);
+  std::cout << "calibrated streaming bandwidth: read "
+            << fmt_fixed(cal.read_gbps, 1) << " GB/s, triad "
+            << fmt_fixed(cal.triad_gbps, 1) << " GB/s\n";
+
+  TextTable table({"matrix", "set", "format", "streamed/op", "model ms",
+                   "measured ms", "measured/model"});
+  for_each_matrix(cfg, [&](MatrixCase& mc) {
+    for (const Format f : {Format::kCsr, Format::kCsrDu, Format::kCsrVi}) {
+      SpmvInstance inst(mc.mat, f);
+      const usize_t streamed = spmv_streamed_bytes(
+          inst.matrix_bytes(), mc.mat.nrows(), mc.mat.ncols());
+      const double model_s =
+          predicted_spmv_seconds(streamed, cal.triad_gbps);
+      const double measured_s =
+          time_spmv(inst, cfg.iterations, cfg.warmup) /
+          static_cast<double>(cfg.iterations);
+      table.add_row({mc.name,
+                     mc.set_class == SetClass::kLarge ? "ML" : "MS",
+                     format_name(f), human_bytes(streamed),
+                     fmt_fixed(model_s * 1e3, 3),
+                     fmt_fixed(measured_s * 1e3, 3),
+                     fmt_fixed(model_s > 0 ? measured_s / model_s : 0.0,
+                               2)});
+    }
+  });
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace spc
+
+int main() {
+  spc::run();
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Regenerates Fig 7 of the paper: per-matrix CSR-DU speedups relative to
+// the serial CSR baseline, sorted, with the multithreaded CSR speedup and
+// the matrix size reduction. The CSV holds the plottable series.
+#include <iostream>
+
+#include "spc/bench/experiments.hpp"
+
+int main() {
+  const spc::BenchConfig cfg = spc::BenchConfig::from_env();
+  spc::run_detail_figure(cfg, spc::Format::kCsrDu, /*vi_subset=*/false,
+                         "fig7_csr_du_detail.csv", std::cout);
+  return 0;
+}

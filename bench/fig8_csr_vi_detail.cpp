@@ -1,0 +1,12 @@
+// Regenerates Fig 8 of the paper: per-matrix CSR-VI speedups relative to
+// the serial CSR baseline on the ttu > 5 subset.
+#include <iostream>
+
+#include "spc/bench/experiments.hpp"
+
+int main() {
+  const spc::BenchConfig cfg = spc::BenchConfig::from_env();
+  spc::run_detail_figure(cfg, spc::Format::kCsrVi, /*vi_subset=*/true,
+                         "fig8_csr_vi_detail.csv", std::cout);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig 6 equivalent: reports the machine topology the experiments run on
+// and the thread placement plans the harness derives from it (close-first
+// vs spread, the paper's §VI-A policy).
+#include <iostream>
+
+#include "spc/bench/harness.hpp"
+#include "spc/support/strutil.hpp"
+#include "spc/support/topology.hpp"
+
+int main() {
+  using namespace spc;
+  const Topology topo = discover_topology();
+  std::cout << "=== Machine report (Fig 6 equivalent) ===\n";
+  std::cout << describe_topology(topo) << "\n";
+  if (topo.llc_bytes > 0) {
+    std::cout << "LLC: " << human_bytes(topo.llc_bytes) << " x "
+              << topo.llc_instances << " = "
+              << human_bytes(topo.llc_bytes * topo.llc_instances)
+              << " aggregate\n";
+  }
+  for (const std::size_t n : {1u, 2u, 4u, 8u}) {
+    const auto close = plan_placement(topo, n, Placement::kCloseFirst);
+    const auto spread = plan_placement(topo, n, Placement::kSpreadCaches);
+    std::cout << n << " thread(s): close-first cpus [";
+    for (std::size_t i = 0; i < close.size(); ++i) {
+      std::cout << (i ? "," : "") << close[i];
+    }
+    std::cout << "], spread cpus [";
+    for (std::size_t i = 0; i < spread.size(); ++i) {
+      std::cout << (i ? "," : "") << spread[i];
+    }
+    std::cout << "]\n";
+  }
+  const BenchConfig cfg = BenchConfig::from_env();
+  const SetThresholds th = cfg.thresholds();
+  std::cout << "set thresholds: reject ws < " << human_bytes(th.reject_below)
+            << ", ML at ws >= " << human_bytes(th.large_at_least) << "\n";
+  std::cout << "aggregate LLC when using 1/2/4/8 threads: ";
+  for (const std::size_t n : {1u, 2u, 4u, 8u}) {
+    std::cout << human_bytes(topo.aggregate_llc_bytes(n)) << " ";
+  }
+  std::cout << "\n\n";
+  return 0;
+}

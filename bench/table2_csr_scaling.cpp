@@ -1,0 +1,15 @@
+// Regenerates Table II of the paper: CSR SpMxV serial MFLOPS and
+// multithreaded speedups over the MS / ML / M0 matrix sets, including the
+// two 2-thread cache placements.
+//
+// Configuration via environment (see BenchConfig): SPC_SCALE, SPC_ITERS,
+// SPC_THREADS, SPC_PIN, SPC_MAX_MATRICES.
+#include <iostream>
+
+#include "spc/bench/experiments.hpp"
+
+int main() {
+  const spc::BenchConfig cfg = spc::BenchConfig::from_env();
+  spc::run_table2_csr_scaling(cfg, std::cout);
+  return 0;
+}

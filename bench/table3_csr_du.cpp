@@ -1,0 +1,12 @@
+// Regenerates Table III of the paper: CSR-DU speedup over CSR at equal
+// thread counts (avg/max/min and slowdown counts) for MS / ML / M0.
+#include <iostream>
+
+#include "spc/bench/experiments.hpp"
+
+int main() {
+  const spc::BenchConfig cfg = spc::BenchConfig::from_env();
+  spc::run_compare_table(cfg, spc::Format::kCsrDu, /*vi_subset=*/false,
+                         "table3_csr_du.csv", std::cout);
+  return 0;
+}

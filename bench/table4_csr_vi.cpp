@@ -1,0 +1,12 @@
+// Regenerates Table IV of the paper: CSR-VI speedup over CSR at equal
+// thread counts on the ttu > 5 subset (M0vi, split into MSvi / MLvi).
+#include <iostream>
+
+#include "spc/bench/experiments.hpp"
+
+int main() {
+  const spc::BenchConfig cfg = spc::BenchConfig::from_env();
+  spc::run_compare_table(cfg, spc::Format::kCsrVi, /*vi_subset=*/true,
+                         "table4_csr_vi.csv", std::cout);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// The §II-B working-set model over the full corpus (no ws rejection):
+// per-matrix ws, ttu, delta statistics and each format's size relative to
+// CSR. This is the data behind the MS/ML set construction of §VI-B.
+#include <iostream>
+
+#include "spc/bench/experiments.hpp"
+
+int main() {
+  const spc::BenchConfig cfg = spc::BenchConfig::from_env();
+  spc::run_working_set_report(cfg, std::cout);
+  return 0;
+}

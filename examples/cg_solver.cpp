@@ -1,0 +1,61 @@
+// Conjugate Gradient on a 2D Poisson problem — the iterative-solver
+// context the paper's introduction motivates. The solver is format-
+// agnostic: it runs the same CG loop against CSR and against the
+// compressed formats (whose SpMV dominates CG's runtime) and reports
+// iterations, residuals, wall time and the operator's memory footprint.
+//
+// Usage: cg_solver [grid_n] [threads]
+#include <cstdio>
+#include <cstdlib>
+
+#include "spc/gen/generators.hpp"
+#include "spc/solvers/iterative.hpp"
+#include "spc/spmv/instance.hpp"
+#include "spc/support/strutil.hpp"
+#include "spc/support/timing.hpp"
+
+using namespace spc;
+
+int main(int argc, char** argv) {
+  const index_t grid = argc > 1 ? static_cast<index_t>(std::atoi(argv[1]))
+                                : 160;
+  const std::size_t threads =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 2;
+
+  // -Laplace(u) = f on a grid x grid domain, Dirichlet boundary.
+  const Triplets A = gen_laplacian_2d(grid, grid);
+  std::printf("2D Poisson, %ux%u grid: %u unknowns, %llu non-zeros\n",
+              grid, grid, A.nrows(),
+              static_cast<unsigned long long>(A.nnz()));
+
+  // Right-hand side: a point source in the middle plus a smooth term.
+  Vector b(A.nrows(), 1.0 / (grid * grid));
+  b[(grid / 2) * grid + grid / 2] = 1.0;
+
+  SolverOptions sopts;
+  sopts.max_iterations = 4000;
+  sopts.rel_tolerance = 1e-8;
+
+  std::printf("%-10s %8s %7s %12s %10s %10s\n", "format", "threads",
+              "iters", "residual", "time", "operator");
+  for (const Format f :
+       {Format::kCsr, Format::kCsrDu, Format::kCsrVi, Format::kCsrDuVi}) {
+    InstanceOptions opts;
+    opts.pin_threads = false;
+    SpmvInstance op(A, f, threads, opts);
+    Vector x(A.nrows(), 0.0);
+    Timer timer;
+    const SolveResult r = cg(
+        [&op](const Vector& in, Vector& out) { op.run(in, out); }, b, x,
+        sopts);
+    std::printf("%-10s %8zu %7zu %12.3e %9.2fs %10s%s\n",
+                format_name(f).c_str(), threads, r.iterations,
+                r.residual_norm, timer.elapsed_s(),
+                human_bytes(op.matrix_bytes()).c_str(),
+                r.converged ? "" : "  (NOT CONVERGED)");
+  }
+  std::printf(
+      "\nAll formats run the identical CG iteration; the compressed\n"
+      "operators reduce the memory traffic of the dominant SpMV step.\n");
+  return 0;
+}

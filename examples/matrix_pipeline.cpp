@@ -1,0 +1,92 @@
+// An end-to-end production pipeline:
+//
+//   generate/load -> RCM reorder -> encode CSR-DU -> save container ->
+//   reload (validated) -> multithreaded SpMV -> verify against CSR
+//
+// demonstrating how the reordering and serialization subsystems compose
+// with the compressed formats: RCM shortens column deltas (better ctl
+// compression), and the .spcm container amortizes encoding across runs.
+//
+// Usage: matrix_pipeline [n] [threads]
+#include <cstdio>
+#include <cstdlib>
+
+#include "spc/formats/serialize.hpp"
+#include "spc/gen/generators.hpp"
+#include "spc/mm/reorder.hpp"
+#include "spc/spmv/instance.hpp"
+#include "spc/spmv/kernels.hpp"
+#include "spc/support/strutil.hpp"
+
+using namespace spc;
+
+int main(int argc, char** argv) {
+  const index_t n =
+      argc > 1 ? static_cast<index_t>(std::atoi(argv[1])) : 20000;
+  const std::size_t threads =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 2;
+
+  // A banded matrix whose ordering has been destroyed — the situation
+  // RCM exists for (e.g. a mesh numbered by an external tool).
+  Rng rng(42);
+  Triplets mat = gen_banded(n, 8, 6, rng, ValueModel::pooled(32));
+  {
+    std::vector<index_t> idx(n);
+    for (index_t i = 0; i < n; ++i) {
+      idx[i] = i;
+    }
+    Rng pr(7);
+    std::shuffle(idx.begin(), idx.end(), pr);
+    mat = permute_symmetric(mat, Permutation(idx));
+  }
+  std::printf("matrix: %u x %u, %llu nnz, bandwidth %llu (scrambled)\n",
+              mat.nrows(), mat.ncols(),
+              static_cast<unsigned long long>(mat.nnz()),
+              static_cast<unsigned long long>(pattern_bandwidth(mat)));
+
+  // 1. RCM reordering.
+  const Permutation rcm = rcm_ordering(mat);
+  const Triplets reordered = permute_symmetric(mat, rcm);
+  std::printf("after RCM: bandwidth %llu\n",
+              static_cast<unsigned long long>(
+                  pattern_bandwidth(reordered)));
+
+  // 2. Encode both versions as CSR-DU and compare the ctl streams.
+  const CsrDu du_before = CsrDu::from_triplets(mat);
+  const CsrDu du_after = CsrDu::from_triplets(reordered);
+  std::printf("ctl stream: %s scrambled -> %s reordered (%.1f%% smaller)\n",
+              human_bytes(du_before.ctl_bytes()).c_str(),
+              human_bytes(du_after.ctl_bytes()).c_str(),
+              100.0 * (1.0 - static_cast<double>(du_after.ctl_bytes()) /
+                                 static_cast<double>(
+                                     du_before.ctl_bytes())));
+
+  // 3. Persist the encoded matrix and reload it (full validation on the
+  //    way in — a corrupted container throws instead of crashing).
+  const std::string path = "/tmp/spc_pipeline.spcm";
+  save_file(du_after, path);
+  const CsrDu loaded = load_csr_du_file(path);
+  std::printf("container: wrote and reloaded %s (%llu units)\n",
+              path.c_str(),
+              static_cast<unsigned long long>(loaded.unit_count()));
+
+  // 4. Multithreaded SpMV on the reordered system, checked against CSR
+  //    in the original ordering: un-permuting the result must match.
+  InstanceOptions opts;
+  opts.pin_threads = false;
+  SpmvInstance compressed(reordered, Format::kCsrDu, threads, opts);
+  SpmvInstance reference(mat, Format::kCsr, 1, opts);
+
+  Rng xr(3);
+  const Vector x = random_vector(n, xr);
+  const Vector px = permute_vector(x, rcm);
+
+  Vector py(n, 0.0), y_ref(n, 0.0);
+  compressed.run(px, py);
+  reference.run(x, y_ref);
+  const Vector y = unpermute_vector(py, rcm);
+  const double err = rel_error(y_ref, y);
+  std::printf("verification: max relative error vs CSR = %.2e %s\n", err,
+              err < 1e-12 ? "(OK)" : "(MISMATCH!)");
+  return err < 1e-12 ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Quickstart: the library's public API on the paper's own 6x6 example
+// matrix (Fig 1).
+//
+//  1. build a sparse matrix from triplets,
+//  2. inspect its CSR / CSR-DU / CSR-VI encodings (Fig 1, Table I, Fig 4),
+//  3. run y = A*x serially and with 4 threads in each format.
+#include <cstdio>
+#include <cstdlib>
+
+#include "spc/formats/csr.hpp"
+#include "spc/formats/csr_du.hpp"
+#include "spc/formats/csr_vi.hpp"
+#include "spc/spmv/instance.hpp"
+
+using namespace spc;
+
+int main() {
+  // The matrix of Fig 1 in the paper.
+  Triplets t(6, 6);
+  const double rows[6][6] = {
+      {5.4, 1.1, 0, 0, 0, 0},   {0, 6.3, 0, 7.7, 0, 8.8},
+      {0, 0, 1.1, 0, 0, 0},     {0, 0, 2.9, 0, 3.7, 2.9},
+      {9.0, 0, 0, 1.1, 4.5, 0}, {1.1, 0, 2.9, 3.7, 0, 1.1}};
+  for (index_t r = 0; r < 6; ++r) {
+    for (index_t c = 0; c < 6; ++c) {
+      if (rows[r][c] != 0.0) {
+        t.add(r, c, rows[r][c]);
+      }
+    }
+  }
+  t.sort_and_combine();
+
+  // --- CSR (Fig 1) ---
+  const Csr csr = Csr::from_triplets(t);
+  std::printf("CSR row_ptr: ");
+  for (const auto v : csr.row_ptr()) {
+    std::printf("%u ", v);
+  }
+  std::printf("\nCSR col_ind: ");
+  for (const auto v : csr.col_ind()) {
+    std::printf("%u ", v);
+  }
+  std::printf("\nCSR bytes: %llu\n\n",
+              static_cast<unsigned long long>(csr.bytes()));
+
+  // --- CSR-DU units (Table I) ---
+  const CsrDu du = CsrDu::from_triplets(t);
+  std::printf("CSR-DU: %llu units, ctl %llu bytes (col_ind was %llu)\n",
+              static_cast<unsigned long long>(du.unit_count()),
+              static_cast<unsigned long long>(du.ctl_bytes()),
+              static_cast<unsigned long long>(csr.nnz() * 4));
+  std::printf("unit | flags      | usize | ujmp | ucis\n");
+  for (const auto& u : du.decode_units()) {
+    std::printf("     | u%-2u%s%s | %5u | %4llu | ",
+                8u << static_cast<unsigned>(u.cls),
+                u.new_row ? ", NR" : "    ", u.rle ? ", RLE" : "",
+                u.usize, static_cast<unsigned long long>(u.ujmp));
+    for (const auto d : u.ucis) {
+      std::printf("%llu ", static_cast<unsigned long long>(d));
+    }
+    std::printf("\n");
+  }
+
+  // --- CSR-VI value indirection (Fig 4) ---
+  const CsrVi vi = CsrVi::from_triplets(t);
+  std::printf("\nCSR-VI: %llu unique values (ttu %.2f), index width %u "
+              "byte(s)\n vals_unique: ",
+              static_cast<unsigned long long>(vi.unique_count()), vi.ttu(),
+              static_cast<unsigned>(vi.width()));
+  for (const auto v : vi.vals_unique()) {
+    std::printf("%.1f ", v);
+  }
+  std::printf("\n val_ind: ");
+  for (usize_t k = 0; k < vi.nnz(); ++k) {
+    std::printf("%u ", vi.val_ind_raw()[k]);
+  }
+  std::printf("\n\n");
+
+  // --- SpMV in every format, serial and multithreaded ---
+  Vector x = {1, 2, 3, 4, 5, 6};
+  for (const Format f : all_formats()) {
+    for (const std::size_t threads : {1u, 4u}) {
+      InstanceOptions opts;
+      opts.pin_threads = false;
+      SpmvInstance inst(t, f, threads, opts);
+      Vector y(6, 0.0);
+      inst.run(x, y);
+      std::printf("%-10s x%zu: y = [", format_name(f).c_str(), threads);
+      for (const auto v : y) {
+        std::printf(" %6.2f", v);
+      }
+      std::printf(" ]  (matrix %llu bytes)\n",
+                  static_cast<unsigned long long>(inst.matrix_bytes()));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+# gnuplot script for the Fig 8 series (per-matrix CSR-VI speedups).
+#   gnuplot -persist plot_fig8.gp
+set datafile separator ","
+set style data histogram
+set style histogram cluster gap 1
+set style fill solid 0.8
+set boxwidth 0.9
+set xtics rotate by -45 font ",8"
+set ylabel "speedup vs serial CSR"
+set title "CSR-VI per-matrix speedups, ttu > 5 subset (Fig 8 equivalent)"
+set key outside top
+set grid ytics
+plot "fig8_csr_vi_detail.csv" using 3:xtic(1) title "x1", \
+     "" using 4 title "x2", \
+     "" using 5 title "x4", \
+     "" using 6 title "x8", \
+     "" using 7 with points pt 5 ps 1 lc rgb "black" title "CSR x8"

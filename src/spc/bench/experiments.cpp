@@ -1,0 +1,310 @@
+#include "spc/bench/experiments.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "spc/support/strutil.hpp"
+
+namespace spc {
+
+namespace {
+
+const char* set_name(SetClass c) {
+  switch (c) {
+    case SetClass::kRejected:
+      return "rej";
+    case SetClass::kSmall:
+      return "MS";
+    case SetClass::kLarge:
+      return "ML";
+  }
+  return "?";
+}
+
+InstanceOptions instance_opts(const BenchConfig& cfg) {
+  InstanceOptions opts;
+  opts.pin_threads = cfg.pin_threads;
+  return opts;
+}
+
+std::string f2(double v) { return fmt_fixed(v, 2); }
+std::string f1(double v) { return fmt_fixed(v, 1); }
+
+}  // namespace
+
+void run_table2_csr_scaling(const BenchConfig& cfg, std::ostream& os) {
+  os << "=== Table II: CSR SpMxV performance (serial MFLOPS, MT speedup) ==="
+     << "\n[" << cfg.describe() << "]\n";
+
+  // Row keys: thread configurations in paper order.
+  struct Config {
+    std::string label;
+    std::size_t threads;
+    Placement placement;
+  };
+  std::vector<Config> configs;
+  for (const std::size_t n : cfg.threads) {
+    if (n == 1) {
+      continue;  // serial is the baseline row
+    }
+    if (n == 2) {
+      configs.push_back({"2 (1xL2)", 2, Placement::kCloseFirst});
+      configs.push_back({"2 (2xL2)", 2, Placement::kSpreadCaches});
+    } else {
+      configs.push_back({std::to_string(n), n, Placement::kCloseFirst});
+    }
+  }
+
+  // Aggregates: per set class and per config.
+  std::map<std::string, OnlineStats> serial_mflops;  // set -> stats
+  std::map<std::string, std::map<std::string, OnlineStats>> speedups;
+
+  std::vector<std::vector<std::string>> csv_rows;
+  for_each_matrix(cfg, [&](MatrixCase& mc) {
+    SpmvInstance serial(mc.mat, Format::kCsr, 1, instance_opts(cfg));
+    const double t1 = time_spmv(serial, cfg.iterations, cfg.warmup);
+    const double mf = mflops(mc.mat.nnz(), cfg.iterations, t1);
+    const std::string set = set_name(mc.set_class);
+    serial_mflops[set].add(mf);
+    serial_mflops["M0"].add(mf);
+
+    std::vector<std::string> row = {mc.name, set, f1(mf)};
+    for (const Config& c : configs) {
+      InstanceOptions opts = instance_opts(cfg);
+      opts.placement = c.placement;
+      SpmvInstance mt(mc.mat, Format::kCsr, c.threads, opts);
+      const double tn = time_spmv(mt, cfg.iterations, cfg.warmup);
+      const double sp = tn > 0.0 ? t1 / tn : 0.0;
+      speedups[set][c.label].add(sp);
+      speedups["M0"][c.label].add(sp);
+      row.push_back(f2(sp));
+    }
+    csv_rows.push_back(std::move(row));
+  });
+
+  TextTable table({"core(s)", "MS avg", "MS max", "MS min", "ML avg",
+                   "ML max", "ML min", "M0 avg"});
+  {
+    std::vector<std::string> row = {"1 (MFLOPS)"};
+    for (const char* set : {"MS", "ML"}) {
+      const OnlineStats& s = serial_mflops[set];
+      row.push_back(f1(s.mean()));
+      row.push_back(f1(s.max()));
+      row.push_back(f1(s.min()));
+    }
+    row.push_back(f1(serial_mflops["M0"].mean()));
+    table.add_row(std::move(row));
+  }
+  for (const Config& c : configs) {
+    std::vector<std::string> row = {c.label};
+    for (const char* set : {"MS", "ML"}) {
+      const OnlineStats& s = speedups[set][c.label];
+      row.push_back(f2(s.mean()));
+      row.push_back(f2(s.max()));
+      row.push_back(f2(s.min()));
+    }
+    row.push_back(f2(speedups["M0"][c.label].mean()));
+    table.add_row(std::move(row));
+  }
+  os << "(sets: MS " << serial_mflops["MS"].count() << " matrices, ML "
+     << serial_mflops["ML"].count() << " matrices)\n";
+  table.print(os);
+
+  std::vector<std::string> header = {"matrix", "set", "serial_mflops"};
+  for (const Config& c : configs) {
+    header.push_back("speedup_" + c.label);
+  }
+  write_csv("table2_csr_scaling.csv", header, csv_rows);
+  os << "per-matrix data: table2_csr_scaling.csv\n\n";
+}
+
+void run_compare_table(const BenchConfig& cfg, Format compressed,
+                       bool vi_subset, const std::string& csv_name,
+                       std::ostream& os) {
+  const std::string fname = format_name(compressed);
+  os << "=== " << fname << " vs CSR at equal thread count"
+     << (vi_subset ? " (ttu>5 subset)" : "") << " ===\n[" << cfg.describe()
+     << "]\n";
+
+  std::map<std::string, std::map<std::size_t, SpeedupAgg>> agg;
+  std::vector<std::vector<std::string>> csv_rows;
+  std::size_t used = 0;
+
+  for_each_matrix(cfg, [&](MatrixCase& mc) {
+    if (vi_subset && mc.stats.ttu <= kViTtuThreshold) {
+      return;
+    }
+    ++used;
+    const std::string set = set_name(mc.set_class);
+    SpmvInstance csr_ref(mc.mat, Format::kCsr, 1, instance_opts(cfg));
+    SpmvInstance comp_ref(mc.mat, compressed, 1, instance_opts(cfg));
+    const double size_red =
+        100.0 * (1.0 - static_cast<double>(comp_ref.matrix_bytes()) /
+                           static_cast<double>(csr_ref.matrix_bytes()));
+    for (const std::size_t n : cfg.threads) {
+      double t_csr, t_comp;
+      if (n == 1) {
+        t_csr = time_spmv(csr_ref, cfg.iterations, cfg.warmup);
+        t_comp = time_spmv(comp_ref, cfg.iterations, cfg.warmup);
+      } else {
+        SpmvInstance csr_mt(mc.mat, Format::kCsr, n, instance_opts(cfg));
+        SpmvInstance comp_mt(mc.mat, compressed, n, instance_opts(cfg));
+        t_csr = time_spmv(csr_mt, cfg.iterations, cfg.warmup);
+        t_comp = time_spmv(comp_mt, cfg.iterations, cfg.warmup);
+      }
+      const double sp = t_comp > 0.0 ? t_csr / t_comp : 0.0;
+      agg[set][n].add(sp);
+      agg["M0"][n].add(sp);
+      csv_rows.push_back({mc.name, set, std::to_string(n), f2(sp),
+                          f1(size_red)});
+    }
+  });
+
+  TextTable table({"core(s)", "MS avg", "MS max", "MS min", "MS <0.98",
+                   "ML avg", "ML max", "ML min", "ML <0.98", "M0 avg"});
+  for (const std::size_t n : cfg.threads) {
+    std::vector<std::string> row = {std::to_string(n)};
+    for (const char* set : {"MS", "ML"}) {
+      SpeedupAgg& a = agg[set][n];
+      row.push_back(f2(a.avg()));
+      row.push_back(f2(a.max()));
+      row.push_back(f2(a.min()));
+      row.push_back(std::to_string(a.slowdowns()));
+    }
+    row.push_back(f2(agg["M0"][n].avg()));
+    table.add_row(std::move(row));
+  }
+  os << "(matrices used: " << used << ", MS "
+     << (agg.count("MS") ? agg["MS"].begin()->second.count() : 0) << ", ML "
+     << (agg.count("ML") ? agg["ML"].begin()->second.count() : 0) << ")\n";
+  table.print(os);
+  write_csv(csv_name,
+            {"matrix", "set", "threads", "speedup_vs_csr",
+             "size_reduction_pct"},
+            csv_rows);
+  os << "per-matrix data: " << csv_name << "\n\n";
+}
+
+void run_detail_figure(const BenchConfig& cfg, Format compressed,
+                       bool vi_subset, const std::string& csv_name,
+                       std::ostream& os) {
+  const std::string fname = format_name(compressed);
+  os << "=== Per-matrix detail: " << fname
+     << " speedup vs serial CSR (bars), CSR MT speedup (squares), size "
+        "reduction (labels) ===\n[" << cfg.describe() << "]\n";
+
+  struct Row {
+    std::string name;
+    std::string set;
+    double csr_mt_speedup;
+    std::vector<double> comp_speedups;  // one per thread count
+    double size_reduction_pct;
+  };
+  std::vector<Row> rows;
+  const std::size_t max_threads =
+      *std::max_element(cfg.threads.begin(), cfg.threads.end());
+
+  for_each_matrix(cfg, [&](MatrixCase& mc) {
+    if (vi_subset && mc.stats.ttu <= kViTtuThreshold) {
+      return;
+    }
+    Row r;
+    r.name = mc.name;
+    r.set = set_name(mc.set_class);
+    SpmvInstance csr_serial(mc.mat, Format::kCsr, 1, instance_opts(cfg));
+    const double t1 = time_spmv(csr_serial, cfg.iterations, cfg.warmup);
+
+    SpmvInstance comp_serial(mc.mat, compressed, 1, instance_opts(cfg));
+    r.size_reduction_pct =
+        100.0 * (1.0 - static_cast<double>(comp_serial.matrix_bytes()) /
+                           static_cast<double>(csr_serial.matrix_bytes()));
+
+    SpmvInstance csr_mt(mc.mat, Format::kCsr, max_threads,
+                        instance_opts(cfg));
+    const double t_mt = time_spmv(csr_mt, cfg.iterations, cfg.warmup);
+    r.csr_mt_speedup = t_mt > 0.0 ? t1 / t_mt : 0.0;
+
+    for (const std::size_t n : cfg.threads) {
+      double tn;
+      if (n == 1) {
+        tn = time_spmv(comp_serial, cfg.iterations, cfg.warmup);
+      } else {
+        SpmvInstance comp_mt(mc.mat, compressed, n, instance_opts(cfg));
+        tn = time_spmv(comp_mt, cfg.iterations, cfg.warmup);
+      }
+      r.comp_speedups.push_back(tn > 0.0 ? t1 / tn : 0.0);
+    }
+    rows.push_back(std::move(r));
+  });
+
+  // The paper sorts matrices by speedup.
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.comp_speedups.back() < b.comp_speedups.back();
+  });
+
+  std::vector<std::string> header = {"matrix", "set"};
+  for (const std::size_t n : cfg.threads) {
+    header.push_back(fname + "_x" + std::to_string(n));
+  }
+  header.push_back("csr_x" + std::to_string(max_threads));
+  header.push_back("size_red_%");
+  TextTable table(header);
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const Row& r : rows) {
+    std::vector<std::string> cells = {r.name, r.set};
+    for (const double s : r.comp_speedups) {
+      cells.push_back(f2(s));
+    }
+    cells.push_back(f2(r.csr_mt_speedup));
+    cells.push_back(f1(r.size_reduction_pct));
+    table.add_row(cells);
+    csv_rows.push_back(cells);
+  }
+  table.print(os);
+  write_csv(csv_name, header, csv_rows);
+  os << "figure series: " << csv_name << "\n\n";
+}
+
+void run_working_set_report(const BenchConfig& cfg, std::ostream& os) {
+  os << "=== Working-set model (the paper's §II-B formula) and encoded "
+        "format sizes ===\n[" << cfg.describe() << "]\n";
+  TextTable table({"matrix", "set", "nrows", "nnz", "ws", "ttu",
+                   "u8-delta%", "csr", "csr-du", "csr-vi", "csr-du-vi",
+                   "dcsr"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for_each_matrix(
+      cfg,
+      [&](MatrixCase& mc) {
+        SpmvInstance csr(mc.mat, Format::kCsr);
+        const double csr_b = static_cast<double>(csr.matrix_bytes());
+        const auto rel = [&](Format f) {
+          SpmvInstance inst(mc.mat, f);
+          return f2(static_cast<double>(inst.matrix_bytes()) / csr_b);
+        };
+        std::vector<std::string> row = {
+            mc.name,
+            set_name(mc.set_class),
+            std::to_string(mc.stats.nrows),
+            std::to_string(mc.stats.nnz),
+            human_bytes(mc.ws),
+            f1(mc.stats.ttu),
+            f1(100.0 * mc.stats.u8_delta_fraction()),
+            human_bytes(csr.matrix_bytes()),
+            rel(Format::kCsrDu),
+            rel(Format::kCsrVi),
+            rel(Format::kCsrDuVi),
+            rel(Format::kDcsr)};
+        table.add_row(row);
+        csv_rows.push_back(std::move(row));
+      },
+      /*apply_rejection=*/false);
+  table.print(os);
+  write_csv("working_set_report.csv",
+            {"matrix", "set", "nrows", "nnz", "ws", "ttu", "u8_delta_pct",
+             "csr_bytes", "du_rel", "vi_rel", "duvi_rel", "dcsr_rel"},
+            csv_rows);
+  os << "data: working_set_report.csv\n\n";
+}
+
+}  // namespace spc

@@ -1,0 +1,41 @@
+// The paper's experiments (§VI), each regenerating one table or figure.
+//
+// Every function prints a paper-style table to `os` and drops a CSV with
+// the per-matrix raw data next to the working directory (path returned in
+// the output header) so the series behind the figures can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "spc/bench/harness.hpp"
+#include "spc/spmv/instance.hpp"
+
+namespace spc {
+
+/// Table II: CSR serial MFLOPS and multithreaded speedups for the MS / ML
+/// / M0 sets, including the two 2-thread placements (shared vs separate
+/// LLC).
+void run_table2_csr_scaling(const BenchConfig& cfg, std::ostream& os);
+
+/// Tables III / IV: `compressed` vs CSR at equal thread counts,
+/// avg/max/min speedup and slowdown counts per set. With `vi_subset` the
+/// corpus is filtered to ttu > 5 (the paper's M0vi) first.
+void run_compare_table(const BenchConfig& cfg, Format compressed,
+                       bool vi_subset, const std::string& csv_name,
+                       std::ostream& os);
+
+/// Figures 7 / 8: per-matrix speedups of `compressed` relative to the
+/// *serial CSR* baseline (the figures' y-axis), the multithreaded CSR
+/// speedup for comparison (the figures' black squares), and the size
+/// reduction relative to CSR (the figures' text labels). Sorted by
+/// speedup as in the paper.
+void run_detail_figure(const BenchConfig& cfg, Format compressed,
+                       bool vi_subset, const std::string& csv_name,
+                       std::ostream& os);
+
+/// §II-B working-set model: per-matrix ws decomposition and each format's
+/// measured size against the CSR baseline.
+void run_working_set_report(const BenchConfig& cfg, std::ostream& os);
+
+}  // namespace spc

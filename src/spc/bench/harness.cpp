@@ -1,0 +1,221 @@
+#include "spc/bench/harness.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "spc/mm/vector.hpp"
+#include "spc/support/strutil.hpp"
+#include "spc/support/timing.hpp"
+
+namespace spc {
+
+namespace {
+
+std::optional<std::string> env_str(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return std::nullopt;
+  }
+  return std::string(v);
+}
+
+std::optional<std::uint64_t> env_u64(const char* name) {
+  const auto s = env_str(name);
+  if (!s) {
+    return std::nullopt;
+  }
+  try {
+    return std::stoull(*s);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+SetThresholds thresholds_for(CorpusScale scale) {
+  SetThresholds th;  // paper defaults (kBench)
+  switch (scale) {
+    case CorpusScale::kBench:
+      break;
+    case CorpusScale::kSmall:
+      // Corpus nnz shrinks by ~20x at kSmall; scale the cut points along.
+      th.reject_below /= 20;
+      th.large_at_least /= 20;
+      break;
+    case CorpusScale::kTiny:
+      th.reject_below /= 400;
+      th.large_at_least /= 400;
+      break;
+  }
+  if (const auto kb = env_u64("SPC_WS_REJECT_KB")) {
+    th.reject_below = *kb << 10;
+  }
+  if (const auto kb = env_u64("SPC_WS_LARGE_KB")) {
+    th.large_at_least = *kb << 10;
+  }
+  return th;
+}
+
+SetClass classify_ws(usize_t ws, const SetThresholds& th) {
+  if (ws < th.reject_below) {
+    return SetClass::kRejected;
+  }
+  return ws >= th.large_at_least ? SetClass::kLarge : SetClass::kSmall;
+}
+
+BenchConfig BenchConfig::from_env() {
+  BenchConfig cfg;
+  if (const auto s = env_str("SPC_SCALE")) {
+    cfg.scale = parse_corpus_scale(*s);
+  }
+  if (const auto n = env_u64("SPC_ITERS")) {
+    cfg.iterations = *n;
+  }
+  if (const auto n = env_u64("SPC_WARMUP")) {
+    cfg.warmup = *n;
+  }
+  if (const auto s = env_str("SPC_THREADS")) {
+    cfg.threads.clear();
+    std::stringstream ss(*s);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (!tok.empty()) {
+        cfg.threads.push_back(std::stoull(tok));
+      }
+    }
+    if (cfg.threads.empty()) {
+      cfg.threads = {1};
+    }
+  }
+  if (const auto n = env_u64("SPC_MAX_MATRICES")) {
+    cfg.max_matrices = *n;
+  }
+  if (const auto n = env_u64("SPC_PIN")) {
+    cfg.pin_threads = *n != 0;
+  }
+  return cfg;
+}
+
+std::string BenchConfig::describe() const {
+  std::ostringstream os;
+  os << "scale=";
+  switch (scale) {
+    case CorpusScale::kTiny:
+      os << "tiny";
+      break;
+    case CorpusScale::kSmall:
+      os << "small";
+      break;
+    case CorpusScale::kBench:
+      os << "bench";
+      break;
+  }
+  os << " iters=" << iterations << " warmup=" << warmup << " threads=";
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    os << (i ? "," : "") << threads[i];
+  }
+  const SetThresholds th = thresholds();
+  os << " ws-reject<" << human_bytes(th.reject_below) << " ws-large>="
+     << human_bytes(th.large_at_least) << " pin=" << (pin_threads ? 1 : 0);
+  return os.str();
+}
+
+void for_each_matrix(const BenchConfig& cfg,
+                     const std::function<void(MatrixCase&)>& fn,
+                     bool apply_rejection) {
+  const SetThresholds th = cfg.thresholds();
+  std::size_t used = 0;
+  for (auto& spec : corpus_specs(cfg.scale)) {
+    if (cfg.max_matrices > 0 && used >= cfg.max_matrices) {
+      break;
+    }
+    MatrixCase mc;
+    mc.name = spec.name;
+    mc.cls = spec.cls;
+    mc.vi_friendly = spec.vi_friendly;
+    mc.mat = spec.build();
+    mc.stats = compute_stats(mc.mat);
+    mc.ws = mc.stats.working_set_bytes();
+    mc.set_class = classify_ws(mc.ws, th);
+    if (apply_rejection && mc.set_class == SetClass::kRejected) {
+      continue;
+    }
+    ++used;
+    fn(mc);
+  }
+}
+
+double time_spmv(SpmvInstance& inst, std::size_t iters, std::size_t warmup) {
+  Rng rng(0xbe7cull ^ inst.nnz());
+  const Vector x = random_vector(inst.ncols(), rng);
+  Vector y(inst.nrows(), 0.0);
+  for (std::size_t i = 0; i < warmup; ++i) {
+    inst.run(x, y);
+  }
+  Timer t;
+  for (std::size_t i = 0; i < iters; ++i) {
+    inst.run(x, y);
+  }
+  return t.elapsed_s();
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << " " << cell << std::string(width[c] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  os << "|";
+  for (const std::size_t w : width) {
+    os << std::string(w + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void write_csv(const std::string& path,
+               const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    f << (c ? "," : "") << header[c];
+  }
+  f << "\n";
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      f << (c ? "," : "") << row[c];
+    }
+    f << "\n";
+  }
+}
+
+}  // namespace spc

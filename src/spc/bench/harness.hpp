@@ -1,0 +1,134 @@
+// Experiment harness shared by the bench/ binaries.
+//
+// Encapsulates the paper's measurement protocol (§VI-A):
+//  * time N consecutive SpMV operations (paper: 128) with a random x,
+//  * no artificial cache pollution between iterations,
+//  * serial results in MFLOPS, multithreaded results as speedups,
+//  * matrices classified into the MS / ML sets by working-set size.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spc/gen/corpus.hpp"
+#include "spc/mm/stats.hpp"
+#include "spc/spmv/instance.hpp"
+#include "spc/support/stats.hpp"
+
+namespace spc {
+
+/// Working-set classification per §VI-B.
+enum class SetClass {
+  kRejected,  ///< ws below the rejection threshold (cache resident)
+  kSmall,     ///< MS: larger than one LLC but fits the aggregate cache
+  kLarge      ///< ML: memory bound at any core count
+};
+
+struct SetThresholds {
+  usize_t reject_below = 3ull << 20;   ///< paper: 3/4 of the 4 MB L2
+  usize_t large_at_least = 17ull << 20;  ///< paper: 4×L2 + 1 MB
+};
+
+/// Thresholds scaled to the corpus scale (the paper's absolute values at
+/// kBench; proportionally smaller for the reduced corpora) and
+/// overridable via SPC_WS_REJECT_KB / SPC_WS_LARGE_KB.
+SetThresholds thresholds_for(CorpusScale scale);
+
+SetClass classify_ws(usize_t ws, const SetThresholds& th);
+
+/// Harness configuration, read from the environment:
+///   SPC_SCALE=tiny|small|bench   corpus scale        (default small)
+///   SPC_ITERS=N                  timed iterations    (default 128)
+///   SPC_WARMUP=N                 untimed iterations  (default 2)
+///   SPC_THREADS=1,2,4,8          thread counts       (default 1,2,4,8)
+///   SPC_MAX_MATRICES=N           truncate the corpus (default all)
+///   SPC_PIN=0|1                  pin threads         (default 1)
+struct BenchConfig {
+  CorpusScale scale = CorpusScale::kSmall;
+  std::size_t iterations = 128;
+  std::size_t warmup = 2;
+  std::vector<std::size_t> threads = {1, 2, 4, 8};
+  std::size_t max_matrices = 0;  ///< 0 = no limit
+  bool pin_threads = true;
+
+  static BenchConfig from_env();
+
+  SetThresholds thresholds() const { return thresholds_for(scale); }
+
+  /// Human-readable one-liner for bench headers.
+  std::string describe() const;
+};
+
+/// One corpus matrix, built and analysed.
+struct MatrixCase {
+  std::string name;
+  std::string cls;
+  bool vi_friendly = false;
+  Triplets mat;
+  MatrixStats stats;
+  usize_t ws = 0;
+  SetClass set_class = SetClass::kRejected;
+};
+
+/// Builds each corpus matrix in turn (one live at a time) and invokes fn.
+/// Matrices whose ws falls below the rejection threshold are skipped when
+/// `apply_rejection` is set — mirroring §VI-B's filtering. `fn` may keep
+/// only what it needs; the Triplets die after the call.
+void for_each_matrix(const BenchConfig& cfg,
+                     const std::function<void(MatrixCase&)>& fn,
+                     bool apply_rejection = true);
+
+/// Times `iters` consecutive y = A*x (after `warmup` untimed runs) and
+/// returns the total seconds. Uses a deterministic random x (§VI-A).
+double time_spmv(SpmvInstance& inst, std::size_t iters, std::size_t warmup);
+
+/// MFLOPS for a timed run: 2*nnz flops per SpMV.
+inline double mflops(usize_t nnz, std::size_t iters, double seconds) {
+  return seconds > 0.0
+             ? 2.0 * static_cast<double>(nnz) *
+                   static_cast<double>(iters) / seconds / 1e6
+             : 0.0;
+}
+
+/// Aggregates speedups the way the paper's tables do: avg / max / min
+/// plus the count of non-negligible slowdowns (speedup < 0.98).
+class SpeedupAgg {
+ public:
+  void add(double speedup) {
+    stats_.add(speedup);
+    if (speedup < 0.98) {
+      ++slowdowns_;
+    }
+  }
+  std::uint64_t count() const { return stats_.count(); }
+  double avg() const { return stats_.mean(); }
+  double max() const { return stats_.max(); }
+  double min() const { return stats_.min(); }
+  std::uint64_t slowdowns() const { return slowdowns_; }
+
+ private:
+  OnlineStats stats_;
+  std::uint64_t slowdowns_ = 0;
+};
+
+/// Fixed-width text table with a markdown-ish layout for the bench output.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes rows as CSV (no quoting needs arise in our outputs).
+void write_csv(const std::string& path,
+               const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace spc

@@ -1,0 +1,44 @@
+#include "spc/bench/model.hpp"
+
+#include <algorithm>
+
+#include "spc/support/aligned.hpp"
+#include "spc/support/timing.hpp"
+
+namespace spc {
+
+BandwidthCalibration calibrate_bandwidth(usize_t bytes, int reps) {
+  const usize_t n = std::max<usize_t>(bytes / sizeof(double), 1024);
+  aligned_vector<double> a(n, 1.0), b(n, 2.0), c(n, 3.0);
+
+  BandwidthCalibration cal;
+  volatile double sink = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    // Streaming read: sum of one array.
+    Timer t1;
+    double s = 0.0;
+    for (usize_t i = 0; i < n; ++i) {
+      s += b[i];
+    }
+    sink = sink + s;
+    const double read_secs = t1.elapsed_s();
+    cal.read_gbps = std::max(
+        cal.read_gbps,
+        static_cast<double>(n * sizeof(double)) / read_secs / 1e9);
+
+    // Triad: 2 streamed reads + 1 streamed write per element.
+    Timer t2;
+    for (usize_t i = 0; i < n; ++i) {
+      a[i] = b[i] + 0.5 * c[i];
+    }
+    const double triad_secs = t2.elapsed_s();
+    sink = sink + a[n / 2];
+    cal.triad_gbps = std::max(
+        cal.triad_gbps,
+        static_cast<double>(3 * n * sizeof(double)) / triad_secs / 1e9);
+  }
+  (void)sink;
+  return cal;
+}
+
+}  // namespace spc

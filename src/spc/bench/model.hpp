@@ -1,0 +1,43 @@
+// Memory-bandwidth performance model for SpMV (§II-B of the paper).
+//
+// The paper's premise: SpMV streams its working set once per operation,
+// so when the matrix exceeds the cache the kernel's time is bounded below
+// by  streamed_bytes / memory_bandwidth , and shrinking the streamed
+// bytes (CSR-DU / CSR-VI) converts directly into time. This module
+// calibrates the machine's streaming bandwidth and evaluates that bound,
+// so benches can report measured-vs-model and show which regime (compute
+// bound vs memory bound) the host is actually in.
+#pragma once
+
+#include "spc/mm/stats.hpp"
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+struct BandwidthCalibration {
+  double read_gbps = 0.0;   ///< sustained streaming read bandwidth
+  double triad_gbps = 0.0;  ///< a[i] = b[i] + s*c[i] (2 reads + 1 write)
+};
+
+/// Measures streaming bandwidth with simple read-sum and triad loops over
+/// arrays of `bytes` (default 256 MB), best of `reps` runs. Deterministic
+/// workload; wall-clock measurement.
+BandwidthCalibration calibrate_bandwidth(usize_t bytes = 256ull << 20,
+                                         int reps = 3);
+
+/// Bytes one SpMV streams: encoded matrix + x (read) + y (write).
+inline usize_t spmv_streamed_bytes(usize_t matrix_bytes, index_t nrows,
+                                   index_t ncols) {
+  return matrix_bytes + static_cast<usize_t>(ncols) * sizeof(value_t) +
+         static_cast<usize_t>(nrows) * sizeof(value_t);
+}
+
+/// Bandwidth-bound lower time bound for one SpMV (seconds).
+inline double predicted_spmv_seconds(usize_t streamed_bytes,
+                                     double read_gbps) {
+  return read_gbps > 0.0
+             ? static_cast<double>(streamed_bytes) / (read_gbps * 1e9)
+             : 0.0;
+}
+
+}  // namespace spc

@@ -1,0 +1,95 @@
+#include "spc/formats/bcsr.hpp"
+
+#include <map>
+
+namespace spc {
+
+Bcsr Bcsr::from_triplets(const Triplets& t, index_t block_rows,
+                         index_t block_cols) {
+  SPC_CHECK_MSG(t.is_sorted_unique(),
+                "BCSR construction requires sorted/combined triplets");
+  SPC_CHECK_MSG(block_rows >= 1 && block_rows <= 8 && block_cols >= 1 &&
+                    block_cols <= 8,
+                "BCSR block shape must be within 1..8 x 1..8");
+  Bcsr m;
+  m.nrows_ = t.nrows();
+  m.ncols_ = t.ncols();
+  m.nnz_ = t.nnz();
+  m.br_ = block_rows;
+  m.bc_ = block_cols;
+  m.nblock_rows_ = (t.nrows() + block_rows - 1) / block_rows;
+
+  // Pass 1: count distinct blocks per block-row. Triplets are row-major,
+  // which is not block-row-major, so collect block coordinates in a map
+  // keyed by (block_row, block_col). Construction is O(nnz log nblocks);
+  // format construction is not on the timed path.
+  std::map<std::pair<index_t, index_t>, usize_t> block_of;
+  for (const Entry& e : t.entries()) {
+    block_of.emplace(std::make_pair(e.row / block_rows, e.col / block_cols),
+                     0);
+  }
+
+  m.block_row_ptr_.assign(m.nblock_rows_ + 1, 0);
+  for (const auto& [coord, _] : block_of) {
+    ++m.block_row_ptr_[coord.first + 1];
+  }
+  for (index_t r = 0; r < m.nblock_rows_; ++r) {
+    m.block_row_ptr_[r + 1] += m.block_row_ptr_[r];
+  }
+
+  // Assign slots; std::map iterates blocks in (brow, bcol) order, which is
+  // exactly the storage order we want.
+  m.block_col_.resize(block_of.size());
+  {
+    usize_t slot = 0;
+    for (auto& [coord, idx] : block_of) {
+      idx = slot;
+      m.block_col_[slot] = coord.second * block_cols;
+      ++slot;
+    }
+  }
+
+  // Pass 2: scatter values into zero-filled blocks.
+  const usize_t block_elems =
+      static_cast<usize_t>(block_rows) * block_cols;
+  m.values_.assign(block_of.size() * block_elems, 0.0);
+  for (const Entry& e : t.entries()) {
+    const auto coord =
+        std::make_pair(e.row / block_rows, e.col / block_cols);
+    const usize_t slot = block_of[coord];
+    const index_t lr = e.row % block_rows;
+    const index_t lc = e.col % block_cols;
+    m.values_[slot * block_elems + static_cast<usize_t>(lr) * block_cols +
+              lc] = e.val;
+  }
+  return m;
+}
+
+Triplets Bcsr::to_triplets() const {
+  Triplets t(nrows_, ncols_);
+  const usize_t block_elems = static_cast<usize_t>(br_) * bc_;
+  for (index_t brow = 0; brow < nblock_rows_; ++brow) {
+    for (index_t b = block_row_ptr_[brow]; b < block_row_ptr_[brow + 1];
+         ++b) {
+      const index_t col0 = block_col_[b];
+      const index_t row0 = brow * br_;
+      for (index_t lr = 0; lr < br_; ++lr) {
+        for (index_t lc = 0; lc < bc_; ++lc) {
+          const value_t v =
+              values_[static_cast<usize_t>(b) * block_elems +
+                      static_cast<usize_t>(lr) * bc_ + lc];
+          const index_t row = row0 + lr;
+          const index_t col = col0 + lc;
+          // Fill zeros are storage artifacts, not matrix entries.
+          if (v != 0.0 && row < nrows_ && col < ncols_) {
+            t.add(row, col, v);
+          }
+        }
+      }
+    }
+  }
+  t.sort_and_combine();
+  return t;
+}
+
+}  // namespace spc

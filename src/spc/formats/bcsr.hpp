@@ -1,0 +1,70 @@
+// Blocked CSR (BCSR) — the classic register-blocking baseline (§III-A).
+//
+// The matrix is tiled into r×c dense blocks aligned to a block grid; only
+// blocks containing at least one non-zero are stored, zero-filled. Index
+// data shrinks by ~1/(r*c) at the cost of storing explicit zeros, so BCSR
+// only wins on matrices with dense block substructure — one of the index
+// reduction techniques the paper positions CSR-DU against.
+#pragma once
+
+#include <cstdint>
+
+#include "spc/mm/triplets.hpp"
+#include "spc/support/aligned.hpp"
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+class Bcsr {
+ public:
+  Bcsr() = default;
+
+  /// Builds with the given block shape (1 <= r,c <= 8).
+  static Bcsr from_triplets(const Triplets& t, index_t block_rows,
+                            index_t block_cols);
+
+  index_t nrows() const { return nrows_; }
+  index_t ncols() const { return ncols_; }
+  usize_t nnz() const { return nnz_; }
+  index_t block_rows() const { return br_; }
+  index_t block_cols() const { return bc_; }
+  index_t nblock_rows() const { return nblock_rows_; }
+  usize_t nblocks() const { return block_col_.size(); }
+
+  /// Stored elements including fill (nblocks * r * c).
+  usize_t stored_values() const { return values_.size(); }
+  /// Fill-in ratio: stored / nnz (>= 1).
+  double fill_ratio() const {
+    return nnz_ ? static_cast<double>(stored_values()) /
+                      static_cast<double>(nnz_)
+                : 1.0;
+  }
+
+  const aligned_vector<index_t>& block_row_ptr() const {
+    return block_row_ptr_;
+  }
+  const aligned_vector<index_t>& block_col() const { return block_col_; }
+  /// Block values, row-major within each r×c block, blocks in row-ptr order.
+  const aligned_vector<value_t>& values() const { return values_; }
+
+  Triplets to_triplets() const;
+
+  usize_t bytes() const {
+    return block_row_ptr_.size() * sizeof(index_t) +
+           block_col_.size() * sizeof(index_t) +
+           values_.size() * sizeof(value_t);
+  }
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  usize_t nnz_ = 0;
+  index_t br_ = 1;
+  index_t bc_ = 1;
+  index_t nblock_rows_ = 0;
+  aligned_vector<index_t> block_row_ptr_;  ///< nblock_rows + 1
+  aligned_vector<index_t> block_col_;      ///< first column of each block
+  aligned_vector<value_t> values_;         ///< nblocks * br * bc
+};
+
+}  // namespace spc

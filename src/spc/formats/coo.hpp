@@ -1,0 +1,64 @@
+// Coordinate storage format (§II-B): each non-zero as (row, col, value).
+//
+// Included as a baseline substrate; its SpMV kernel streams three arrays
+// and is the least cache-friendly of the classic formats.
+#pragma once
+
+#include "spc/mm/triplets.hpp"
+#include "spc/support/aligned.hpp"
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+class Coo {
+ public:
+  Coo() = default;
+
+  static Coo from_triplets(const Triplets& t) {
+    SPC_CHECK_MSG(t.is_sorted_unique(),
+                  "COO construction requires sorted/combined triplets");
+    Coo m;
+    m.nrows_ = t.nrows();
+    m.ncols_ = t.ncols();
+    m.rows_.reserve(t.nnz());
+    m.cols_.reserve(t.nnz());
+    m.values_.reserve(t.nnz());
+    for (const Entry& e : t.entries()) {
+      m.rows_.push_back(e.row);
+      m.cols_.push_back(e.col);
+      m.values_.push_back(e.val);
+    }
+    return m;
+  }
+
+  Triplets to_triplets() const {
+    Triplets t(nrows_, ncols_);
+    t.reserve(nnz());
+    for (usize_t k = 0; k < nnz(); ++k) {
+      t.add(rows_[k], cols_[k], values_[k]);
+    }
+    return t;
+  }
+
+  index_t nrows() const { return nrows_; }
+  index_t ncols() const { return ncols_; }
+  usize_t nnz() const { return values_.size(); }
+
+  const aligned_vector<index_t>& rows() const { return rows_; }
+  const aligned_vector<index_t>& cols() const { return cols_; }
+  const aligned_vector<value_t>& values() const { return values_; }
+
+  usize_t bytes() const {
+    return rows_.size() * sizeof(index_t) + cols_.size() * sizeof(index_t) +
+           values_.size() * sizeof(value_t);
+  }
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  aligned_vector<index_t> rows_;
+  aligned_vector<index_t> cols_;
+  aligned_vector<value_t> values_;
+};
+
+}  // namespace spc

@@ -1,0 +1,78 @@
+// Compressed Sparse Column (§II-B) — CSR's transpose-oriented sibling.
+//
+// Provided as a baseline substrate and as the natural host of column
+// partitioning (§II-C). Its SpMV scatters into y, which is why the paper's
+// row-partitioned CSR is preferred for multithreading.
+#pragma once
+
+#include <algorithm>
+
+#include "spc/mm/triplets.hpp"
+#include "spc/support/aligned.hpp"
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+class Csc {
+ public:
+  Csc() = default;
+
+  static Csc from_triplets(const Triplets& t) {
+    SPC_CHECK_MSG(t.is_sorted_unique(),
+                  "CSC construction requires sorted/combined triplets");
+    Csc m;
+    m.nrows_ = t.nrows();
+    m.ncols_ = t.ncols();
+    m.col_ptr_.assign(t.ncols() + 1, 0);
+    m.row_ind_.resize(t.nnz());
+    m.values_.resize(t.nnz());
+    for (const Entry& e : t.entries()) {
+      ++m.col_ptr_[e.col + 1];
+    }
+    for (index_t c = 0; c < t.ncols(); ++c) {
+      m.col_ptr_[c + 1] += m.col_ptr_[c];
+    }
+    aligned_vector<index_t> cursor(m.col_ptr_.begin(), m.col_ptr_.end() - 1);
+    for (const Entry& e : t.entries()) {
+      const index_t k = cursor[e.col]++;
+      m.row_ind_[k] = e.row;
+      m.values_[k] = e.val;
+    }
+    return m;
+  }
+
+  Triplets to_triplets() const {
+    Triplets t(nrows_, ncols_);
+    t.reserve(nnz());
+    for (index_t c = 0; c < ncols_; ++c) {
+      for (index_t j = col_ptr_[c]; j < col_ptr_[c + 1]; ++j) {
+        t.add(row_ind_[j], c, values_[j]);
+      }
+    }
+    t.sort_and_combine();
+    return t;
+  }
+
+  index_t nrows() const { return nrows_; }
+  index_t ncols() const { return ncols_; }
+  usize_t nnz() const { return values_.size(); }
+
+  const aligned_vector<index_t>& col_ptr() const { return col_ptr_; }
+  const aligned_vector<index_t>& row_ind() const { return row_ind_; }
+  const aligned_vector<value_t>& values() const { return values_; }
+
+  usize_t bytes() const {
+    return col_ptr_.size() * sizeof(index_t) +
+           row_ind_.size() * sizeof(index_t) +
+           values_.size() * sizeof(value_t);
+  }
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  aligned_vector<index_t> col_ptr_;
+  aligned_vector<index_t> row_ind_;
+  aligned_vector<value_t> values_;
+};
+
+}  // namespace spc

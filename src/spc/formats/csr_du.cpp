@@ -1,0 +1,463 @@
+#include "spc/formats/csr_du.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "spc/support/varint.hpp"
+
+namespace spc {
+
+namespace {
+
+// Appends `delta` to the ctl stream in the width of `cls`, little-endian.
+void append_delta(aligned_vector<std::uint8_t>& ctl, std::uint64_t delta,
+                  DeltaClass cls) {
+  const std::uint32_t width = delta_class_bytes(cls);
+  for (std::uint32_t b = 0; b < width; ++b) {
+    ctl.push_back(static_cast<std::uint8_t>(delta >> (8 * b)));
+  }
+}
+
+std::uint64_t read_delta(const std::uint8_t*& p, DeltaClass cls) {
+  const std::uint32_t width = delta_class_bytes(cls);
+  std::uint64_t v = 0;
+  for (std::uint32_t b = 0; b < width; ++b) {
+    v |= static_cast<std::uint64_t>(*p++) << (8 * b);
+  }
+  return v;
+}
+
+// varint_encode into an aligned byte vector (varint.hpp works on
+// std::vector<uint8_t>; keep one local shim to avoid converting).
+void append_varint(aligned_vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+// One segment of a row chosen by the encoder: elems [first, first+len) of
+// the row's non-zeros, stored with class `cls` (RLE runs carry a single
+// stride instead of ucis).
+struct Segment {
+  usize_t first = 0;
+  std::uint32_t len = 0;
+  DeltaClass cls = DeltaClass::kU8;
+  bool rle = false;
+  std::uint64_t stride = 0;
+};
+
+}  // namespace
+
+CsrDu CsrDu::from_triplets(const Triplets& t, const CsrDuOptions& opts) {
+  SPC_CHECK_MSG(t.is_sorted_unique(),
+                "CSR-DU construction requires sorted/combined triplets");
+  SPC_CHECK_MSG(opts.max_unit >= 1 && opts.max_unit <= 255,
+                "max_unit must be in [1, 255]");
+  SPC_CHECK_MSG(opts.split_threshold >= 1, "split_threshold must be >= 1");
+  SPC_CHECK_MSG(opts.rle_min_run >= 2, "rle_min_run must be >= 2");
+
+  CsrDu m;
+  m.nrows_ = t.nrows();
+  m.ncols_ = t.ncols();
+  m.opts_ = opts;
+  m.values_.reserve(t.nnz());
+  // Heuristic reserve: header ~3B/unit + ~1.2B/delta keeps growth rare.
+  m.ctl_.reserve(t.nnz() + t.nrows() * 3);
+
+  const auto& entries = t.entries();
+  std::vector<std::uint64_t> deltas;   // deltas of the current row
+  std::vector<Segment> segments;       // segmentation of the current row
+  std::int64_t prev_row = -1;          // last row that produced units
+
+  usize_t i = 0;
+  while (i < entries.size()) {
+    // Gather one row.
+    const index_t row = entries[i].row;
+    const usize_t row_start = i;
+    deltas.clear();
+    index_t prev_col = 0;
+    while (i < entries.size() && entries[i].row == row) {
+      // First element's "delta" is its absolute column (the NR ujmp).
+      deltas.push_back(i == row_start
+                           ? static_cast<std::uint64_t>(entries[i].col)
+                           : static_cast<std::uint64_t>(entries[i].col -
+                                                        prev_col));
+      prev_col = entries[i].col;
+      m.values_.push_back(entries[i].val);
+      ++i;
+    }
+    const usize_t row_len = deltas.size();
+
+    // Segment the row greedily. A segment's class covers deltas[first+1..]
+    // — the first delta becomes the unit's varint ujmp and has no class.
+    segments.clear();
+    {
+      usize_t s = 0;
+      while (s < row_len) {
+        // Constant-stride run detection (applies from the *second*
+        // element of a candidate unit: the first is the ujmp).
+        if (opts.enable_rle && s + 1 < row_len) {
+          const std::uint64_t stride = deltas[s + 1];
+          usize_t run = s + 1;
+          while (run < row_len && deltas[run] == stride &&
+                 run - s < opts.max_unit) {
+            ++run;
+          }
+          if (run - s >= opts.rle_min_run) {
+            segments.push_back(Segment{s,
+                                       static_cast<std::uint32_t>(run - s),
+                                       DeltaClass::kU8, true, stride});
+            s = run;
+            continue;
+          }
+        }
+        // Plain unit: grow while the class stays economical.
+        usize_t e = s + 1;
+        DeltaClass cls = DeltaClass::kU8;
+        while (e < row_len && e - s < opts.max_unit) {
+          const DeltaClass c = delta_class_for(deltas[e]);
+          if (c > cls && e - s >= opts.split_threshold) {
+            break;  // widening would tax the existing elements; split
+          }
+          cls = std::max(cls, c);
+          // Leave a long enough constant-delta run to the RLE detector.
+          if (opts.enable_rle) {
+            usize_t run = e;
+            while (run < row_len && deltas[run] == deltas[e] &&
+                   run - e < opts.max_unit) {
+              ++run;
+            }
+            if (run - e >= opts.rle_min_run) {
+              ++e;  // current delta joins this unit as its last element
+              break;
+            }
+          }
+          ++e;
+        }
+        segments.push_back(Segment{s, static_cast<std::uint32_t>(e - s),
+                                   cls, false});
+        s = e;
+      }
+    }
+
+    // Emit the row's units.
+    const std::uint64_t rskip =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(row) -
+                                   prev_row - 1);
+    bool first_of_row = true;
+    for (const Segment& seg : segments) {
+      std::uint8_t flags =
+          static_cast<std::uint8_t>(static_cast<std::uint8_t>(seg.cls) &
+                                    kDuClassMask);
+      if (seg.rle) {
+        flags |= kDuRle;
+      }
+      if (first_of_row) {
+        flags |= kDuNewRow;
+        if (rskip > 0) {
+          flags |= kDuRJmp;
+        }
+      }
+      m.ctl_.push_back(flags);
+      m.ctl_.push_back(static_cast<std::uint8_t>(seg.len));
+      if (first_of_row && rskip > 0) {
+        append_varint(m.ctl_, rskip);
+      }
+      append_varint(m.ctl_, deltas[seg.first]);
+      if (seg.rle) {
+        append_varint(m.ctl_, seg.stride);
+      } else {
+        for (std::uint32_t k = 1; k < seg.len; ++k) {
+          append_delta(m.ctl_, deltas[seg.first + k], seg.cls);
+        }
+      }
+      ++m.unit_count_;
+      if (seg.rle) {
+        ++m.rle_units_;
+      } else {
+        ++m.units_per_class_[static_cast<std::uint8_t>(seg.cls)];
+      }
+      first_of_row = false;
+    }
+    prev_row = row;
+  }
+  m.nnz_ = m.values_.size();
+  return m;
+}
+
+CsrDu CsrDu::from_raw(index_t nrows, index_t ncols,
+                      const CsrDuOptions& opts,
+                      aligned_vector<std::uint8_t> ctl,
+                      aligned_vector<value_t> values) {
+  CsrDu m;
+  m.nrows_ = nrows;
+  m.ncols_ = ncols;
+  m.opts_ = opts;
+  m.ctl_ = std::move(ctl);
+  m.values_ = std::move(values);
+
+  // Full validation walk: bounds, counts and per-class statistics.
+  const std::uint8_t* p = m.ctl_.data();
+  const std::uint8_t* const end = m.ctl_.data() + m.ctl_.size();
+  std::int64_t row = -1;
+  std::uint64_t col = 0;
+  usize_t elems = 0;
+  while (p < end) {
+    if (end - p < 2) {
+      throw ParseError("csr-du: truncated unit header");
+    }
+    const std::uint8_t flags = *p++;
+    const std::uint32_t usize = *p++;
+    if (usize == 0) {
+      throw ParseError("csr-du: zero-length unit");
+    }
+    const bool rle = (flags & kDuRle) != 0;
+    const auto cls = static_cast<DeltaClass>(flags & kDuClassMask);
+    if (flags & kDuNewRow) {
+      std::uint64_t rskip = 0;
+      if (flags & kDuRJmp) {
+        rskip = varint_decode_checked(p, end);
+      }
+      row += 1 + static_cast<std::int64_t>(rskip);
+      col = 0;
+      if (row >= static_cast<std::int64_t>(nrows)) {
+        throw ParseError("csr-du: row index out of bounds");
+      }
+    } else if (row < 0) {
+      throw ParseError("csr-du: stream does not start with a new row");
+    }
+    const std::uint64_t ujmp = varint_decode_checked(p, end);
+    // Non-NR continuation units sit after a previous element: their jump
+    // lands on a strictly later column only if ujmp >= 1; NR units may
+    // start at column 0.
+    col += ujmp;
+    ++elems;
+    if (rle) {
+      const std::uint64_t stride = varint_decode_checked(p, end);
+      col += stride * (usize - 1);
+      elems += usize - 1;
+    } else {
+      const std::size_t width = delta_class_bytes(cls);
+      if (static_cast<std::size_t>(end - p) <
+          width * static_cast<std::size_t>(usize - 1)) {
+        throw ParseError("csr-du: truncated ucis array");
+      }
+      for (std::uint32_t k = 1; k < usize; ++k) {
+        std::uint64_t d = 0;
+        for (std::size_t b = 0; b < width; ++b) {
+          d |= static_cast<std::uint64_t>(*p++) << (8 * b);
+        }
+        col += d;
+        ++elems;
+      }
+    }
+    if (col >= ncols) {
+      throw ParseError("csr-du: column index out of bounds");
+    }
+    ++m.unit_count_;
+    if (rle) {
+      ++m.rle_units_;
+    } else {
+      ++m.units_per_class_[static_cast<std::uint8_t>(cls)];
+    }
+  }
+  if (!m.values_.empty() && elems != m.values_.size()) {
+    throw ParseError("csr-du: ctl element count does not match values");
+  }
+  m.nnz_ = elems;
+  return m;
+}
+
+CsrDu::Slice CsrDu::full() const {
+  Slice s;
+  s.ctl = ctl_.data();
+  s.ctl_end = ctl_.data() + ctl_.size();
+  s.values = values_.empty() ? nullptr : values_.data();
+  s.val_offset = 0;
+  s.row_begin = 0;
+  s.row_end = nrows_;
+  s.row_state = -1;
+  s.nnz = nnz_;
+  return s;
+}
+
+CsrDu::Slice CsrDu::slice(index_t row_begin, index_t row_end) const {
+  SPC_CHECK_MSG(row_begin <= row_end && row_end <= nrows_,
+                "slice row range out of bounds");
+  Slice s;
+  s.row_begin = row_begin;
+  s.row_end = row_end;
+
+  const std::uint8_t* p = ctl_.data();
+  const std::uint8_t* const end = ctl_.data() + ctl_.size();
+  std::int64_t row = -1;
+  usize_t val_off = 0;
+
+  const std::uint8_t* slice_ctl = end;
+  const std::uint8_t* slice_ctl_end = end;
+  usize_t slice_val_off = val_off;
+  std::int64_t slice_row_state = row;
+  usize_t slice_nnz = 0;
+  bool in_slice = false;
+
+  while (p < end) {
+    const std::uint8_t* const unit_start = p;
+    const std::int64_t row_before = row;
+    const std::uint8_t flags = *p++;
+    const std::uint32_t usize = *p++;
+    if (flags & kDuNewRow) {
+      std::uint64_t rskip = 0;
+      if (flags & kDuRJmp) {
+        rskip = varint_decode(p);
+      }
+      row += 1 + static_cast<std::int64_t>(rskip);
+    }
+    varint_decode(p);  // ujmp
+    if (flags & kDuRle) {
+      varint_decode(p);  // stride
+    } else {
+      const auto cls = static_cast<DeltaClass>(flags & kDuClassMask);
+      p += static_cast<std::size_t>(usize - 1) * delta_class_bytes(cls);
+    }
+
+    if (!in_slice && row >= static_cast<std::int64_t>(row_begin)) {
+      if (row >= static_cast<std::int64_t>(row_end)) {
+        // No unit falls inside the range (all its rows are empty): the
+        // slice is the zero-length span at this boundary, so consecutive
+        // slices still tile the ctl stream.
+        slice_ctl = unit_start;
+        slice_ctl_end = unit_start;
+        slice_val_off = val_off;
+        slice_row_state = row_before;
+        break;
+      }
+      in_slice = true;
+      slice_ctl = unit_start;
+      slice_val_off = val_off;
+      slice_row_state = row_before;
+    }
+    if (in_slice) {
+      if (row >= static_cast<std::int64_t>(row_end)) {
+        slice_ctl_end = unit_start;
+        in_slice = false;
+        slice_nnz = val_off - slice_val_off;
+        break;
+      }
+    }
+    val_off += usize;
+  }
+  if (in_slice) {
+    slice_ctl_end = p;
+    slice_nnz = val_off - slice_val_off;
+  }
+
+  s.ctl = slice_ctl;
+  s.ctl_end = slice_ctl_end;
+  s.values = values_.empty() ? nullptr : values_.data() + slice_val_off;
+  s.val_offset = slice_val_off;
+  s.row_state = slice_row_state;
+  s.nnz = slice_nnz;
+  return s;
+}
+
+std::vector<CsrDu::DecodedUnit> CsrDu::decode_units() const {
+  std::vector<DecodedUnit> units;
+  const std::uint8_t* p = ctl_.data();
+  const std::uint8_t* const end = ctl_.data() + ctl_.size();
+  while (p < end) {
+    DecodedUnit u;
+    u.uflags = *p++;
+    u.usize = *p++;
+    u.new_row = (u.uflags & kDuNewRow) != 0;
+    u.rle = (u.uflags & kDuRle) != 0;
+    u.cls = static_cast<DeltaClass>(u.uflags & kDuClassMask);
+    if (u.new_row && (u.uflags & kDuRJmp)) {
+      u.rskip = varint_decode_checked(p, end);
+    }
+    u.ujmp = varint_decode_checked(p, end);
+    if (u.rle) {
+      u.stride = varint_decode_checked(p, end);
+      u.ucis.assign(u.usize - 1, u.stride);
+    } else {
+      for (std::uint32_t k = 1; k < u.usize; ++k) {
+        SPC_CHECK_MSG(p + delta_class_bytes(u.cls) <= end,
+                      "ctl stream truncated inside ucis");
+        u.ucis.push_back(read_delta(p, u.cls));
+      }
+    }
+    units.push_back(std::move(u));
+  }
+  return units;
+}
+
+CsrDu::Cursor::Cursor(const Slice& s)
+    : p_(s.ctl), end_(s.ctl_end), val_index_(s.val_offset),
+      row_(s.row_state) {}
+
+bool CsrDu::Cursor::next(index_t* row, index_t* col) {
+  if (remaining_ == 0) {
+    if (p_ >= end_) {
+      return false;
+    }
+    uflags_ = *p_++;
+    remaining_ = *p_++;
+    if (uflags_ & kDuNewRow) {
+      std::uint64_t rskip = 0;
+      if (uflags_ & kDuRJmp) {
+        rskip = varint_decode(p_);
+      }
+      row_ += 1 + static_cast<std::int64_t>(rskip);
+      col_ = 0;
+      col_ += varint_decode(p_);
+    } else {
+      col_ += varint_decode(p_);
+    }
+    if (uflags_ & kDuRle) {
+      stride_ = varint_decode(p_);
+    }
+  } else {
+    // Continuation element within the open unit.
+    if (uflags_ & kDuRle) {
+      col_ += stride_;
+    } else {
+      const auto cls = static_cast<DeltaClass>(uflags_ & kDuClassMask);
+      std::uint64_t d = 0;
+      for (std::uint32_t b = 0; b < delta_class_bytes(cls); ++b) {
+        d |= static_cast<std::uint64_t>(*p_++) << (8 * b);
+      }
+      col_ += d;
+    }
+  }
+  --remaining_;
+  ++val_index_;
+  *row = static_cast<index_t>(row_);
+  *col = static_cast<index_t>(col_);
+  return true;
+}
+
+Triplets CsrDu::to_triplets() const {
+  Triplets t(nrows_, ncols_);
+  t.reserve(nnz());
+  std::int64_t row = -1;
+  std::uint64_t col = 0;
+  usize_t v = 0;
+  for (const DecodedUnit& u : decode_units()) {
+    if (u.new_row) {
+      row += 1 + static_cast<std::int64_t>(u.rskip);
+      col = 0;
+    }
+    col += u.ujmp;
+    t.add(static_cast<index_t>(row), static_cast<index_t>(col),
+          values_[v++]);
+    for (const std::uint64_t d : u.ucis) {
+      col += d;
+      t.add(static_cast<index_t>(row), static_cast<index_t>(col),
+            values_[v++]);
+    }
+  }
+  return t;
+}
+
+}  // namespace spc

@@ -1,0 +1,141 @@
+#include "spc/formats/csr_du_vi.hpp"
+
+#include <cstring>
+#include <unordered_map>
+
+namespace spc {
+
+CsrDuVi CsrDuVi::from_triplets(const Triplets& t, const CsrDuOptions& opts) {
+  SPC_CHECK_MSG(t.is_sorted_unique(),
+                "CSR-DU-VI construction requires sorted/combined triplets");
+  CsrDuVi m;
+  m.nnz_ = t.nnz();
+  m.du_ = CsrDu::from_triplets(t, opts);
+  // The DU values array duplicates what the indirection will hold; drop it.
+  m.du_.drop_values();
+
+  // Value census in row-major order — identical ordering to the ctl
+  // stream's value consumption, so val_ind[k] pairs with the k-th decoded
+  // element.
+  std::unordered_map<std::uint64_t, std::uint32_t> index_of;
+  index_of.reserve(t.nnz());
+  std::vector<std::uint32_t> dense_ind(t.nnz());
+  usize_t k = 0;
+  for (const Entry& e : t.entries()) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &e.val, sizeof(bits));
+    const auto [it, inserted] = index_of.emplace(
+        bits, static_cast<std::uint32_t>(m.vals_unique_.size()));
+    if (inserted) {
+      m.vals_unique_.push_back(e.val);
+    }
+    dense_ind[k++] = it->second;
+  }
+
+  m.width_ = vi_width_for(m.vals_unique_.size());
+  m.val_ind_.resize(t.nnz() * static_cast<usize_t>(m.width_));
+  switch (m.width_) {
+    case ViWidth::kU8:
+      for (usize_t i = 0; i < t.nnz(); ++i) {
+        m.val_ind_[i] = static_cast<std::uint8_t>(dense_ind[i]);
+      }
+      break;
+    case ViWidth::kU16: {
+      auto* p = reinterpret_cast<std::uint16_t*>(m.val_ind_.data());
+      for (usize_t i = 0; i < t.nnz(); ++i) {
+        p[i] = static_cast<std::uint16_t>(dense_ind[i]);
+      }
+      break;
+    }
+    case ViWidth::kU32: {
+      auto* p = reinterpret_cast<std::uint32_t*>(m.val_ind_.data());
+      for (usize_t i = 0; i < t.nnz(); ++i) {
+        p[i] = dense_ind[i];
+      }
+      break;
+    }
+  }
+  return m;
+}
+
+CsrDuVi CsrDuVi::from_raw(index_t nrows, index_t ncols,
+                          const CsrDuOptions& opts,
+                          aligned_vector<std::uint8_t> ctl, ViWidth width,
+                          aligned_vector<std::uint8_t> val_ind,
+                          aligned_vector<value_t> vals_unique) {
+  CsrDuVi m;
+  // Structural validation via the DU path (no values array).
+  m.du_ = CsrDu::from_raw(nrows, ncols, opts, std::move(ctl), {});
+  m.nnz_ = m.du_.nnz();
+  if (val_ind.size() != m.nnz_ * static_cast<usize_t>(width)) {
+    throw ParseError("csr-du-vi: val_ind size does not match element count");
+  }
+  const usize_t uniq = vals_unique.size();
+  const auto check_ind = [&](std::uint64_t ind) {
+    if (ind >= uniq) {
+      throw ParseError("csr-du-vi: value index out of bounds");
+    }
+  };
+  switch (width) {
+    case ViWidth::kU8:
+      for (usize_t k = 0; k < m.nnz_; ++k) {
+        check_ind(val_ind[k]);
+      }
+      break;
+    case ViWidth::kU16:
+      for (usize_t k = 0; k < m.nnz_; ++k) {
+        check_ind(
+            reinterpret_cast<const std::uint16_t*>(val_ind.data())[k]);
+      }
+      break;
+    case ViWidth::kU32:
+      for (usize_t k = 0; k < m.nnz_; ++k) {
+        check_ind(
+            reinterpret_cast<const std::uint32_t*>(val_ind.data())[k]);
+      }
+      break;
+  }
+  m.width_ = width;
+  m.val_ind_ = std::move(val_ind);
+  m.vals_unique_ = std::move(vals_unique);
+  return m;
+}
+
+Triplets CsrDuVi::to_triplets() const {
+  // Reuse the DU unit decoder for structure; pull values through the
+  // indirection.
+  Triplets t(nrows(), ncols());
+  t.reserve(nnz_);
+  std::int64_t row = -1;
+  std::uint64_t col = 0;
+  usize_t k = 0;
+  const auto value_at = [&](usize_t i) -> value_t {
+    switch (width_) {
+      case ViWidth::kU8:
+        return vals_unique_[val_ind_[i]];
+      case ViWidth::kU16:
+        return vals_unique_[val_ind_as<std::uint16_t>()[i]];
+      case ViWidth::kU32:
+        return vals_unique_[val_ind_as<std::uint32_t>()[i]];
+    }
+    return 0.0;
+  };
+  for (const CsrDu::DecodedUnit& u : du_.decode_units()) {
+    if (u.new_row) {
+      row += 1 + static_cast<std::int64_t>(u.rskip);
+      col = 0;
+    }
+    col += u.ujmp;
+    t.add(static_cast<index_t>(row), static_cast<index_t>(col), value_at(k));
+    ++k;
+    for (const std::uint64_t d : u.ucis) {
+      col += d;
+      t.add(static_cast<index_t>(row), static_cast<index_t>(col),
+            value_at(k));
+      ++k;
+    }
+  }
+  return t;
+}
+
+}  // namespace spc

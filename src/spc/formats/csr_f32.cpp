@@ -1,0 +1,59 @@
+#include "spc/formats/csr_f32.hpp"
+
+namespace spc {
+
+CsrF32 CsrF32::from_triplets(const Triplets& t) {
+  SPC_CHECK_MSG(t.is_sorted_unique(),
+                "CSR-F32 construction requires sorted/combined triplets");
+  CsrF32 m;
+  m.nrows_ = t.nrows();
+  m.ncols_ = t.ncols();
+  m.row_ptr_.assign(t.nrows() + 1, 0);
+  m.col_ind_.resize(t.nnz());
+  m.values_.resize(t.nnz());
+  for (const Entry& e : t.entries()) {
+    ++m.row_ptr_[e.row + 1];
+  }
+  for (index_t r = 0; r < t.nrows(); ++r) {
+    m.row_ptr_[r + 1] += m.row_ptr_[r];
+  }
+  usize_t k = 0;
+  for (const Entry& e : t.entries()) {
+    m.col_ind_[k] = e.col;
+    m.values_[k] = static_cast<float>(e.val);
+    ++k;
+  }
+  return m;
+}
+
+Triplets CsrF32::to_triplets() const {
+  Triplets t(nrows_, ncols_);
+  t.reserve(nnz());
+  for (index_t r = 0; r < nrows_; ++r) {
+    for (index_t j = row_ptr_[r]; j < row_ptr_[r + 1]; ++j) {
+      t.add(r, col_ind_[j], static_cast<value_t>(values_[j]));
+    }
+  }
+  return t;
+}
+
+void spmv_csr_f32_range(const CsrF32& m, const value_t* x, value_t* y,
+                        index_t row_begin, index_t row_end) {
+  const index_t* const __restrict row_ptr = m.row_ptr().data();
+  const std::uint32_t* const __restrict col_ind = m.col_ind().data();
+  const float* const __restrict values = m.values().data();
+  for (index_t i = row_begin; i < row_end; ++i) {
+    value_t acc = 0.0;
+    const index_t end = row_ptr[i + 1];
+    for (index_t j = row_ptr[i]; j < end; ++j) {
+      acc += static_cast<value_t>(values[j]) * x[col_ind[j]];
+    }
+    y[i] = acc;
+  }
+}
+
+void spmv(const CsrF32& m, const value_t* x, value_t* y) {
+  spmv_csr_f32_range(m, x, y, 0, m.nrows());
+}
+
+}  // namespace spc

@@ -1,0 +1,56 @@
+// CSR with single-precision values — the lower-precision value
+// compression the paper's related work cites (§III-C: Keyes; Langou et
+// al.'s mixed-precision algorithms). Value data halve (8 B → 4 B per
+// non-zero) for ~1e-7 relative error per product, recovered to full
+// double accuracy by iterative refinement (solvers/refinement.hpp).
+//
+// Kept outside the Format registry because its results are *not*
+// bit-compatible with the double-precision formats; it pairs with the
+// refinement solver instead.
+#pragma once
+
+#include "spc/mm/triplets.hpp"
+#include "spc/support/aligned.hpp"
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+class CsrF32 {
+ public:
+  CsrF32() = default;
+
+  static CsrF32 from_triplets(const Triplets& t);
+
+  index_t nrows() const { return nrows_; }
+  index_t ncols() const { return ncols_; }
+  usize_t nnz() const { return values_.size(); }
+
+  const aligned_vector<index_t>& row_ptr() const { return row_ptr_; }
+  const aligned_vector<std::uint32_t>& col_ind() const { return col_ind_; }
+  const aligned_vector<float>& values() const { return values_; }
+
+  usize_t bytes() const {
+    return row_ptr_.size() * sizeof(index_t) +
+           col_ind_.size() * sizeof(std::uint32_t) +
+           values_.size() * sizeof(float);
+  }
+
+  /// Round-trip through float: values come back as double(float(v)).
+  Triplets to_triplets() const;
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  aligned_vector<index_t> row_ptr_;
+  aligned_vector<std::uint32_t> col_ind_;
+  aligned_vector<float> values_;
+};
+
+/// y = A*x with double accumulation over float matrix values.
+void spmv(const CsrF32& m, const value_t* x, value_t* y);
+
+/// Row-range variant for multithreaded use.
+void spmv_csr_f32_range(const CsrF32& m, const value_t* x, value_t* y,
+                        index_t row_begin, index_t row_end);
+
+}  // namespace spc

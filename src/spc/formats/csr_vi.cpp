@@ -1,0 +1,161 @@
+#include "spc/formats/csr_vi.hpp"
+
+#include <cstring>
+#include <unordered_map>
+
+namespace spc {
+
+ViWidth vi_width_for(usize_t unique_count) {
+  if (unique_count <= (1ULL << 8)) {
+    return ViWidth::kU8;
+  }
+  if (unique_count <= (1ULL << 16)) {
+    return ViWidth::kU16;
+  }
+  SPC_CHECK_MSG(unique_count <= (1ULL << 32),
+                "more than 2^32 unique values");
+  return ViWidth::kU32;
+}
+
+CsrVi CsrVi::from_triplets(const Triplets& t) {
+  SPC_CHECK_MSG(t.is_sorted_unique(),
+                "CSR-VI construction requires sorted/combined triplets");
+  CsrVi m;
+  m.nrows_ = t.nrows();
+  m.ncols_ = t.ncols();
+  m.row_ptr_.assign(t.nrows() + 1, 0);
+  m.col_ind_.resize(t.nnz());
+
+  // Pass 1: census of unique values (bit-pattern identity) and CSR indices.
+  std::unordered_map<std::uint64_t, std::uint32_t> index_of;
+  index_of.reserve(t.nnz());
+  std::vector<std::uint32_t> dense_ind(t.nnz());
+  usize_t k = 0;
+  for (const Entry& e : t.entries()) {
+    ++m.row_ptr_[e.row + 1];
+    m.col_ind_[k] = e.col;
+    std::uint64_t bits;
+    std::memcpy(&bits, &e.val, sizeof(bits));
+    const auto [it, inserted] = index_of.emplace(
+        bits, static_cast<std::uint32_t>(m.vals_unique_.size()));
+    if (inserted) {
+      m.vals_unique_.push_back(e.val);
+    }
+    dense_ind[k] = it->second;
+    ++k;
+  }
+  for (index_t r = 0; r < t.nrows(); ++r) {
+    m.row_ptr_[r + 1] += m.row_ptr_[r];
+  }
+
+  // Pass 2: narrow the value indices to the final width.
+  m.width_ = vi_width_for(m.vals_unique_.size());
+  m.val_ind_.resize(t.nnz() * static_cast<usize_t>(m.width_));
+  switch (m.width_) {
+    case ViWidth::kU8: {
+      auto* p = m.val_ind_.data();
+      for (usize_t i = 0; i < t.nnz(); ++i) {
+        p[i] = static_cast<std::uint8_t>(dense_ind[i]);
+      }
+      break;
+    }
+    case ViWidth::kU16: {
+      auto* p = reinterpret_cast<std::uint16_t*>(m.val_ind_.data());
+      for (usize_t i = 0; i < t.nnz(); ++i) {
+        p[i] = static_cast<std::uint16_t>(dense_ind[i]);
+      }
+      break;
+    }
+    case ViWidth::kU32: {
+      auto* p = reinterpret_cast<std::uint32_t*>(m.val_ind_.data());
+      for (usize_t i = 0; i < t.nnz(); ++i) {
+        p[i] = dense_ind[i];
+      }
+      break;
+    }
+  }
+  return m;
+}
+
+CsrVi CsrVi::from_raw(index_t nrows, index_t ncols,
+                      aligned_vector<index_t> row_ptr,
+                      aligned_vector<std::uint32_t> col_ind, ViWidth width,
+                      aligned_vector<std::uint8_t> val_ind,
+                      aligned_vector<value_t> vals_unique) {
+  const usize_t nnz = col_ind.size();
+  if (row_ptr.size() != static_cast<std::size_t>(nrows) + 1 ||
+      row_ptr.front() != 0 || row_ptr.back() != nnz ||
+      val_ind.size() != nnz * static_cast<usize_t>(width)) {
+    throw ParseError("csr-vi: inconsistent array shapes");
+  }
+  for (index_t r = 0; r < nrows; ++r) {
+    if (row_ptr[r] > row_ptr[r + 1]) {
+      throw ParseError("csr-vi: row_ptr is not monotone");
+    }
+  }
+  for (const std::uint32_t c : col_ind) {
+    if (c >= ncols) {
+      throw ParseError("csr-vi: column index out of bounds");
+    }
+  }
+  const usize_t uniq = vals_unique.size();
+  const auto check_ind = [&](auto ind) {
+    if (static_cast<usize_t>(ind) >= uniq) {
+      throw ParseError("csr-vi: value index out of bounds");
+    }
+  };
+  switch (width) {
+    case ViWidth::kU8:
+      for (usize_t k = 0; k < nnz; ++k) {
+        check_ind(val_ind[k]);
+      }
+      break;
+    case ViWidth::kU16:
+      for (usize_t k = 0; k < nnz; ++k) {
+        check_ind(
+            reinterpret_cast<const std::uint16_t*>(val_ind.data())[k]);
+      }
+      break;
+    case ViWidth::kU32:
+      for (usize_t k = 0; k < nnz; ++k) {
+        check_ind(
+            reinterpret_cast<const std::uint32_t*>(val_ind.data())[k]);
+      }
+      break;
+  }
+  CsrVi m;
+  m.nrows_ = nrows;
+  m.ncols_ = ncols;
+  m.width_ = width;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_ind_ = std::move(col_ind);
+  m.val_ind_ = std::move(val_ind);
+  m.vals_unique_ = std::move(vals_unique);
+  return m;
+}
+
+value_t CsrVi::value_at(usize_t k) const {
+  SPC_CHECK(k < nnz());
+  switch (width_) {
+    case ViWidth::kU8:
+      return vals_unique_[val_ind_[k]];
+    case ViWidth::kU16:
+      return vals_unique_[val_ind_as<std::uint16_t>()[k]];
+    case ViWidth::kU32:
+      return vals_unique_[val_ind_as<std::uint32_t>()[k]];
+  }
+  return 0.0;
+}
+
+Triplets CsrVi::to_triplets() const {
+  Triplets t(nrows_, ncols_);
+  t.reserve(nnz());
+  for (index_t r = 0; r < nrows_; ++r) {
+    for (index_t j = row_ptr_[r]; j < row_ptr_[r + 1]; ++j) {
+      t.add(r, col_ind_[j], value_at(j));
+    }
+  }
+  return t;
+}
+
+}  // namespace spc

@@ -1,0 +1,94 @@
+// CSR-VI ("CSR Value Index") — the paper's value-compression format (§V).
+//
+// The CSR `values` array is replaced by `vals_unique` (each distinct value
+// once, in first-occurrence order) and `val_ind` (per non-zero, the index
+// of its value in vals_unique). The index width is the smallest of
+// u8/u16/u32 that addresses the unique count. Indexing data (row_ptr,
+// col_ind) are plain CSR.
+//
+// Worthwhile only when the total-to-unique ratio is high; the paper's
+// empirical applicability criterion is ttu > 5 (§VI-E).
+#pragma once
+
+#include <cstdint>
+
+#include "spc/mm/triplets.hpp"
+#include "spc/support/aligned.hpp"
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+/// Storage width of one value index.
+enum class ViWidth : std::uint8_t { kU8 = 1, kU16 = 2, kU32 = 4 };
+
+/// Smallest width that can address `unique_count` values.
+ViWidth vi_width_for(usize_t unique_count);
+
+/// The paper's empirical applicability rule (§VI-E): ttu > 5.
+inline constexpr double kViTtuThreshold = 5.0;
+
+class CsrVi {
+ public:
+  CsrVi() = default;
+
+  /// Builds in O(nnz) using a hash map over value bit patterns (§V).
+  static CsrVi from_triplets(const Triplets& t);
+
+  /// Reconstructs from raw arrays (the deserialization path) with full
+  /// validation (shape consistency, index bounds, width coverage).
+  /// Throws ParseError on any violation.
+  static CsrVi from_raw(index_t nrows, index_t ncols,
+                        aligned_vector<index_t> row_ptr,
+                        aligned_vector<std::uint32_t> col_ind,
+                        ViWidth width,
+                        aligned_vector<std::uint8_t> val_ind,
+                        aligned_vector<value_t> vals_unique);
+
+  index_t nrows() const { return nrows_; }
+  index_t ncols() const { return ncols_; }
+  usize_t nnz() const { return col_ind_.size(); }
+
+  const aligned_vector<index_t>& row_ptr() const { return row_ptr_; }
+  const aligned_vector<std::uint32_t>& col_ind() const { return col_ind_; }
+  const aligned_vector<value_t>& vals_unique() const { return vals_unique_; }
+  /// Raw value-index bytes; reinterpret per `width()`.
+  const aligned_vector<std::uint8_t>& val_ind_raw() const { return val_ind_; }
+  ViWidth width() const { return width_; }
+
+  usize_t unique_count() const { return vals_unique_.size(); }
+  double ttu() const {
+    return unique_count() ? static_cast<double>(nnz()) /
+                                static_cast<double>(unique_count())
+                          : 0.0;
+  }
+
+  /// Typed view of val_ind; T must match width().
+  template <typename T>
+  const T* val_ind_as() const {
+    SPC_CHECK(sizeof(T) == static_cast<std::size_t>(width_));
+    return reinterpret_cast<const T*>(val_ind_.data());
+  }
+
+  /// Value of the k-th non-zero (test/inspection path).
+  value_t value_at(usize_t k) const;
+
+  /// Matrix data size: row_ptr + col_ind + val_ind + vals_unique.
+  usize_t bytes() const {
+    return row_ptr_.size() * sizeof(index_t) +
+           col_ind_.size() * sizeof(std::uint32_t) + val_ind_.size() +
+           vals_unique_.size() * sizeof(value_t);
+  }
+
+  Triplets to_triplets() const;
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  ViWidth width_ = ViWidth::kU8;
+  aligned_vector<index_t> row_ptr_;
+  aligned_vector<std::uint32_t> col_ind_;
+  aligned_vector<std::uint8_t> val_ind_;   ///< nnz * width bytes
+  aligned_vector<value_t> vals_unique_;
+};
+
+}  // namespace spc

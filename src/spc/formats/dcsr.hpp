@@ -1,0 +1,79 @@
+// DCSR — simplified reimplementation of Willcock & Lumsdaine's
+// delta-compressed CSR (§III-B), the format the paper positions CSR-DU
+// against.
+//
+// The column structure is a byte-oriented command stream; each command is
+// decoded individually, giving the *fine-grained* decode behaviour whose
+// branch-misprediction cost the paper contrasts with CSR-DU's coarse
+// units. Command byte layout (op = two high bits):
+//
+//   op 0 DELTAS8 k  — low 6 bits k in 1..63; k one-byte deltas follow,
+//                     each advancing the column and consuming one value
+//   op 1 DELTA16    — one 2-byte LE delta follows (one element)
+//   op 2 DELTA32    — one 4-byte LE delta follows (one element)
+//   op 3 NEWROW r   — low 6 bits r in 1..63: advance the row counter by r
+//                     and reset the column to 0 (chained for larger skips)
+//
+// The first element of each row encodes its absolute column as the delta.
+// This is a faithful scale model of DCSR's six-command scheme rather than
+// a byte-compatible clone; see DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spc/mm/triplets.hpp"
+#include "spc/support/aligned.hpp"
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+inline constexpr std::uint8_t kDcsrOpDeltas8 = 0;
+inline constexpr std::uint8_t kDcsrOpDelta16 = 1;
+inline constexpr std::uint8_t kDcsrOpDelta32 = 2;
+inline constexpr std::uint8_t kDcsrOpNewRow = 3;
+inline constexpr std::uint32_t kDcsrMaxGroup = 63;
+
+class Dcsr {
+ public:
+  Dcsr() = default;
+
+  static Dcsr from_triplets(const Triplets& t);
+
+  index_t nrows() const { return nrows_; }
+  index_t ncols() const { return ncols_; }
+  usize_t nnz() const { return values_.size(); }
+
+  const aligned_vector<std::uint8_t>& cmds() const { return cmds_; }
+  const aligned_vector<value_t>& values() const { return values_; }
+
+  usize_t cmd_bytes() const { return cmds_.size(); }
+  usize_t bytes() const {
+    return cmds_.size() + values_.size() * sizeof(value_t);
+  }
+
+  /// Per-thread view, mirroring CsrDu::Slice.
+  struct Slice {
+    const std::uint8_t* cmds = nullptr;
+    const std::uint8_t* cmds_end = nullptr;
+    const value_t* values = nullptr;
+    index_t row_begin = 0;
+    index_t row_end = 0;
+    /// Row counter entering the slice (-1 at stream start).
+    std::int64_t row_state = -1;
+    usize_t nnz = 0;
+  };
+
+  Slice full() const;
+  Slice slice(index_t row_begin, index_t row_end) const;
+
+  Triplets to_triplets() const;
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  aligned_vector<std::uint8_t> cmds_;
+  aligned_vector<value_t> values_;
+};
+
+}  // namespace spc

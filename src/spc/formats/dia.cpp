@@ -1,0 +1,68 @@
+#include "spc/formats/dia.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace spc {
+
+Dia Dia::from_triplets(const Triplets& t, std::size_t max_diags) {
+  SPC_CHECK_MSG(t.is_sorted_unique(),
+                "DIA construction requires sorted/combined triplets");
+  Dia m;
+  m.nrows_ = t.nrows();
+  m.ncols_ = t.ncols();
+  m.nnz_ = t.nnz();
+
+  std::map<std::int64_t, std::size_t> diag_of;
+  for (const Entry& e : t.entries()) {
+    diag_of.emplace(static_cast<std::int64_t>(e.col) -
+                        static_cast<std::int64_t>(e.row),
+                    0);
+  }
+  if (max_diags > 0 && diag_of.size() > max_diags) {
+    std::ostringstream os;
+    os << "DIA: " << diag_of.size() << " distinct diagonals exceed the "
+       << max_diags << " limit — the matrix is not diagonal-structured";
+    throw InvalidArgument(os.str());
+  }
+
+  m.offsets_.reserve(diag_of.size());
+  for (auto& [off, idx] : diag_of) {
+    idx = m.offsets_.size();
+    m.offsets_.push_back(off);  // std::map iterates offsets ascending
+  }
+
+  m.values_.assign(diag_of.size() * static_cast<usize_t>(t.nrows()), 0.0);
+  for (const Entry& e : t.entries()) {
+    const std::int64_t off = static_cast<std::int64_t>(e.col) -
+                             static_cast<std::int64_t>(e.row);
+    const std::size_t d = diag_of[off];
+    m.values_[d * static_cast<usize_t>(t.nrows()) + e.row] = e.val;
+  }
+  return m;
+}
+
+Triplets Dia::to_triplets() const {
+  Triplets t(nrows_, ncols_);
+  t.reserve(nnz_);
+  for (std::size_t d = 0; d < offsets_.size(); ++d) {
+    const std::int64_t off = offsets_[d];
+    for (index_t r = 0; r < nrows_; ++r) {
+      const std::int64_t c = static_cast<std::int64_t>(r) + off;
+      if (c < 0 || c >= static_cast<std::int64_t>(ncols_)) {
+        continue;
+      }
+      const value_t v = values_[d * static_cast<usize_t>(nrows_) + r];
+      // Zero slots are either padding or absent entries; like ELL/BCSR,
+      // explicit zeros are not representable after the round trip.
+      if (v != 0.0) {
+        t.add(r, static_cast<index_t>(c), v);
+      }
+    }
+  }
+  t.sort_and_combine();
+  return t;
+}
+
+}  // namespace spc

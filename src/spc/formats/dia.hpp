@@ -1,0 +1,57 @@
+// DIA / CDS (Compressed Diagonal Storage, §III-A of the paper).
+//
+// The matrix is stored as a set of dense diagonals: `offsets[d]` is the
+// diagonal's distance from the main diagonal (col - row), and
+// `values[d * nrows + r]` holds A[r, r + offsets[d]] (0 where the
+// diagonal leaves the matrix or the entry is absent). Ideal for banded
+// PDE matrices; useless when non-zeros scatter over many diagonals — the
+// construction guard makes that failure mode explicit.
+#pragma once
+
+#include <cstdint>
+
+#include "spc/mm/triplets.hpp"
+#include "spc/support/aligned.hpp"
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+class Dia {
+ public:
+  Dia() = default;
+
+  /// Builds from sorted triplets. Throws InvalidArgument when the number
+  /// of distinct diagonals exceeds `max_diags` (0 = no limit).
+  static Dia from_triplets(const Triplets& t, std::size_t max_diags = 0);
+
+  index_t nrows() const { return nrows_; }
+  index_t ncols() const { return ncols_; }
+  usize_t nnz() const { return nnz_; }
+  std::size_t ndiags() const { return offsets_.size(); }
+
+  /// Stored slots (ndiags * nrows); fill ratio mirrors ELL's.
+  usize_t stored() const { return values_.size(); }
+  double padding_ratio() const {
+    return nnz_ ? static_cast<double>(stored()) / static_cast<double>(nnz_)
+                : 1.0;
+  }
+
+  const std::vector<std::int64_t>& offsets() const { return offsets_; }
+  const aligned_vector<value_t>& values() const { return values_; }
+
+  usize_t bytes() const {
+    return offsets_.size() * sizeof(std::int64_t) +
+           values_.size() * sizeof(value_t);
+  }
+
+  Triplets to_triplets() const;
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  usize_t nnz_ = 0;
+  std::vector<std::int64_t> offsets_;  ///< sorted ascending
+  aligned_vector<value_t> values_;     ///< ndiags * nrows, diag-major
+};
+
+}  // namespace spc

@@ -1,0 +1,81 @@
+#include "spc/formats/ell.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace spc {
+
+Ell Ell::from_triplets(const Triplets& t, double max_width_factor) {
+  SPC_CHECK_MSG(t.is_sorted_unique(),
+                "ELL construction requires sorted/combined triplets");
+  Ell m;
+  m.nrows_ = t.nrows();
+  m.ncols_ = t.ncols();
+  m.nnz_ = t.nnz();
+
+  std::vector<index_t> row_len(t.nrows(), 0);
+  for (const Entry& e : t.entries()) {
+    ++row_len[e.row];
+  }
+  index_t width = 0;
+  for (const index_t len : row_len) {
+    width = std::max(width, len);
+  }
+  if (max_width_factor > 0.0 && t.nrows() > 0 && t.nnz() > 0) {
+    const double mean =
+        static_cast<double>(t.nnz()) / static_cast<double>(t.nrows());
+    if (static_cast<double>(width) > max_width_factor * mean) {
+      std::ostringstream os;
+      os << "ELL width " << width << " exceeds " << max_width_factor
+         << "x the mean row length " << mean
+         << " — row-length skew makes ELL unsuitable";
+      throw InvalidArgument(os.str());
+    }
+  }
+  m.width_ = width;
+
+  m.col_ind_.assign(static_cast<usize_t>(t.nrows()) * width, 0);
+  m.values_.assign(static_cast<usize_t>(t.nrows()) * width, 0.0);
+  std::vector<index_t> cursor(t.nrows(), 0);
+  for (const Entry& e : t.entries()) {
+    const usize_t slot =
+        static_cast<usize_t>(e.row) * width + cursor[e.row]++;
+    m.col_ind_[slot] = e.col;
+    m.values_[slot] = e.val;
+  }
+  // Padding columns repeat the row's last valid column to keep x-gathers
+  // cache-friendly and in bounds.
+  for (index_t r = 0; r < t.nrows(); ++r) {
+    const index_t filled = cursor[r];
+    const index_t pad_col =
+        filled > 0
+            ? m.col_ind_[static_cast<usize_t>(r) * width + filled - 1]
+            : 0;
+    for (index_t k = filled; k < width; ++k) {
+      m.col_ind_[static_cast<usize_t>(r) * width + k] = pad_col;
+    }
+  }
+  return m;
+}
+
+Triplets Ell::to_triplets() const {
+  Triplets t(nrows_, ncols_);
+  t.reserve(nnz_);
+  for (index_t r = 0; r < nrows_; ++r) {
+    for (index_t k = 0; k < width_; ++k) {
+      const usize_t slot = static_cast<usize_t>(r) * width_ + k;
+      // Padding slots carry value 0; true zeros cannot occur here because
+      // from_triplets stores them before padding begins — distinguish by
+      // position: slots past the row's fill are padding. We do not track
+      // fill counts after construction, so reconstruct by dropping zero
+      // values (documented limitation; matches BCSR's fill handling).
+      if (values_[slot] != 0.0) {
+        t.add(r, col_ind_[slot], values_[slot]);
+      }
+    }
+  }
+  t.sort_and_combine();
+  return t;
+}
+
+}  // namespace spc

@@ -1,0 +1,59 @@
+// ELLPACK/ITPACK format (§III-A of the paper).
+//
+// Every row is padded to the same width K (the maximum row length):
+// col_ind and values become dense nrows×K arrays in row-major layout.
+// Regular structure makes the kernel branch-free and vectorizable, at the
+// cost of K·nrows storage — catastrophic for skewed row lengths, which is
+// exactly the regularity/space trade-off the paper's related work cites.
+//
+// Padding entries store value 0 and repeat the row's last valid column
+// (or 0 for empty rows) so gather loads stay in bounds.
+#pragma once
+
+#include "spc/mm/triplets.hpp"
+#include "spc/support/aligned.hpp"
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+class Ell {
+ public:
+  Ell() = default;
+
+  /// Builds with K = max row length. `max_width_factor` guards against
+  /// pathological blowup: throws InvalidArgument when K exceeds
+  /// `max_width_factor` × mean row length (0 disables the guard).
+  static Ell from_triplets(const Triplets& t, double max_width_factor = 0.0);
+
+  index_t nrows() const { return nrows_; }
+  index_t ncols() const { return ncols_; }
+  usize_t nnz() const { return nnz_; }
+  index_t width() const { return width_; }
+
+  /// Stored slots including padding (nrows * width).
+  usize_t stored() const { return values_.size(); }
+  double padding_ratio() const {
+    return nnz_ ? static_cast<double>(stored()) / static_cast<double>(nnz_)
+                : 1.0;
+  }
+
+  const aligned_vector<index_t>& col_ind() const { return col_ind_; }
+  const aligned_vector<value_t>& values() const { return values_; }
+
+  usize_t bytes() const {
+    return col_ind_.size() * sizeof(index_t) +
+           values_.size() * sizeof(value_t);
+  }
+
+  Triplets to_triplets() const;
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  usize_t nnz_ = 0;
+  index_t width_ = 0;
+  aligned_vector<index_t> col_ind_;  ///< nrows * width, row-major
+  aligned_vector<value_t> values_;   ///< nrows * width, row-major
+};
+
+}  // namespace spc

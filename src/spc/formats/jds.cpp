@@ -1,0 +1,71 @@
+#include "spc/formats/jds.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace spc {
+
+Jds Jds::from_triplets(const Triplets& t) {
+  SPC_CHECK_MSG(t.is_sorted_unique(),
+                "JDS construction requires sorted/combined triplets");
+  Jds m;
+  m.nrows_ = t.nrows();
+  m.ncols_ = t.ncols();
+
+  // Row lengths and CSR-ish offsets for gathering the j-th element.
+  std::vector<index_t> row_len(t.nrows(), 0);
+  for (const Entry& e : t.entries()) {
+    ++row_len[e.row];
+  }
+  std::vector<usize_t> row_start(t.nrows() + 1, 0);
+  for (index_t r = 0; r < t.nrows(); ++r) {
+    row_start[r + 1] = row_start[r] + row_len[r];
+  }
+
+  // Permutation: rows by decreasing length, stable for determinism.
+  m.perm_.resize(t.nrows());
+  std::iota(m.perm_.begin(), m.perm_.end(), 0);
+  std::stable_sort(m.perm_.begin(), m.perm_.end(),
+                   [&](index_t a, index_t b) {
+                     return row_len[a] > row_len[b];
+                   });
+
+  const index_t max_len = t.nrows() > 0 ? row_len[m.perm_[0]] : 0;
+  m.jd_ptr_.resize(max_len + 1);
+  m.col_ind_.resize(t.nnz());
+  m.values_.resize(t.nnz());
+
+  usize_t out = 0;
+  m.jd_ptr_[0] = 0;
+  for (index_t j = 0; j < max_len; ++j) {
+    for (index_t i = 0; i < t.nrows(); ++i) {
+      const index_t row = m.perm_[i];
+      if (row_len[row] <= j) {
+        break;  // perm is sorted by length: no later row has element j
+      }
+      const Entry& e = t.entries()[row_start[row] + j];
+      m.col_ind_[out] = e.col;
+      m.values_[out] = e.val;
+      ++out;
+    }
+    m.jd_ptr_[j + 1] = static_cast<index_t>(out);
+  }
+  SPC_CHECK(out == t.nnz());
+  return m;
+}
+
+Triplets Jds::to_triplets() const {
+  Triplets t(nrows_, ncols_);
+  t.reserve(nnz());
+  for (index_t j = 0; j < njdiags(); ++j) {
+    const index_t len = jd_ptr_[j + 1] - jd_ptr_[j];
+    for (index_t i = 0; i < len; ++i) {
+      const usize_t k = jd_ptr_[j] + i;
+      t.add(perm_[i], col_ind_[k], values_[k]);
+    }
+  }
+  t.sort_and_combine();
+  return t;
+}
+
+}  // namespace spc

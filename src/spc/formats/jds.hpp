@@ -1,0 +1,58 @@
+// JDS — Jagged Diagonal Storage (§III-A of the paper).
+//
+// Rows are permuted by decreasing length; the j-th "jagged diagonal"
+// collects the j-th non-zero of every row that has one. Each diagonal is
+// a dense contiguous run, which made JDS the vector-machine format of
+// choice and keeps it relevant for irregular (graph-like) matrices where
+// ELL's padding explodes.
+//
+// Layout:
+//   perm[i]      — original row stored at jagged position i
+//   jd_ptr[j]    — start of diagonal j in col_ind/values (njd + 1 entries)
+//   diagonal j has `rows_with_len > j` entries, one per permuted row i,
+//   in increasing i.
+#pragma once
+
+#include "spc/mm/triplets.hpp"
+#include "spc/support/aligned.hpp"
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+class Jds {
+ public:
+  Jds() = default;
+
+  static Jds from_triplets(const Triplets& t);
+
+  index_t nrows() const { return nrows_; }
+  index_t ncols() const { return ncols_; }
+  usize_t nnz() const { return values_.size(); }
+  index_t njdiags() const {
+    return static_cast<index_t>(jd_ptr_.size() - 1);
+  }
+
+  const aligned_vector<index_t>& perm() const { return perm_; }
+  const aligned_vector<index_t>& jd_ptr() const { return jd_ptr_; }
+  const aligned_vector<index_t>& col_ind() const { return col_ind_; }
+  const aligned_vector<value_t>& values() const { return values_; }
+
+  usize_t bytes() const {
+    return perm_.size() * sizeof(index_t) +
+           jd_ptr_.size() * sizeof(index_t) +
+           col_ind_.size() * sizeof(index_t) +
+           values_.size() * sizeof(value_t);
+  }
+
+  Triplets to_triplets() const;
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  aligned_vector<index_t> perm_;
+  aligned_vector<index_t> jd_ptr_;
+  aligned_vector<index_t> col_ind_;
+  aligned_vector<value_t> values_;
+};
+
+}  // namespace spc

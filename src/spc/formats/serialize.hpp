@@ -1,0 +1,59 @@
+// Binary serialization of encoded matrices.
+//
+// Encoding a large matrix (CSR-DU unit formation, CSR-VI value census)
+// is done once; iterative applications re-load the encoded form. The
+// container is a little-endian framed format:
+//
+//   magic "SPCM" | version u32 | format tag u32 | nrows u32 | ncols u32 |
+//   per-format sections, each: length u64 (element count) + raw payload
+//
+// Loading goes through the formats' validated `from_raw` constructors,
+// so a corrupted or malicious file throws ParseError instead of
+// producing out-of-bounds kernel accesses.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "spc/formats/csr.hpp"
+#include "spc/formats/csr_du.hpp"
+#include "spc/formats/csr_du_vi.hpp"
+#include "spc/formats/csr_vi.hpp"
+
+namespace spc {
+
+inline constexpr std::uint32_t kSpcmVersion = 1;
+
+enum class SpcmTag : std::uint32_t {
+  kCsr = 0,
+  kCsrDu = 1,
+  kCsrVi = 2,
+  kCsrDuVi = 3,
+};
+
+/// Peeks the format tag of a stream positioned at a container header
+/// (stream is left positioned after the header). Throws ParseError on a
+/// bad magic/version.
+SpcmTag read_spcm_header(std::istream& in, index_t* nrows, index_t* ncols);
+
+void save(const Csr& m, std::ostream& out);
+void save(const CsrDu& m, std::ostream& out);
+void save(const CsrVi& m, std::ostream& out);
+void save(const CsrDuVi& m, std::ostream& out);
+
+Csr load_csr(std::istream& in);
+CsrDu load_csr_du(std::istream& in);
+CsrVi load_csr_vi(std::istream& in);
+CsrDuVi load_csr_du_vi(std::istream& in);
+
+// File convenience wrappers; throw Error when the file cannot be opened.
+void save_file(const Csr& m, const std::string& path);
+void save_file(const CsrDu& m, const std::string& path);
+void save_file(const CsrVi& m, const std::string& path);
+void save_file(const CsrDuVi& m, const std::string& path);
+Csr load_csr_file(const std::string& path);
+CsrDu load_csr_du_file(const std::string& path);
+CsrVi load_csr_vi_file(const std::string& path);
+CsrDuVi load_csr_du_vi_file(const std::string& path);
+
+}  // namespace spc

@@ -1,0 +1,56 @@
+// Symmetric CSR (SSS-style) — the symmetry exploitation of Lee et al.
+// (§III-C of the paper): store the diagonal densely and only the strictly
+// lower triangle in CSR. Index *and* value data halve, the largest
+// working-set reduction available when the matrix is symmetric — at the
+// cost of a scatter into y for the implicit upper triangle, which forces
+// per-thread y copies in the multithreaded kernel (spmv_sym_mt).
+#pragma once
+
+#include "spc/mm/triplets.hpp"
+#include "spc/support/aligned.hpp"
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+class SymCsr {
+ public:
+  SymCsr() = default;
+
+  /// True when `t` is square and numerically symmetric (bit-exact value
+  /// equality, matching the storage scheme's exact reconstruction).
+  static bool applicable(const Triplets& t);
+
+  /// Builds from a symmetric matrix; throws InvalidArgument otherwise.
+  static SymCsr from_triplets(const Triplets& t);
+
+  index_t nrows() const { return n_; }
+  index_t ncols() const { return n_; }
+  /// Non-zeros of the *full* matrix this storage represents.
+  usize_t nnz() const { return nnz_full_; }
+  /// Stored elements: diagonal + strict lower triangle.
+  usize_t stored() const { return n_ + values_.size(); }
+
+  const aligned_vector<value_t>& diag() const { return diag_; }
+  const aligned_vector<index_t>& row_ptr() const { return row_ptr_; }
+  const aligned_vector<index_t>& col_ind() const { return col_ind_; }
+  const aligned_vector<value_t>& values() const { return values_; }
+
+  usize_t bytes() const {
+    return diag_.size() * sizeof(value_t) +
+           row_ptr_.size() * sizeof(index_t) +
+           col_ind_.size() * sizeof(index_t) +
+           values_.size() * sizeof(value_t);
+  }
+
+  Triplets to_triplets() const;
+
+ private:
+  index_t n_ = 0;
+  usize_t nnz_full_ = 0;
+  aligned_vector<value_t> diag_;      ///< n entries (0 where absent)
+  aligned_vector<index_t> row_ptr_;   ///< strict lower triangle, CSR
+  aligned_vector<index_t> col_ind_;
+  aligned_vector<value_t> values_;
+};
+
+}  // namespace spc

@@ -1,0 +1,261 @@
+#include "spc/gen/corpus.hpp"
+
+#include "spc/gen/generators.hpp"
+#include "spc/support/error.hpp"
+#include "spc/support/strutil.hpp"
+
+namespace spc {
+
+namespace {
+
+// Deterministic per-entry seed so adding entries never perturbs others.
+std::uint64_t seed_of(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Linear dimension divisor per scale (nnz shrinks roughly quadratically
+// for grids, linearly for fixed nnz/row recipes).
+struct ScaleParams {
+  index_t div;        // divisor for linear dimensions
+  usize_t nnz_div;    // divisor for explicit nnz targets
+};
+
+ScaleParams params_for(CorpusScale s) {
+  switch (s) {
+    case CorpusScale::kTiny:
+      return {24, 400};
+    case CorpusScale::kSmall:
+      return {6, 20};
+    case CorpusScale::kBench:
+      return {1, 1};
+  }
+  return {1, 1};
+}
+
+index_t at_least(index_t v, index_t lo) { return v < lo ? lo : v; }
+
+}  // namespace
+
+std::vector<CorpusSpec> corpus_specs(CorpusScale scale) {
+  const ScaleParams sp = params_for(scale);
+  const index_t d = sp.div;
+  std::vector<CorpusSpec> out;
+
+  const auto add = [&out](std::string name, std::string cls,
+                          bool vi_friendly,
+                          std::function<Triplets()> build) {
+    out.push_back(CorpusSpec{std::move(name), std::move(cls), vi_friendly,
+                             std::move(build)});
+  };
+
+  // --- FEM / PDE stencils (few unique values, short deltas) -------------
+  add("lap2d-s", "fem", true, [d] {
+    return gen_laplacian_2d(at_least(320 / d, 4), at_least(320 / d, 4));
+  });
+  add("lap2d-m", "fem", true, [d] {
+    return gen_laplacian_2d(at_least(512 / d, 4), at_least(512 / d, 4));
+  });
+  add("lap2d-l", "fem", true, [d] {
+    return gen_laplacian_2d(at_least(760 / d, 4), at_least(760 / d, 4));
+  });
+  add("lap3d-s", "fem", true, [d] {
+    return gen_laplacian_3d(at_least(48 / d, 3), at_least(48 / d, 3),
+                            at_least(48 / d, 3));
+  });
+  add("lap3d-m", "fem", true, [d] {
+    return gen_laplacian_3d(at_least(56 / d, 3), at_least(56 / d, 3),
+                            at_least(56 / d, 3));
+  });
+  add("lap3d-l", "fem", true, [d] {
+    return gen_laplacian_3d(at_least(72 / d, 3), at_least(72 / d, 3),
+                            at_least(72 / d, 3));
+  });
+  add("sten9-s", "fem", true, [d] {
+    return gen_stencil_9pt(at_least(288 / d, 3), at_least(288 / d, 3));
+  });
+  add("sten9-m", "fem", true, [d] {
+    return gen_stencil_9pt(at_least(380 / d, 3), at_least(380 / d, 3));
+  });
+  add("sten9-l", "fem", true, [d] {
+    return gen_stencil_9pt(at_least(640 / d, 3), at_least(640 / d, 3));
+  });
+
+  // --- banded systems ----------------------------------------------------
+  add("band-pool-s", "banded", true, [d] {
+    Rng rng(seed_of("band-pool-s"));
+    return gen_banded(at_least(120000 / d, 32), at_least(96 / d, 2), 8, rng,
+                      ValueModel::pooled(48));
+  });
+  add("band-pool-l", "banded", true, [d] {
+    Rng rng(seed_of("band-pool-l"));
+    return gen_banded(at_least(240000 / d, 32), at_least(512 / d, 2), 10,
+                      rng, ValueModel::pooled(96));
+  });
+  add("band-pool-m", "banded", true, [d] {
+    Rng rng(seed_of("band-pool-m"));
+    return gen_banded(at_least(60000 / d, 32), at_least(128 / d, 2), 8,
+                      rng, ValueModel::pooled(64));
+  });
+  add("band-rand-s", "banded", false, [d] {
+    Rng rng(seed_of("band-rand-s"));
+    return gen_banded(at_least(100000 / d, 32), at_least(128 / d, 2), 7,
+                      rng, ValueModel::random());
+  });
+  add("band-rand-m", "banded", false, [d] {
+    Rng rng(seed_of("band-rand-m"));
+    return gen_banded(at_least(50000 / d, 32), at_least(256 / d, 2), 7,
+                      rng, ValueModel::random());
+  });
+  add("band-rand-l", "banded", false, [d] {
+    Rng rng(seed_of("band-rand-l"));
+    return gen_banded(at_least(260000 / d, 32), at_least(2048 / d, 2), 9,
+                      rng, ValueModel::random());
+  });
+
+  // --- uniform random (CSR-DU stress: wide deltas) ------------------------
+  add("rand-s", "random", false, [d] {
+    Rng rng(seed_of("rand-s"));
+    const index_t n = at_least(90000 / d, 64);
+    return gen_random_uniform(n, n, 6, rng, ValueModel::random());
+  });
+  add("rand-m", "random", false, [d] {
+    Rng rng(seed_of("rand-m"));
+    const index_t n = at_least(40000 / d, 64);
+    return gen_random_uniform(n, n, 7, rng, ValueModel::random());
+  });
+  add("rand-l", "random", false, [d] {
+    Rng rng(seed_of("rand-l"));
+    const index_t n = at_least(280000 / d, 64);
+    return gen_random_uniform(n, n, 8, rng, ValueModel::random());
+  });
+  add("rand-pool-l", "random", true, [d] {
+    Rng rng(seed_of("rand-pool-l"));
+    const index_t n = at_least(240000 / d, 64);
+    return gen_random_uniform(n, n, 8, rng, ValueModel::pooled(128));
+  });
+  add("rand-wide", "random", false, [d] {
+    Rng rng(seed_of("rand-wide"));
+    // Rectangular: more columns than rows (wide deltas, u32 units).
+    const index_t nr = at_least(120000 / d, 64);
+    return gen_random_uniform(nr, nr * 4, 9, rng, ValueModel::random());
+  });
+
+  // --- power-law graphs ----------------------------------------------------
+  {
+    const std::uint32_t sc_s = scale == CorpusScale::kBench   ? 17u
+                               : scale == CorpusScale::kSmall ? 14u
+                                                              : 9u;
+    const std::uint32_t sc_l = scale == CorpusScale::kBench   ? 19u
+                               : scale == CorpusScale::kSmall ? 15u
+                                                              : 10u;
+    add("rmat-s", "graph", true, [sc_s, sp] {
+      Rng rng(seed_of("rmat-s"));
+      return gen_rmat(sc_s, 1000000 / sp.nnz_div + 512, rng,
+                      ValueModel::pooled(32));
+    });
+    const std::uint32_t sc_m = scale == CorpusScale::kBench   ? 16u
+                               : scale == CorpusScale::kSmall ? 13u
+                                                              : 9u;
+    add("rmat-m", "graph", false, [sc_m, sp] {
+      Rng rng(seed_of("rmat-m"));
+      return gen_rmat(sc_m, 600000 / sp.nnz_div + 512, rng,
+                      ValueModel::random());
+    });
+    add("rmat-l", "graph", false, [sc_l, sp] {
+      Rng rng(seed_of("rmat-l"));
+      return gen_rmat(sc_l, 2800000 / sp.nnz_div + 512, rng,
+                      ValueModel::random());
+    });
+  }
+
+  // --- FEM block matrices (BCSR's home turf) -------------------------------
+  add("femblk-s", "fem-block", true, [d] {
+    Rng rng(seed_of("femblk-s"));
+    return gen_fem_blocks(at_least(24000 / d, 16), 3, 7, rng,
+                          ValueModel::pooled(256));
+  });
+  add("femblk-m", "fem-block", true, [d] {
+    Rng rng(seed_of("femblk-m"));
+    return gen_fem_blocks(at_least(8000 / d, 16), 3, 6, rng,
+                          ValueModel::pooled(128));
+  });
+  add("femblk-l", "fem-block", false, [d] {
+    Rng rng(seed_of("femblk-l"));
+    return gen_fem_blocks(at_least(42000 / d, 16), 4, 6, rng,
+                          ValueModel::random());
+  });
+
+  // --- hierarchical (Kronecker) structure ----------------------------------
+  add("kron-lap", "kronecker", true, [d] {
+    // Laplacian ⊗ Laplacian: tensor-product discretization. Values are
+    // products of {4,-1}×{4,-1} → 3 unique values, strongly VI-friendly.
+    const index_t fa = at_least(16 / (d > 4 ? 4 : d), 3);
+    const index_t fb = at_least(18 / (d > 4 ? 4 : d), 3);
+    return gen_kronecker(gen_laplacian_2d(fa, fa),
+                         gen_laplacian_2d(fb, fb));
+  });
+
+  // --- misc structure -------------------------------------------------------
+  add("diag-pool", "diag", true, [d] {
+    Rng rng(seed_of("diag-pool"));
+    return gen_diag_plus_random(at_least(200000 / d, 64), 2, rng,
+                                ValueModel::pooled(16));
+  });
+  add("diag-rand", "diag", false, [d] {
+    Rng rng(seed_of("diag-rand"));
+    return gen_diag_plus_random(at_least(150000 / d, 64), 3, rng,
+                                ValueModel::random());
+  });
+  add("diag-pool-m", "diag", true, [d] {
+    Rng rng(seed_of("diag-pool-m"));
+    return gen_diag_plus_random(at_least(100000 / d, 64), 2, rng,
+                                ValueModel::pooled(24));
+  });
+  add("ragged-m", "irregular", false, [d] {
+    Rng rng(seed_of("ragged-m"));
+    const index_t n = at_least(60000 / d, 64);
+    return gen_ragged(n, n, 18, 0.04, rng, ValueModel::random());
+  });
+  add("ragged", "irregular", false, [d] {
+    Rng rng(seed_of("ragged"));
+    const index_t n = at_least(130000 / d, 64);
+    return gen_ragged(n, n, 20, 0.05, rng, ValueModel::random());
+  });
+  add("ragged-pool", "irregular", true, [d] {
+    Rng rng(seed_of("ragged-pool"));
+    const index_t n = at_least(110000 / d, 64);
+    return gen_ragged(n, n, 24, 0.10, rng, ValueModel::pooled(64));
+  });
+
+  return out;
+}
+
+CorpusSpec corpus_spec(const std::string& name, CorpusScale scale) {
+  for (auto& spec : corpus_specs(scale)) {
+    if (spec.name == name) {
+      return spec;
+    }
+  }
+  throw InvalidArgument("unknown corpus matrix: " + name);
+}
+
+CorpusScale parse_corpus_scale(const std::string& s) {
+  const std::string v = to_lower(s);
+  if (v == "tiny") {
+    return CorpusScale::kTiny;
+  }
+  if (v == "small") {
+    return CorpusScale::kSmall;
+  }
+  if (v == "bench") {
+    return CorpusScale::kBench;
+  }
+  throw InvalidArgument("unknown corpus scale: " + s);
+}
+
+}  // namespace spc

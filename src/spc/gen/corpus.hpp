@@ -1,0 +1,43 @@
+// The experiment corpus — the stand-in for the paper's 77-matrix UF suite.
+//
+// Each entry is a named, deterministic recipe (generator + parameters +
+// fixed seed). Entries span the structural classes of the paper's suite
+// (FEM stencils, banded systems, random, power-law graphs, block
+// matrices) and both value regimes (few-unique → CSR-VI applicable,
+// fully random → not). Matrices are built lazily so benches can process
+// one at a time.
+//
+// Three scales share the same recipes with scaled dimensions:
+//   kTiny  — unit/property tests (≤ ~10k nnz)
+//   kSmall — smoke benches, CI (~100k nnz)
+//   kBench — experiment runs; working sets span ~2 MB .. ~50 MB so the
+//            MS / ML split of §VI-B has members on both sides
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "spc/mm/triplets.hpp"
+
+namespace spc {
+
+enum class CorpusScale { kTiny, kSmall, kBench };
+
+struct CorpusSpec {
+  std::string name;
+  std::string cls;        ///< structural class label ("fem", "graph", ...)
+  bool vi_friendly;       ///< recipe draws values from a small pool
+  std::function<Triplets()> build;
+};
+
+/// All corpus recipes at the given scale, in a stable order.
+std::vector<CorpusSpec> corpus_specs(CorpusScale scale);
+
+/// Finds one recipe by name; throws InvalidArgument if absent.
+CorpusSpec corpus_spec(const std::string& name, CorpusScale scale);
+
+/// Parses "tiny" / "small" / "bench".
+CorpusScale parse_corpus_scale(const std::string& s);
+
+}  // namespace spc

@@ -1,0 +1,289 @@
+#include "spc/gen/generators.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace spc {
+
+namespace {
+
+/// Draws values per the model. Pool values are generated lazily and
+/// deterministically from the same Rng.
+class ValueDrawer {
+ public:
+  ValueDrawer(const ValueModel& vm, Rng& rng) : vm_(vm), rng_(rng) {
+    if (vm.pool_size > 0) {
+      pool_.reserve(vm.pool_size);
+      for (std::uint32_t i = 0; i < vm.pool_size; ++i) {
+        pool_.push_back(rng_.next_double(vm.lo, vm.hi));
+      }
+    }
+  }
+
+  value_t next() {
+    if (pool_.empty()) {
+      return rng_.next_double(vm_.lo, vm_.hi);
+    }
+    return pool_[rng_.next_below(pool_.size())];
+  }
+
+ private:
+  const ValueModel vm_;
+  Rng& rng_;
+  std::vector<value_t> pool_;
+};
+
+}  // namespace
+
+Triplets gen_laplacian_2d(index_t nx, index_t ny) {
+  SPC_CHECK_MSG(nx >= 2 && ny >= 2, "grid must be at least 2x2");
+  const index_t n = nx * ny;
+  Triplets t(n, n);
+  t.reserve(static_cast<usize_t>(n) * 5);
+  for (index_t j = 0; j < ny; ++j) {
+    for (index_t i = 0; i < nx; ++i) {
+      const index_t row = j * nx + i;
+      if (j > 0) {
+        t.add(row, row - nx, -1.0);
+      }
+      if (i > 0) {
+        t.add(row, row - 1, -1.0);
+      }
+      t.add(row, row, 4.0);
+      if (i + 1 < nx) {
+        t.add(row, row + 1, -1.0);
+      }
+      if (j + 1 < ny) {
+        t.add(row, row + nx, -1.0);
+      }
+    }
+  }
+  t.sort_and_combine();
+  return t;
+}
+
+Triplets gen_laplacian_3d(index_t nx, index_t ny, index_t nz) {
+  SPC_CHECK_MSG(nx >= 2 && ny >= 2 && nz >= 2, "grid must be at least 2^3");
+  const index_t n = nx * ny * nz;
+  Triplets t(n, n);
+  t.reserve(static_cast<usize_t>(n) * 7);
+  const index_t sy = nx;
+  const index_t sz = nx * ny;
+  for (index_t k = 0; k < nz; ++k) {
+    for (index_t j = 0; j < ny; ++j) {
+      for (index_t i = 0; i < nx; ++i) {
+        const index_t row = k * sz + j * sy + i;
+        if (k > 0) {
+          t.add(row, row - sz, -1.0);
+        }
+        if (j > 0) {
+          t.add(row, row - sy, -1.0);
+        }
+        if (i > 0) {
+          t.add(row, row - 1, -1.0);
+        }
+        t.add(row, row, 6.0);
+        if (i + 1 < nx) {
+          t.add(row, row + 1, -1.0);
+        }
+        if (j + 1 < ny) {
+          t.add(row, row + sy, -1.0);
+        }
+        if (k + 1 < nz) {
+          t.add(row, row + sz, -1.0);
+        }
+      }
+    }
+  }
+  t.sort_and_combine();
+  return t;
+}
+
+Triplets gen_stencil_9pt(index_t nx, index_t ny) {
+  SPC_CHECK_MSG(nx >= 3 && ny >= 3, "grid must be at least 3x3");
+  const index_t n = nx * ny;
+  Triplets t(n, n);
+  t.reserve(static_cast<usize_t>(n) * 9);
+  // Distinct coefficient per stencil offset: 9 unique values total.
+  const value_t coef[9] = {-0.21, -0.52, -0.27, -0.55, 3.0,
+                           -0.58, -0.29, -0.60, -0.23};
+  for (index_t j = 0; j < ny; ++j) {
+    for (index_t i = 0; i < nx; ++i) {
+      const index_t row = j * nx + i;
+      int c = 0;
+      for (int dj = -1; dj <= 1; ++dj) {
+        for (int di = -1; di <= 1; ++di, ++c) {
+          const std::int64_t jj = static_cast<std::int64_t>(j) + dj;
+          const std::int64_t ii = static_cast<std::int64_t>(i) + di;
+          if (jj < 0 || jj >= ny || ii < 0 || ii >= nx) {
+            continue;
+          }
+          t.add(row, static_cast<index_t>(jj * nx + ii), coef[c]);
+        }
+      }
+    }
+  }
+  t.sort_and_combine();
+  return t;
+}
+
+Triplets gen_banded(index_t n, index_t half_bw, index_t nnz_per_row,
+                    Rng& rng, const ValueModel& vm) {
+  SPC_CHECK_MSG(n >= 1 && nnz_per_row >= 1, "empty matrix requested");
+  ValueDrawer draw(vm, rng);
+  Triplets t(n, n);
+  t.reserve(static_cast<usize_t>(n) * nnz_per_row);
+  for (index_t r = 0; r < n; ++r) {
+    const std::int64_t lo =
+        std::max<std::int64_t>(0, static_cast<std::int64_t>(r) - half_bw);
+    const std::int64_t hi =
+        std::min<std::int64_t>(n - 1, static_cast<std::int64_t>(r) + half_bw);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo + 1);
+    t.add(r, r, draw.next());  // keep the diagonal
+    for (index_t k = 1; k < nnz_per_row; ++k) {
+      const index_t col =
+          static_cast<index_t>(lo + static_cast<std::int64_t>(
+                                        rng.next_below(span)));
+      t.add(r, col, draw.next());
+    }
+  }
+  t.sort_and_dedup_keep_first();
+  return t;
+}
+
+Triplets gen_random_uniform(index_t nrows, index_t ncols,
+                            index_t nnz_per_row, Rng& rng,
+                            const ValueModel& vm) {
+  SPC_CHECK_MSG(nrows >= 1 && ncols >= 1, "empty matrix requested");
+  ValueDrawer draw(vm, rng);
+  Triplets t(nrows, ncols);
+  t.reserve(static_cast<usize_t>(nrows) * nnz_per_row);
+  for (index_t r = 0; r < nrows; ++r) {
+    for (index_t k = 0; k < nnz_per_row; ++k) {
+      t.add(r, static_cast<index_t>(rng.next_below(ncols)), draw.next());
+    }
+  }
+  t.sort_and_dedup_keep_first();
+  return t;
+}
+
+Triplets gen_rmat(std::uint32_t scale, usize_t nnz_target, Rng& rng,
+                  const ValueModel& vm, double a, double b, double c) {
+  SPC_CHECK_MSG(scale >= 1 && scale <= 30, "rmat scale out of range");
+  SPC_CHECK_MSG(a + b + c < 1.0, "rmat probabilities must sum below 1");
+  ValueDrawer draw(vm, rng);
+  const index_t n = index_t{1} << scale;
+  Triplets t(n, n);
+  t.reserve(nnz_target);
+  for (usize_t e = 0; e < nnz_target; ++e) {
+    index_t r = 0, col = 0;
+    for (std::uint32_t level = 0; level < scale; ++level) {
+      const double p = rng.next_double();
+      r <<= 1;
+      col <<= 1;
+      if (p < a) {
+        // top-left quadrant
+      } else if (p < a + b) {
+        col |= 1;
+      } else if (p < a + b + c) {
+        r |= 1;
+      } else {
+        r |= 1;
+        col |= 1;
+      }
+    }
+    t.add(r, col, draw.next());
+  }
+  t.sort_and_dedup_keep_first();
+  return t;
+}
+
+Triplets gen_fem_blocks(index_t nodes, index_t block,
+                        index_t blocks_per_row, Rng& rng,
+                        const ValueModel& vm) {
+  SPC_CHECK_MSG(block >= 1 && block <= 8, "block size out of range");
+  ValueDrawer draw(vm, rng);
+  const index_t n = nodes * block;
+  Triplets t(n, n);
+  t.reserve(static_cast<usize_t>(nodes) * blocks_per_row * block * block);
+  for (index_t node = 0; node < nodes; ++node) {
+    // The diagonal block plus blocks_per_row-1 random coupling blocks.
+    std::vector<index_t> partners = {node};
+    for (index_t k = 1; k < blocks_per_row; ++k) {
+      partners.push_back(static_cast<index_t>(rng.next_below(nodes)));
+    }
+    std::sort(partners.begin(), partners.end());
+    partners.erase(std::unique(partners.begin(), partners.end()),
+                   partners.end());
+    for (const index_t p : partners) {
+      for (index_t lr = 0; lr < block; ++lr) {
+        for (index_t lc = 0; lc < block; ++lc) {
+          t.add(node * block + lr, p * block + lc, draw.next());
+        }
+      }
+    }
+  }
+  t.sort_and_dedup_keep_first();
+  return t;
+}
+
+Triplets gen_diag_plus_random(index_t n, index_t extra_per_row, Rng& rng,
+                              const ValueModel& vm) {
+  ValueDrawer draw(vm, rng);
+  Triplets t(n, n);
+  t.reserve(static_cast<usize_t>(n) * (1 + extra_per_row));
+  for (index_t r = 0; r < n; ++r) {
+    t.add(r, r, draw.next());
+    for (index_t k = 0; k < extra_per_row; ++k) {
+      t.add(r, static_cast<index_t>(rng.next_below(n)), draw.next());
+    }
+  }
+  t.sort_and_dedup_keep_first();
+  return t;
+}
+
+Triplets gen_ragged(index_t nrows, index_t ncols, index_t max_row_len,
+                    double empty_fraction, Rng& rng, const ValueModel& vm) {
+  SPC_CHECK_MSG(max_row_len >= 1, "max_row_len must be >= 1");
+  ValueDrawer draw(vm, rng);
+  Triplets t(nrows, ncols);
+  for (index_t r = 0; r < nrows; ++r) {
+    if (rng.next_bernoulli(empty_fraction)) {
+      continue;  // deliberately empty row
+    }
+    const index_t len =
+        1 + static_cast<index_t>(rng.next_below(max_row_len));
+    for (index_t k = 0; k < len; ++k) {
+      t.add(r, static_cast<index_t>(rng.next_below(ncols)), draw.next());
+    }
+  }
+  t.sort_and_dedup_keep_first();
+  return t;
+}
+
+}  // namespace spc
+
+namespace spc {
+
+Triplets gen_kronecker(const Triplets& a, const Triplets& b) {
+  SPC_CHECK_MSG(a.nnz() > 0 && b.nnz() > 0,
+                "kronecker factors must be non-empty");
+  const std::uint64_t nrows =
+      static_cast<std::uint64_t>(a.nrows()) * b.nrows();
+  const std::uint64_t ncols =
+      static_cast<std::uint64_t>(a.ncols()) * b.ncols();
+  SPC_CHECK_MSG(nrows <= 0xFFFFFFFFULL && ncols <= 0xFFFFFFFFULL,
+                "kronecker product exceeds 32-bit indexing");
+  Triplets out(static_cast<index_t>(nrows), static_cast<index_t>(ncols));
+  out.reserve(a.nnz() * b.nnz());
+  for (const Entry& ea : a.entries()) {
+    for (const Entry& eb : b.entries()) {
+      out.add(ea.row * b.nrows() + eb.row, ea.col * b.ncols() + eb.col,
+              ea.val * eb.val);
+    }
+  }
+  out.sort_and_combine();
+  return out;
+}
+
+}  // namespace spc

@@ -1,0 +1,83 @@
+// Synthetic sparse matrix generators.
+//
+// The paper evaluates on 77 matrices from the UF (Davis) collection; that
+// collection is not available offline, so the corpus (corpus.hpp) is built
+// from these generators instead. Each generator reproduces one structural
+// class found in the collection, with the two properties the paper's
+// effects depend on exposed as parameters:
+//   * column-delta distribution (drives CSR-DU compressibility), and
+//   * the number of distinct values (drives CSR-VI applicability).
+// All generators are deterministic given the Rng.
+#pragma once
+
+#include <cstdint>
+
+#include "spc/mm/triplets.hpp"
+#include "spc/support/rng.hpp"
+
+namespace spc {
+
+/// How numerical values are assigned to the generated non-zeros.
+struct ValueModel {
+  /// 0 = every value an independent uniform draw (ttu ≈ 1);
+  /// k > 0 = values drawn from a pool of k distinct values (ttu ≈ nnz/k).
+  std::uint32_t pool_size = 0;
+  double lo = -1.0;
+  double hi = 1.0;
+
+  static ValueModel random() { return ValueModel{0, -1.0, 1.0}; }
+  static ValueModel pooled(std::uint32_t k) { return ValueModel{k, -1.0, 1.0}; }
+};
+
+/// 5-point 2D Laplacian on an nx × ny grid (FEM/PDE class; 2 distinct
+/// values, narrow band). n = nx*ny rows.
+Triplets gen_laplacian_2d(index_t nx, index_t ny);
+
+/// 7-point 3D Laplacian on an nx × ny × nz grid (3 distinct values,
+/// three diagonal bands at distance 1, nx, nx*ny).
+Triplets gen_laplacian_3d(index_t nx, index_t ny, index_t nz);
+
+/// 9-point 2D stencil with distinct per-offset coefficients (9 unique
+/// values — still strongly CSR-VI friendly).
+Triplets gen_stencil_9pt(index_t nx, index_t ny);
+
+/// Banded matrix: each row has ~`nnz_per_row` entries uniformly inside a
+/// band of half-width `half_bw` around the diagonal.
+Triplets gen_banded(index_t n, index_t half_bw, index_t nnz_per_row,
+                    Rng& rng, const ValueModel& vm);
+
+/// Uniform random sparse matrix: `nnz_per_row` entries per row at uniform
+/// random columns (large deltas — the CSR-DU stress case).
+Triplets gen_random_uniform(index_t nrows, index_t ncols,
+                            index_t nnz_per_row, Rng& rng,
+                            const ValueModel& vm);
+
+/// R-MAT power-law graph adjacency matrix (graph/web class: skewed row
+/// lengths, clustered columns). `scale` gives n = 2^scale vertices.
+Triplets gen_rmat(std::uint32_t scale, usize_t nnz_target, Rng& rng,
+                  const ValueModel& vm, double a = 0.57, double b = 0.19,
+                  double c = 0.19);
+
+/// FEM-style block matrix: a sparse pattern of dense `block`×`block`
+/// tiles (BCSR's best case, and short intra-row deltas for CSR-DU).
+Triplets gen_fem_blocks(index_t nodes, index_t block,
+                        index_t blocks_per_row, Rng& rng,
+                        const ValueModel& vm);
+
+/// Diagonal matrix plus `extra_per_row` random off-diagonals — borderline
+/// row lengths exercise loop-overhead effects (§III-A).
+Triplets gen_diag_plus_random(index_t n, index_t extra_per_row, Rng& rng,
+                              const ValueModel& vm);
+
+/// Rows with wildly varying lengths (some empty): worst case for row
+/// partitioning balance and for formats without empty-row support.
+Triplets gen_ragged(index_t nrows, index_t ncols, index_t max_row_len,
+                    double empty_fraction, Rng& rng, const ValueModel& vm);
+
+/// Kronecker product A ⊗ B — builds hierarchically structured matrices
+/// (multigrid operators, tensor discretizations) from small factors.
+/// Result is (a.nrows*b.nrows) × (a.ncols*b.ncols) with nnz(A)*nnz(B)
+/// entries; entry ((ar*bn+br),(ac*bm+bc)) = a_val * b_val.
+Triplets gen_kronecker(const Triplets& a, const Triplets& b);
+
+}  // namespace spc

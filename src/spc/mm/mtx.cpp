@@ -1,0 +1,138 @@
+#include "spc/mm/mtx.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "spc/support/strutil.hpp"
+
+namespace spc {
+
+namespace {
+
+struct MtxHeader {
+  bool pattern = false;
+  bool symmetric = false;       // symmetric or skew-symmetric
+  bool skew = false;
+};
+
+MtxHeader parse_header(const std::string& line) {
+  const auto tok = split_ws(to_lower(line));
+  if (tok.size() < 4 || tok[0] != "%%matrixmarket" || tok[1] != "matrix") {
+    throw ParseError("matrix market: bad banner: " + line);
+  }
+  if (tok[2] != "coordinate") {
+    throw ParseError("matrix market: only 'coordinate' is supported");
+  }
+  MtxHeader h;
+  const std::string& field = tok[3];
+  if (field == "real" || field == "integer") {
+    h.pattern = false;
+  } else if (field == "pattern") {
+    h.pattern = true;
+  } else {
+    throw ParseError("matrix market: unsupported field type: " + field);
+  }
+  const std::string sym = tok.size() > 4 ? tok[4] : "general";
+  if (sym == "general") {
+    h.symmetric = false;
+  } else if (sym == "symmetric") {
+    h.symmetric = true;
+  } else if (sym == "skew-symmetric") {
+    h.symmetric = true;
+    h.skew = true;
+  } else {
+    throw ParseError("matrix market: unsupported symmetry: " + sym);
+  }
+  return h;
+}
+
+}  // namespace
+
+Triplets read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw ParseError("matrix market: empty input");
+  }
+  const MtxHeader header = parse_header(line);
+
+  // Skip comments, find the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') {
+      break;
+    }
+  }
+  std::istringstream sz(line);
+  std::uint64_t nrows = 0, ncols = 0, nnz = 0;
+  if (!(sz >> nrows >> ncols >> nnz)) {
+    throw ParseError("matrix market: bad size line: " + line);
+  }
+  if (nrows > 0xFFFFFFFFULL || ncols > 0xFFFFFFFFULL) {
+    throw ParseError("matrix market: dimensions exceed 32-bit indices");
+  }
+
+  Triplets t(static_cast<index_t>(nrows), static_cast<index_t>(ncols));
+  t.reserve(header.symmetric ? 2 * nnz : nnz);
+
+  std::uint64_t seen = 0;
+  while (seen < nnz && std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') {
+      continue;
+    }
+    std::istringstream es(line);
+    std::uint64_t r = 0, c = 0;
+    double v = 1.0;
+    if (!(es >> r >> c)) {
+      throw ParseError("matrix market: bad entry line: " + line);
+    }
+    if (!header.pattern && !(es >> v)) {
+      throw ParseError("matrix market: missing value: " + line);
+    }
+    if (r == 0 || c == 0 || r > nrows || c > ncols) {
+      throw ParseError("matrix market: entry out of bounds: " + line);
+    }
+    const auto row = static_cast<index_t>(r - 1);
+    const auto col = static_cast<index_t>(c - 1);
+    t.add(row, col, v);
+    if (header.symmetric && row != col) {
+      t.add(col, row, header.skew ? -v : v);
+    }
+    ++seen;
+  }
+  if (seen < nnz) {
+    std::ostringstream os;
+    os << "matrix market: expected " << nnz << " entries, got " << seen;
+    throw ParseError(os.str());
+  }
+  t.sort_and_combine();
+  return t;
+}
+
+Triplets read_matrix_market_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    throw Error("cannot open matrix file: " + path);
+  }
+  return read_matrix_market(f);
+}
+
+void write_matrix_market(const Triplets& t, std::ostream& out) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by spc\n";
+  out << t.nrows() << " " << t.ncols() << " " << t.nnz() << "\n";
+  out.precision(17);
+  for (const Entry& e : t.entries()) {
+    out << (e.row + 1) << " " << (e.col + 1) << " " << e.val << "\n";
+  }
+}
+
+void write_matrix_market_file(const Triplets& t, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    throw Error("cannot open output file: " + path);
+  }
+  write_matrix_market(t, f);
+}
+
+}  // namespace spc

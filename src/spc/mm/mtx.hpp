@@ -1,0 +1,33 @@
+// Matrix Market (.mtx) reader/writer.
+//
+// The paper's matrix suite comes from Tim Davis's UF collection, which is
+// distributed in Matrix Market format. The collection is not available
+// offline here (see DESIGN.md §2), but the IO layer is complete so users
+// can run every experiment on real collection files.
+//
+// Supported: `matrix coordinate {real,integer,pattern}
+// {general,symmetric,skew-symmetric}`. Pattern entries get value 1.0
+// (the convention used by SpMV benchmarks); symmetric inputs are expanded
+// to general storage.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "spc/mm/triplets.hpp"
+
+namespace spc {
+
+/// Parses a Matrix Market stream into sorted, combined triplets.
+/// Throws ParseError on malformed input.
+Triplets read_matrix_market(std::istream& in);
+
+/// Convenience file overload. Throws Error if the file cannot be opened.
+Triplets read_matrix_market_file(const std::string& path);
+
+/// Writes `general real coordinate` Matrix Market (1-based indices).
+void write_matrix_market(const Triplets& t, std::ostream& out);
+
+void write_matrix_market_file(const Triplets& t, const std::string& path);
+
+}  // namespace spc

@@ -1,0 +1,133 @@
+#include "spc/mm/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spc {
+
+Triplets transpose(const Triplets& t) {
+  Triplets out(t.ncols(), t.nrows());
+  out.reserve(t.nnz());
+  for (const Entry& e : t.entries()) {
+    out.add(e.col, e.row, e.val);
+  }
+  out.sort_and_combine();
+  return out;
+}
+
+Triplets scale(const Triplets& t, value_t alpha) {
+  Triplets out(t.nrows(), t.ncols());
+  out.reserve(t.nnz());
+  for (const Entry& e : t.entries()) {
+    out.add(e.row, e.col, alpha * e.val);
+  }
+  out.sort_and_combine();
+  return out;
+}
+
+Triplets add(const Triplets& a, const Triplets& b) {
+  SPC_CHECK_MSG(a.nrows() == b.nrows() && a.ncols() == b.ncols(),
+                "matrix addition requires equal dimensions");
+  Triplets out(a.nrows(), a.ncols());
+  out.reserve(a.nnz() + b.nnz());
+  for (const Entry& e : a.entries()) {
+    out.add(e.row, e.col, e.val);
+  }
+  for (const Entry& e : b.entries()) {
+    out.add(e.row, e.col, e.val);
+  }
+  out.sort_and_combine();
+  return out;
+}
+
+Triplets symmetrize(const Triplets& t) {
+  SPC_CHECK_MSG(t.nrows() == t.ncols(),
+                "symmetrization requires a square matrix");
+  return add(scale(t, 0.5), scale(transpose(t), 0.5));
+}
+
+Triplets extract_triangle(const Triplets& t, Triangle which,
+                          bool include_diagonal) {
+  Triplets out(t.nrows(), t.ncols());
+  for (const Entry& e : t.entries()) {
+    const bool keep =
+        which == Triangle::kLower
+            ? (e.col < e.row || (include_diagonal && e.col == e.row))
+            : (e.col > e.row || (include_diagonal && e.col == e.row));
+    if (keep) {
+      out.add(e.row, e.col, e.val);
+    }
+  }
+  // Input was sorted row-major; filtering preserves the order.
+  return out;
+}
+
+bool equal(const Triplets& a, const Triplets& b) {
+  if (a.nrows() != b.nrows() || a.ncols() != b.ncols() ||
+      a.nnz() != b.nnz()) {
+    return false;
+  }
+  for (usize_t i = 0; i < a.nnz(); ++i) {
+    if (!(a.entries()[i] == b.entries()[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double frobenius_norm(const Triplets& t) {
+  double s = 0.0;
+  for (const Entry& e : t.entries()) {
+    s += e.val * e.val;
+  }
+  return std::sqrt(s);
+}
+
+double max_entry_diff(const Triplets& a, const Triplets& b) {
+  // Merge walk over both sorted entry lists.
+  double m = 0.0;
+  usize_t i = 0, j = 0;
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  const auto key = [](const Entry& e) {
+    return (static_cast<std::uint64_t>(e.row) << 32) | e.col;
+  };
+  while (i < ea.size() || j < eb.size()) {
+    if (j == eb.size() || (i < ea.size() && key(ea[i]) < key(eb[j]))) {
+      m = std::max(m, std::fabs(ea[i].val));
+      ++i;
+    } else if (i == ea.size() || key(eb[j]) < key(ea[i])) {
+      m = std::max(m, std::fabs(eb[j].val));
+      ++j;
+    } else {
+      m = std::max(m, std::fabs(ea[i].val - eb[j].val));
+      ++i;
+      ++j;
+    }
+  }
+  return m;
+}
+
+Triplets from_dense(const value_t* data, index_t nrows, index_t ncols) {
+  Triplets t(nrows, ncols);
+  for (index_t r = 0; r < nrows; ++r) {
+    for (index_t c = 0; c < ncols; ++c) {
+      const value_t v = data[static_cast<usize_t>(r) * ncols + c];
+      if (v != 0.0) {
+        t.add(r, c, v);
+      }
+    }
+  }
+  // Row-major scan order is already sorted/unique.
+  return t;
+}
+
+Vector to_dense(const Triplets& t) {
+  Vector out(static_cast<usize_t>(t.nrows()) * t.ncols(), 0.0);
+  for (const Entry& e : t.entries()) {
+    out[static_cast<usize_t>(e.row) * t.ncols() + e.col] = e.val;
+  }
+  return out;
+}
+
+}  // namespace spc

@@ -1,0 +1,50 @@
+// Structural and algebraic operations on sparse matrices.
+//
+// Substrate utilities the experiments, tests and downstream users need:
+// transpose, scaling, addition, triangle extraction, symmetrization,
+// equality, and Frobenius norms — all on the Triplets representation
+// (formats are encode-only views).
+#pragma once
+
+#include "spc/mm/triplets.hpp"
+#include "spc/mm/vector.hpp"
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+/// Aᵀ.
+Triplets transpose(const Triplets& t);
+
+/// alpha * A (entries scaled; structure unchanged).
+Triplets scale(const Triplets& t, value_t alpha);
+
+/// A + B (dimensions must match; coincident entries sum).
+Triplets add(const Triplets& a, const Triplets& b);
+
+/// (A + Aᵀ) / 2 — the symmetrization used before RCM / SymCsr when a
+/// matrix is only structurally symmetric.
+Triplets symmetrize(const Triplets& t);
+
+enum class Triangle { kLower, kUpper };
+
+/// Strict or inclusive triangle extraction.
+Triplets extract_triangle(const Triplets& t, Triangle which,
+                          bool include_diagonal);
+
+/// Exact equality (same dims, same sorted entries, bitwise values).
+bool equal(const Triplets& a, const Triplets& b);
+
+/// Frobenius norm sqrt(sum v^2).
+double frobenius_norm(const Triplets& t);
+
+/// Max |a - b| over the union of both structures.
+double max_entry_diff(const Triplets& a, const Triplets& b);
+
+/// Builds triplets from a dense row-major array (zeros skipped) — mostly
+/// a test/tooling convenience.
+Triplets from_dense(const value_t* data, index_t nrows, index_t ncols);
+
+/// Expands to a dense row-major vector of nrows*ncols entries.
+Vector to_dense(const Triplets& t);
+
+}  // namespace spc

@@ -1,0 +1,65 @@
+// Matrix reordering — the locality optimization family the paper's
+// related work cites (§III-A: "matrix reordering ... to improve locality
+// of references").
+//
+// Reordering interacts directly with CSR-DU: a bandwidth-reducing
+// permutation shortens column deltas, pushing more units into the u8
+// class and shrinking the ctl stream (measured by
+// bench/ablation_reordering).
+#pragma once
+
+#include <vector>
+
+#include "spc/mm/triplets.hpp"
+#include "spc/mm/vector.hpp"
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+/// A permutation of [0, n): `perm[new_index] = old_index`.
+class Permutation {
+ public:
+  Permutation() = default;
+
+  /// Takes `perm[new] = old`; throws InvalidArgument unless it is a
+  /// bijection on [0, size).
+  explicit Permutation(std::vector<index_t> perm);
+
+  static Permutation identity(index_t n);
+
+  index_t size() const { return static_cast<index_t>(perm_.size()); }
+  index_t old_of(index_t new_index) const { return perm_[new_index]; }
+  index_t new_of(index_t old_index) const { return inv_[old_index]; }
+
+  const std::vector<index_t>& perm() const { return perm_; }
+  const std::vector<index_t>& inverse() const { return inv_; }
+
+  /// The permutation that undoes this one.
+  Permutation inverted() const;
+
+ private:
+  std::vector<index_t> perm_;
+  std::vector<index_t> inv_;
+};
+
+/// B = P A Pᵀ: entry (r, c) moves to (new_of(r), new_of(c)). Requires a
+/// square matrix whose dimension matches the permutation.
+Triplets permute_symmetric(const Triplets& t, const Permutation& p);
+
+/// Permutes a dense vector into the new ordering: out[new] = in[old].
+Vector permute_vector(const Vector& in, const Permutation& p);
+
+/// Scatters a permuted vector back: out[old] = in[new].
+Vector unpermute_vector(const Vector& in, const Permutation& p);
+
+/// Reverse Cuthill-McKee ordering of the symmetrized pattern of `t`
+/// (square matrices). BFS from a pseudo-peripheral vertex per connected
+/// component, neighbours visited in increasing-degree order, final order
+/// reversed. Deterministic.
+Permutation rcm_ordering(const Triplets& t);
+
+/// Bandwidth of the matrix pattern (max |col - row|) — the quantity RCM
+/// minimizes heuristically.
+usize_t pattern_bandwidth(const Triplets& t);
+
+}  // namespace spc

@@ -1,0 +1,84 @@
+// Coordinate-format (COO) triplet builder — the universal construction
+// input for every storage format in the library.
+//
+// All generators and the Matrix Market reader produce `Triplets`; every
+// format (CSR, CSR-DU, CSR-VI, ...) is constructed from sorted triplets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spc/support/error.hpp"
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+/// One non-zero element.
+struct Entry {
+  index_t row = 0;
+  index_t col = 0;
+  value_t val = 0.0;
+
+  friend bool operator==(const Entry&, const Entry&) = default;
+};
+
+/// Mutable collection of non-zeros with explicit matrix dimensions.
+///
+/// Invariants (checked on demand by `validate()`):
+///  * every entry lies inside [0, nrows) × [0, ncols)
+/// After `sort_and_combine()` additionally:
+///  * entries are in row-major order and coordinates are unique.
+class Triplets {
+ public:
+  Triplets() = default;
+  Triplets(index_t nrows, index_t ncols) : nrows_(nrows), ncols_(ncols) {}
+
+  index_t nrows() const { return nrows_; }
+  index_t ncols() const { return ncols_; }
+  usize_t nnz() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Appends one non-zero. Duplicate coordinates are allowed until
+  /// sort_and_combine() folds them.
+  void add(index_t row, index_t col, value_t val) {
+    SPC_DCHECK(row < nrows_ && col < ncols_);
+    entries_.push_back(Entry{row, col, val});
+  }
+
+  void reserve(usize_t n) { entries_.reserve(n); }
+
+  /// Sorts row-major and sums duplicate coordinates (the Matrix Market
+  /// convention). Entries that sum to exactly zero are kept: structural
+  /// zeros are meaningful for format comparisons.
+  void sort_and_combine();
+
+  /// Sorts row-major and keeps the first-added value for duplicate
+  /// coordinates. Used by the synthetic generators, where summation would
+  /// manufacture values outside the intended value pool and distort the
+  /// total-to-unique ratio.
+  void sort_and_dedup_keep_first();
+
+  /// True if entries are sorted row-major with strictly increasing
+  /// (row, col) pairs.
+  bool is_sorted_unique() const;
+
+  /// Throws InvalidArgument when any entry is out of bounds.
+  void validate() const;
+
+  /// Grows the logical dimensions (entries are untouched).
+  void resize_dims(index_t nrows, index_t ncols) {
+    SPC_CHECK_MSG(nrows >= nrows_ && ncols >= ncols_,
+                  "resize_dims must not shrink the matrix");
+    nrows_ = nrows;
+    ncols_ = ncols;
+  }
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace spc

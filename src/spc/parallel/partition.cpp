@@ -1,0 +1,70 @@
+#include "spc/parallel/partition.hpp"
+
+#include <algorithm>
+
+#include "spc/support/error.hpp"
+
+namespace spc {
+
+RowPartition partition_rows_by_nnz(const aligned_vector<index_t>& row_ptr,
+                                   std::size_t nthreads) {
+  SPC_CHECK_MSG(nthreads >= 1, "need at least one thread");
+  SPC_CHECK_MSG(!row_ptr.empty(), "row_ptr must have nrows+1 entries");
+  const index_t nrows = static_cast<index_t>(row_ptr.size() - 1);
+  const usize_t nnz = row_ptr.back();
+
+  RowPartition p;
+  p.bounds.resize(nthreads + 1);
+  p.bounds[0] = 0;
+  for (std::size_t t = 1; t < nthreads; ++t) {
+    // First row whose prefix nnz reaches t's ideal share.
+    const usize_t target = nnz * t / nthreads;
+    const auto it = std::lower_bound(row_ptr.begin(), row_ptr.end(),
+                                     static_cast<index_t>(target));
+    index_t row = static_cast<index_t>(it - row_ptr.begin());
+    row = std::min(row, nrows);
+    // Keep bounds monotone even for degenerate matrices.
+    p.bounds[t] = std::max(row, p.bounds[t - 1]);
+  }
+  p.bounds[nthreads] = nrows;
+  return p;
+}
+
+RowPartition partition_rows_by_nnz(const Triplets& t, std::size_t nthreads) {
+  aligned_vector<index_t> row_ptr(t.nrows() + 1, 0);
+  for (const Entry& e : t.entries()) {
+    ++row_ptr[e.row + 1];
+  }
+  for (index_t r = 0; r < t.nrows(); ++r) {
+    row_ptr[r + 1] += row_ptr[r];
+  }
+  return partition_rows_by_nnz(row_ptr, nthreads);
+}
+
+RowPartition partition_rows_even(index_t nrows, std::size_t nthreads) {
+  SPC_CHECK_MSG(nthreads >= 1, "need at least one thread");
+  RowPartition p;
+  p.bounds.resize(nthreads + 1);
+  for (std::size_t t = 0; t <= nthreads; ++t) {
+    p.bounds[t] = static_cast<index_t>(
+        static_cast<usize_t>(nrows) * t / nthreads);
+  }
+  return p;
+}
+
+double partition_imbalance(const RowPartition& p,
+                           const aligned_vector<index_t>& row_ptr) {
+  const usize_t nnz = row_ptr.back();
+  if (nnz == 0 || p.nthreads() == 0) {
+    return 1.0;
+  }
+  usize_t worst = 0;
+  for (std::size_t t = 0; t < p.nthreads(); ++t) {
+    worst = std::max(worst, p.nnz_of(t, row_ptr));
+  }
+  const double ideal =
+      static_cast<double>(nnz) / static_cast<double>(p.nthreads());
+  return static_cast<double>(worst) / ideal;
+}
+
+}  // namespace spc

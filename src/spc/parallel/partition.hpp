@@ -1,0 +1,51 @@
+// Static row partitioning for multithreaded SpMV (§II-C, Fig 2).
+//
+// The paper assigns each thread a contiguous block of rows such that every
+// thread receives approximately the same number of non-zero elements —
+// "and thus the same number of floating-point operations". A row-count
+// (unbalanced) partitioner is kept as the ablation baseline.
+#pragma once
+
+#include <vector>
+
+#include "spc/mm/triplets.hpp"
+#include "spc/support/aligned.hpp"
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+/// Contiguous row ranges, one per thread. bounds[t]..bounds[t+1] is
+/// thread t's range; bounds.front()==0, bounds.back()==nrows.
+struct RowPartition {
+  std::vector<index_t> bounds;
+
+  std::size_t nthreads() const {
+    return bounds.empty() ? 0 : bounds.size() - 1;
+  }
+  index_t row_begin(std::size_t t) const { return bounds[t]; }
+  index_t row_end(std::size_t t) const { return bounds[t + 1]; }
+
+  /// Non-zeros owned by thread t given the CSR row pointer.
+  usize_t nnz_of(std::size_t t,
+                 const aligned_vector<index_t>& row_ptr) const {
+    return row_ptr[bounds[t + 1]] - row_ptr[bounds[t]];
+  }
+};
+
+/// Splits rows so each thread gets ~nnz/nthreads non-zeros (the paper's
+/// static balancing scheme). Boundaries are row-aligned.
+RowPartition partition_rows_by_nnz(const aligned_vector<index_t>& row_ptr,
+                                   std::size_t nthreads);
+
+/// Same, computed from sorted triplets (for formats without a row_ptr).
+RowPartition partition_rows_by_nnz(const Triplets& t, std::size_t nthreads);
+
+/// Naive equal-row-count split (ablation baseline).
+RowPartition partition_rows_even(index_t nrows, std::size_t nthreads);
+
+/// Largest nnz assigned to any thread divided by the ideal share —
+/// 1.0 is perfect balance. Used by tests and the partition ablation.
+double partition_imbalance(const RowPartition& p,
+                           const aligned_vector<index_t>& row_ptr);
+
+}  // namespace spc

@@ -1,0 +1,80 @@
+#include "spc/parallel/thread_pool.hpp"
+
+#include "spc/support/error.hpp"
+
+namespace spc {
+
+ThreadPool::ThreadPool(std::size_t nthreads,
+                       const std::vector<int>& cpu_plan) {
+  SPC_CHECK_MSG(nthreads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(nthreads);
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    const int cpu =
+        cpu_plan.empty() ? -1 : cpu_plan[t % cpu_plan.size()];
+    workers_.emplace_back([this, t, cpu] { worker_main(t, cpu); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::worker_main(std::size_t tid, int cpu) {
+  if (cpu >= 0 && !pin_thread_to_cpu(cpu)) {
+    std::lock_guard<std::mutex> lk(mu_);
+    fully_pinned_ = false;
+  }
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) {
+        return;
+      }
+      seen_generation = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(tid);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--remaining_ == 0) {
+        cv_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  SPC_CHECK_MSG(remaining_ == 0, "ThreadPool::run is not reentrant");
+  job_ = &fn;
+  remaining_ = workers_.size();
+  first_error_ = nullptr;
+  ++generation_;
+  cv_start_.notify_all();
+  cv_done_.wait(lk, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (first_error_) {
+    std::rethrow_exception(first_error_);
+  }
+}
+
+}  // namespace spc

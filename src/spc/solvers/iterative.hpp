@@ -1,0 +1,66 @@
+// Iterative linear solvers — the application context the paper's
+// introduction motivates (SpMV is "the basic operation of iterative
+// solvers, such as Conjugate Gradient (CG) and GMRES").
+//
+// Solvers are written against an abstract operator so any SpmvInstance
+// (any storage format, any thread count) can back the matrix product;
+// the cg_solver example demonstrates a CSR-VI-backed CG run.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "spc/mm/vector.hpp"
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+/// y = A*x as a callable.
+using LinOp = std::function<void(const Vector& x, Vector& y)>;
+
+struct SolverOptions {
+  std::size_t max_iterations = 1000;
+  /// Convergence when ||r||_2 <= rel_tolerance * ||b||_2.
+  double rel_tolerance = 1e-10;
+};
+
+struct SolveResult {
+  bool converged = false;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;  ///< final ||r||_2
+};
+
+/// Dense BLAS-1 helpers shared by the solvers (and reusable by clients).
+double dot(const Vector& a, const Vector& b);
+double norm2(const Vector& a);
+/// y += alpha * x
+void axpy(double alpha, const Vector& x, Vector& y);
+/// y = x + beta * y
+void xpby(const Vector& x, double beta, Vector& y);
+
+/// Conjugate Gradient for symmetric positive definite A.
+SolveResult cg(const LinOp& A, const Vector& b, Vector& x,
+               const SolverOptions& opts = {});
+
+/// BiCGSTAB for general (nonsymmetric) A.
+SolveResult bicgstab(const LinOp& A, const Vector& b, Vector& x,
+                     const SolverOptions& opts = {});
+
+/// Restarted GMRES(m) for general A — the other solver the paper's
+/// introduction names. Modified Gram-Schmidt Arnoldi with Givens
+/// rotations; `restart` is the Krylov dimension per cycle.
+/// opts.max_iterations counts total inner iterations.
+SolveResult gmres(const LinOp& A, const Vector& b, Vector& x,
+                  const SolverOptions& opts = {}, std::size_t restart = 30);
+
+/// Jacobi iteration. `diag` is the matrix diagonal (must be non-zero).
+SolveResult jacobi(const LinOp& A, const Vector& diag, const Vector& b,
+                   Vector& x, const SolverOptions& opts = {});
+
+/// Jacobi-preconditioned CG: M = diag(A). Cuts iteration counts on
+/// badly scaled SPD systems while keeping the SpMV-dominated profile
+/// (the preconditioner solve is one vector multiply).
+SolveResult pcg_jacobi(const LinOp& A, const Vector& diag, const Vector& b,
+                       Vector& x, const SolverOptions& opts = {});
+
+}  // namespace spc

@@ -1,0 +1,106 @@
+#include "spc/solvers/multi_rhs.hpp"
+
+#include <cmath>
+
+#include "spc/support/error.hpp"
+
+namespace spc {
+
+namespace {
+
+// Column-wise dot product over the interleaved layout.
+void col_dots(const Vector& a, const Vector& b, index_t n, index_t k,
+              std::vector<double>& out) {
+  out.assign(k, 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    const usize_t base = static_cast<usize_t>(i) * k;
+    for (index_t j = 0; j < k; ++j) {
+      out[j] += a[base + j] * b[base + j];
+    }
+  }
+}
+
+}  // namespace
+
+MultiSolveResult multi_cg(const MultiOp& A, index_t n, index_t k,
+                          const Vector& B, Vector& X,
+                          const SolverOptions& opts) {
+  SPC_CHECK_MSG(k >= 1, "need at least one right-hand side");
+  SPC_CHECK_MSG(B.size() == static_cast<usize_t>(n) * k &&
+                    X.size() == B.size(),
+                "B/X dimension mismatch");
+
+  MultiSolveResult res;
+  res.converged.assign(k, false);
+  res.residual_norms.assign(k, 0.0);
+
+  Vector R(B.size()), P(B.size()), AP(B.size());
+  std::vector<double> rr(k), stop(k), pap(k), rr_new(k);
+
+  // R = B - A X; P = R.
+  A(X, AP);
+  for (usize_t i = 0; i < B.size(); ++i) {
+    R[i] = B[i] - AP[i];
+  }
+  P = R;
+  col_dots(R, R, n, k, rr);
+  {
+    std::vector<double> bb(k);
+    col_dots(B, B, n, k, bb);
+    for (index_t j = 0; j < k; ++j) {
+      const double bn = std::sqrt(bb[j]);
+      stop[j] = opts.rel_tolerance * (bn > 0.0 ? bn : 1.0);
+      res.residual_norms[j] = std::sqrt(rr[j]);
+      res.converged[j] = res.residual_norms[j] <= stop[j];
+    }
+  }
+
+  for (std::size_t it = 0;
+       it < opts.max_iterations && !res.all_converged(); ++it) {
+    A(P, AP);
+    col_dots(P, AP, n, k, pap);
+    std::vector<double> alpha(k, 0.0);
+    for (index_t j = 0; j < k; ++j) {
+      if (!res.converged[j] && pap[j] != 0.0) {
+        alpha[j] = rr[j] / pap[j];
+      }
+    }
+    for (index_t i = 0; i < n; ++i) {
+      const usize_t base = static_cast<usize_t>(i) * k;
+      for (index_t j = 0; j < k; ++j) {
+        X[base + j] += alpha[j] * P[base + j];
+        R[base + j] -= alpha[j] * AP[base + j];
+      }
+    }
+    col_dots(R, R, n, k, rr_new);
+    res.iterations = it + 1;
+    for (index_t j = 0; j < k; ++j) {
+      if (res.converged[j]) {
+        continue;
+      }
+      res.residual_norms[j] = std::sqrt(rr_new[j]);
+      if (res.residual_norms[j] <= stop[j]) {
+        res.converged[j] = true;
+        continue;
+      }
+    }
+    std::vector<double> beta(k, 0.0);
+    for (index_t j = 0; j < k; ++j) {
+      if (!res.converged[j] && rr[j] != 0.0) {
+        beta[j] = rr_new[j] / rr[j];
+      }
+    }
+    for (index_t i = 0; i < n; ++i) {
+      const usize_t base = static_cast<usize_t>(i) * k;
+      for (index_t j = 0; j < k; ++j) {
+        if (!res.converged[j]) {
+          P[base + j] = R[base + j] + beta[j] * P[base + j];
+        }
+      }
+    }
+    rr = rr_new;
+  }
+  return res;
+}
+
+}  // namespace spc

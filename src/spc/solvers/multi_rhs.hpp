@@ -1,0 +1,46 @@
+// Simultaneous CG for multiple right-hand sides.
+//
+// k systems A·x_j = b_j advance in lockstep, each with its own scalar
+// recurrence, sharing one SpMM per iteration — so the matrix is streamed
+// once for all k systems. This is the solver-level payoff of the SpMM
+// amortization (ablation_spmm) and the third attack on the §II-B
+// bandwidth bottleneck alongside index and value compression.
+//
+// Layout: interleaved, vector index fastest — B[i*k + j] is b_j[i] — the
+// SpMM layout of spc/spmv/spmm.hpp.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "spc/mm/vector.hpp"
+#include "spc/solvers/iterative.hpp"
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+/// Y = A·X over k interleaved vectors.
+using MultiOp = std::function<void(const Vector& X, Vector& Y)>;
+
+struct MultiSolveResult {
+  std::size_t iterations = 0;         ///< shared iteration count
+  std::vector<bool> converged;        ///< per system
+  std::vector<double> residual_norms; ///< per system, final ||r_j||
+  bool all_converged() const {
+    for (const bool c : converged) {
+      if (!c) {
+        return false;
+      }
+    }
+    return !converged.empty();
+  }
+};
+
+/// Solves the k SPD systems with per-column CG recurrences over a shared
+/// operator. Columns that converge stop updating; iteration ends when all
+/// converge or opts.max_iterations is reached.
+MultiSolveResult multi_cg(const MultiOp& A, index_t n, index_t k,
+                          const Vector& B, Vector& X,
+                          const SolverOptions& opts = {});
+
+}  // namespace spc

@@ -1,0 +1,51 @@
+#include "spc/solvers/refinement.hpp"
+
+#include <cmath>
+
+#include "spc/support/error.hpp"
+
+namespace spc {
+
+RefinementResult mixed_precision_cg(const LinOp& A_hi, const LinOp& A_lo,
+                                    const Vector& b, Vector& x,
+                                    const RefinementOptions& opts) {
+  const std::size_t n = b.size();
+  SPC_CHECK_MSG(x.size() == n, "x/b dimension mismatch");
+  const double bnorm = norm2(b);
+  const double stop = opts.rel_tolerance * (bnorm > 0.0 ? bnorm : 1.0);
+
+  RefinementResult res;
+  Vector r(n), d(n), Ax(n);
+  for (std::size_t outer = 0; outer < opts.max_outer; ++outer) {
+    // High-precision residual.
+    A_hi(x, Ax);
+    for (std::size_t i = 0; i < n; ++i) {
+      r[i] = b[i] - Ax[i];
+    }
+    res.residual_norm = norm2(r);
+    res.outer_iterations = outer;
+    if (res.residual_norm <= stop) {
+      res.converged = true;
+      return res;
+    }
+    // Low-precision approximate correction: A_lo d ≈ r.
+    std::fill(d.begin(), d.end(), 0.0);
+    SolverOptions inner;
+    inner.max_iterations = opts.inner_iterations;
+    inner.rel_tolerance = 1e-7;  // single-precision-level inner target
+    const SolveResult inner_res = cg(A_lo, r, d, inner);
+    res.inner_iterations_total += inner_res.iterations;
+    axpy(1.0, d, x);
+    ++res.outer_iterations;
+  }
+  // Final residual for honest reporting.
+  A_hi(x, Ax);
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = b[i] - Ax[i];
+  }
+  res.residual_norm = norm2(r);
+  res.converged = res.residual_norm <= stop;
+  return res;
+}
+
+}  // namespace spc

@@ -1,0 +1,41 @@
+// Mixed-precision iterative refinement (§III-C: Langou et al.) —
+// "deliver double precision arithmetic while performing the bulk of the
+// work in single precision".
+//
+// Outer loop in double:   r = b - A_hi x   (high-precision operator)
+// Inner correction:       solve A_lo d ≈ r cheaply (low-precision
+//                         operator inside CG, double vectors)
+// Update:                 x += d
+//
+// The low-precision operator streams half the value bytes per SpMV; the
+// handful of high-precision residual computations restores full double
+// accuracy — the same traffic-for-cycles trade as CSR-VI, via precision
+// instead of indirection.
+#pragma once
+
+#include "spc/solvers/iterative.hpp"
+
+namespace spc {
+
+struct RefinementOptions {
+  std::size_t max_outer = 50;
+  /// Inner CG iterations per correction (approximate solves suffice).
+  std::size_t inner_iterations = 25;
+  double rel_tolerance = 1e-12;
+};
+
+struct RefinementResult {
+  bool converged = false;
+  std::size_t outer_iterations = 0;
+  std::size_t inner_iterations_total = 0;
+  double residual_norm = 0.0;
+};
+
+/// Solves A x = b for SPD A given a high-precision operator `A_hi`
+/// (double values) and a cheap low-precision operator `A_lo` (e.g. a
+/// CsrF32 of the same matrix).
+RefinementResult mixed_precision_cg(const LinOp& A_hi, const LinOp& A_lo,
+                                    const Vector& b, Vector& x,
+                                    const RefinementOptions& opts = {});
+
+}  // namespace spc

@@ -1,0 +1,377 @@
+#include "spc/spmv/instance.hpp"
+
+#include <algorithm>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "spc/spmv/kernels.hpp"
+#include "spc/support/strutil.hpp"
+
+namespace spc {
+
+bool openmp_available() {
+#ifdef _OPENMP
+  return true;
+#else
+  return false;
+#endif
+}
+
+void SpmvInstance::dispatch(const std::function<void(std::size_t)>& body) {
+#ifdef _OPENMP
+  if (opts_.backend == Backend::kOpenMP) {
+    const int n = static_cast<int>(nthreads_);
+#pragma omp parallel num_threads(n)
+    { body(static_cast<std::size_t>(omp_get_thread_num())); }
+    return;
+  }
+#endif
+  pool_->run(body);
+}
+
+std::string format_name(Format f) {
+  switch (f) {
+    case Format::kCsr:
+      return "csr";
+    case Format::kCsr16:
+      return "csr16";
+    case Format::kCoo:
+      return "coo";
+    case Format::kCsc:
+      return "csc";
+    case Format::kBcsr:
+      return "bcsr";
+    case Format::kEll:
+      return "ell";
+    case Format::kDia:
+      return "dia";
+    case Format::kJds:
+      return "jds";
+    case Format::kCsrDu:
+      return "csr-du";
+    case Format::kCsrDuRle:
+      return "csr-du-rle";
+    case Format::kCsrVi:
+      return "csr-vi";
+    case Format::kCsrDuVi:
+      return "csr-du-vi";
+    case Format::kDcsr:
+      return "dcsr";
+  }
+  return "?";
+}
+
+Format parse_format(const std::string& name) {
+  const std::string n = to_lower(name);
+  for (const Format f : all_formats()) {
+    if (format_name(f) == n) {
+      return f;
+    }
+  }
+  throw InvalidArgument("unknown format: " + name);
+}
+
+const std::vector<Format>& all_formats() {
+  static const std::vector<Format> kAll = {
+      Format::kCsr,      Format::kCsr16, Format::kCoo,
+      Format::kCsc,      Format::kBcsr,  Format::kEll,
+      Format::kDia,      Format::kJds,   Format::kCsrDu,
+      Format::kCsrDuRle, Format::kCsrVi, Format::kCsrDuVi,
+      Format::kDcsr,
+  };
+  return kAll;
+}
+
+SpmvInstance::~SpmvInstance() = default;
+SpmvInstance::SpmvInstance(SpmvInstance&&) noexcept = default;
+
+SpmvInstance::SpmvInstance(const Triplets& t, Format format,
+                           std::size_t nthreads,
+                           const InstanceOptions& opts)
+    : format_(format), nthreads_(nthreads), opts_(opts) {
+  SPC_CHECK_MSG(nthreads >= 1, "nthreads must be >= 1");
+  SPC_CHECK_MSG(t.is_sorted_unique(),
+                "SpmvInstance requires sorted/combined triplets");
+  nrows_ = t.nrows();
+  ncols_ = t.ncols();
+  nnz_ = t.nnz();
+
+  // Encode the matrix.
+  switch (format) {
+    case Format::kCsr:
+      matrix_.emplace<Csr>(Csr::from_triplets(t));
+      break;
+    case Format::kCsr16:
+      SPC_CHECK_MSG(csr16_applicable(t),
+                    "csr16 requires ncols <= 65536");
+      matrix_.emplace<Csr16>(Csr16::from_triplets(t));
+      break;
+    case Format::kCoo:
+      matrix_.emplace<Coo>(Coo::from_triplets(t));
+      break;
+    case Format::kCsc:
+      matrix_.emplace<Csc>(Csc::from_triplets(t));
+      break;
+    case Format::kBcsr:
+      matrix_.emplace<Bcsr>(Bcsr::from_triplets(t, opts.bcsr_block_rows,
+                                                opts.bcsr_block_cols));
+      break;
+    case Format::kEll:
+      matrix_.emplace<Ell>(
+          Ell::from_triplets(t, opts.ell_max_width_factor));
+      break;
+    case Format::kDia:
+      matrix_.emplace<Dia>(Dia::from_triplets(t, opts.dia_max_diags));
+      break;
+    case Format::kJds:
+      matrix_.emplace<Jds>(Jds::from_triplets(t));
+      break;
+    case Format::kCsrDu: {
+      CsrDuOptions du = opts.du;
+      du.enable_rle = false;
+      matrix_.emplace<CsrDu>(CsrDu::from_triplets(t, du));
+      break;
+    }
+    case Format::kCsrDuRle: {
+      CsrDuOptions du = opts.du;
+      du.enable_rle = true;
+      matrix_.emplace<CsrDu>(CsrDu::from_triplets(t, du));
+      break;
+    }
+    case Format::kCsrVi:
+      matrix_.emplace<CsrVi>(CsrVi::from_triplets(t));
+      break;
+    case Format::kCsrDuVi:
+      matrix_.emplace<CsrDuVi>(CsrDuVi::from_triplets(t, opts.du));
+      break;
+    case Format::kDcsr:
+      matrix_.emplace<Dcsr>(Dcsr::from_triplets(t));
+      break;
+  }
+
+  // Partition work. CSC partitions columns (§II-C); everything else rows.
+  if (nthreads > 1) {
+    if (format == Format::kCsc) {
+      aligned_vector<index_t> col_ptr(t.ncols() + 1, 0);
+      for (const Entry& e : t.entries()) {
+        ++col_ptr[e.col + 1];
+      }
+      for (index_t c = 0; c < t.ncols(); ++c) {
+        col_ptr[c + 1] += col_ptr[c];
+      }
+      partition_ = opts.balance_by_nnz
+                       ? partition_rows_by_nnz(col_ptr, nthreads)
+                       : partition_rows_even(t.ncols(), nthreads);
+      csc_scratch_.assign(nthreads, Vector(t.nrows(), 0.0));
+    } else if (format == Format::kBcsr) {
+      const auto& m = std::get<Bcsr>(matrix_);
+      partition_ = opts.balance_by_nnz
+                       ? partition_rows_by_nnz(m.block_row_ptr(), nthreads)
+                       : partition_rows_even(m.nblock_rows(), nthreads);
+    } else if (format == Format::kJds) {
+      // JDS threads own ranges of *permuted* positions; balance by the
+      // permuted rows' lengths.
+      const auto& m = std::get<Jds>(matrix_);
+      std::vector<index_t> len(t.nrows(), 0);
+      for (const Entry& e : t.entries()) {
+        ++len[e.row];
+      }
+      aligned_vector<index_t> pptr(t.nrows() + 1, 0);
+      for (index_t i = 0; i < t.nrows(); ++i) {
+        pptr[i + 1] = pptr[i] + len[m.perm()[i]];
+      }
+      partition_ = opts.balance_by_nnz
+                       ? partition_rows_by_nnz(pptr, nthreads)
+                       : partition_rows_even(t.nrows(), nthreads);
+    } else {
+      partition_ = opts.balance_by_nnz
+                       ? partition_rows_by_nnz(t, nthreads)
+                       : partition_rows_even(t.nrows(), nthreads);
+    }
+    // Precompute per-thread slices for the streaming formats.
+    if (const auto* du = std::get_if<CsrDu>(&matrix_)) {
+      for (std::size_t th = 0; th < nthreads; ++th) {
+        du_slices_.push_back(
+            du->slice(partition_.row_begin(th), partition_.row_end(th)));
+      }
+    } else if (const auto* duvi = std::get_if<CsrDuVi>(&matrix_)) {
+      for (std::size_t th = 0; th < nthreads; ++th) {
+        du_slices_.push_back(duvi->du().slice(partition_.row_begin(th),
+                                              partition_.row_end(th)));
+      }
+    } else if (const auto* dc = std::get_if<Dcsr>(&matrix_)) {
+      for (std::size_t th = 0; th < nthreads; ++th) {
+        dcsr_slices_.push_back(
+            dc->slice(partition_.row_begin(th), partition_.row_end(th)));
+      }
+    }
+
+    // The OpenMP backend uses parallel regions instead of the pool
+    // (thread binding is then the runtime's job, via OMP_PROC_BIND);
+    // without OpenMP support it silently degrades to the pool.
+    if (opts_.backend == Backend::kOpenMP && openmp_available()) {
+      opts_.pin_threads = false;
+    } else {
+      opts_.backend = Backend::kPool;
+      std::vector<int> plan;
+      if (opts.pin_threads) {
+        const Topology topo = discover_topology();
+        plan = plan_placement(topo, nthreads, opts.placement);
+      }
+      pool_ = std::make_unique<ThreadPool>(nthreads, plan);
+    }
+  }
+}
+
+usize_t SpmvInstance::matrix_bytes() const {
+  return std::visit([](const auto& m) { return m.bytes(); }, matrix_);
+}
+
+void SpmvInstance::run(const Vector& x, Vector& y) {
+  SPC_CHECK_MSG(x.size() == ncols_, "x has wrong dimension");
+  SPC_CHECK_MSG(y.size() == nrows_, "y has wrong dimension");
+  if (nthreads_ == 1) {
+    run_serial(x.data(), y.data());
+  } else {
+    run_parallel(x, y);
+  }
+}
+
+void SpmvInstance::run_serial(const value_t* x, value_t* y) {
+  std::visit([&](const auto& m) { spmv(m, x, y); }, matrix_);
+}
+
+void SpmvInstance::run_parallel(const Vector& x, Vector& y) {
+  const value_t* const xp = x.data();
+  value_t* const yp = y.data();
+
+  switch (format_) {
+    case Format::kCsr: {
+      const auto& m = std::get<Csr>(matrix_);
+      dispatch([&](std::size_t th) {
+        spmv_csr_range(m, xp, yp, partition_.row_begin(th),
+                       partition_.row_end(th));
+      });
+      break;
+    }
+    case Format::kCsr16: {
+      const auto& m = std::get<Csr16>(matrix_);
+      dispatch([&](std::size_t th) {
+        spmv_csr_range(m, xp, yp, partition_.row_begin(th),
+                       partition_.row_end(th));
+      });
+      break;
+    }
+    case Format::kCoo: {
+      // Row-partitioned COO: each thread binary-searches its entry range.
+      const auto& m = std::get<Coo>(matrix_);
+      dispatch([&](std::size_t th) {
+        const index_t r0 = partition_.row_begin(th);
+        const index_t r1 = partition_.row_end(th);
+        const auto& rows = m.rows();
+        const auto lo = std::lower_bound(rows.begin(), rows.end(), r0) -
+                        rows.begin();
+        const auto hi = std::lower_bound(rows.begin(), rows.end(), r1) -
+                        rows.begin();
+        std::fill(yp + r0, yp + r1, 0.0);
+        const index_t* const rr = m.rows().data();
+        const index_t* const cc = m.cols().data();
+        const value_t* const vv = m.values().data();
+        for (auto k = lo; k < hi; ++k) {
+          yp[rr[k]] += vv[k] * xp[cc[k]];
+        }
+      });
+      break;
+    }
+    case Format::kCsc: {
+      // Column partitioning with private y copies and a reduction (§II-C).
+      const auto& m = std::get<Csc>(matrix_);
+      dispatch([&](std::size_t th) {
+        Vector& scratch = csc_scratch_[th];
+        std::fill(scratch.begin(), scratch.end(), 0.0);
+        spmv_csc_cols(m, xp, scratch.data(), partition_.row_begin(th),
+                      partition_.row_end(th));
+      });
+      // Reduce: rows split evenly across threads.
+      const RowPartition rows = partition_rows_even(nrows_, nthreads_);
+      dispatch([&](std::size_t th) {
+        const index_t r0 = rows.row_begin(th);
+        const index_t r1 = rows.row_end(th);
+        std::fill(yp + r0, yp + r1, 0.0);
+        for (const Vector& scratch : csc_scratch_) {
+          const value_t* const sp = scratch.data();
+          for (index_t r = r0; r < r1; ++r) {
+            yp[r] += sp[r];
+          }
+        }
+      });
+      break;
+    }
+    case Format::kBcsr: {
+      const auto& m = std::get<Bcsr>(matrix_);
+      dispatch([&](std::size_t th) {
+        spmv_bcsr_range(m, xp, yp, partition_.row_begin(th),
+                        partition_.row_end(th));
+      });
+      break;
+    }
+    case Format::kEll: {
+      const auto& m = std::get<Ell>(matrix_);
+      dispatch([&](std::size_t th) {
+        spmv_ell_range(m, xp, yp, partition_.row_begin(th),
+                       partition_.row_end(th));
+      });
+      break;
+    }
+    case Format::kDia: {
+      const auto& m = std::get<Dia>(matrix_);
+      dispatch([&](std::size_t th) {
+        spmv_dia_range(m, xp, yp, partition_.row_begin(th),
+                       partition_.row_end(th));
+      });
+      break;
+    }
+    case Format::kJds: {
+      const auto& m = std::get<Jds>(matrix_);
+      dispatch([&](std::size_t th) {
+        spmv_jds_range(m, xp, yp, partition_.row_begin(th),
+                       partition_.row_end(th));
+      });
+      break;
+    }
+    case Format::kCsrDu:
+    case Format::kCsrDuRle: {
+      dispatch([&](std::size_t th) { spmv(du_slices_[th], xp, yp); });
+      break;
+    }
+    case Format::kCsrVi: {
+      const auto& m = std::get<CsrVi>(matrix_);
+      dispatch([&](std::size_t th) {
+        spmv_csr_vi_range(m, xp, yp, partition_.row_begin(th),
+                          partition_.row_end(th));
+      });
+      break;
+    }
+    case Format::kCsrDuVi: {
+      const auto& m = std::get<CsrDuVi>(matrix_);
+      dispatch(
+          [&](std::size_t th) { spmv(m, du_slices_[th], xp, yp); });
+      break;
+    }
+    case Format::kDcsr: {
+      dispatch([&](std::size_t th) { spmv(dcsr_slices_[th], xp, yp); });
+      break;
+    }
+  }
+}
+
+Vector spmv_simple(const Triplets& t, const Vector& x) {
+  const Csr m = Csr::from_triplets(t);
+  Vector y(t.nrows(), 0.0);
+  spmv(m, x.data(), y.data());
+  return y;
+}
+
+}  // namespace spc

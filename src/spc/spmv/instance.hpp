@@ -1,0 +1,139 @@
+// SpmvInstance — a matrix prepared for repeated y = A*x execution in a
+// chosen storage format with a chosen thread count.
+//
+// This is the main user-facing entry point of the library: it bundles the
+// encoded matrix, the nnz-balanced row partition, the per-thread format
+// slices, and the pinned thread pool, so that `run(x, y)` measures exactly
+// what the paper measures — the kernel, with all setup out of the timed
+// region.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "spc/formats/bcsr.hpp"
+#include "spc/formats/coo.hpp"
+#include "spc/formats/csc.hpp"
+#include "spc/formats/csr.hpp"
+#include "spc/formats/csr_du.hpp"
+#include "spc/formats/csr_du_vi.hpp"
+#include "spc/formats/csr_vi.hpp"
+#include "spc/formats/dcsr.hpp"
+#include "spc/formats/dia.hpp"
+#include "spc/formats/ell.hpp"
+#include "spc/formats/jds.hpp"
+#include "spc/mm/triplets.hpp"
+#include "spc/mm/vector.hpp"
+#include "spc/parallel/partition.hpp"
+#include "spc/parallel/thread_pool.hpp"
+
+namespace spc {
+
+/// Storage formats selectable by name.
+enum class Format {
+  kCsr,       ///< baseline CSR, 32-bit indices (paper baseline)
+  kCsr16,     ///< CSR with 16-bit column indices (needs ncols <= 2^16)
+  kCoo,       ///< coordinate format (serial only)
+  kCsc,       ///< compressed sparse column (column-partitioned when MT)
+  kBcsr,      ///< blocked CSR, block shape from InstanceOptions
+  kEll,       ///< ELLPACK fixed-width rows (§III-A baseline)
+  kDia,       ///< compressed diagonal storage (§III-A baseline)
+  kJds,       ///< jagged diagonal storage (§III-A baseline)
+  kCsrDu,     ///< CSR-DU index compression (the paper's §IV)
+  kCsrDuRle,  ///< CSR-DU with the RLE1 dense-run extension enabled
+  kCsrVi,     ///< CSR-VI value compression (the paper's §V)
+  kCsrDuVi,   ///< combined index+value compression
+  kDcsr,      ///< simplified Willcock–Lumsdaine comparator
+};
+
+/// Canonical lower-case name ("csr-du", "csr-vi", ...).
+std::string format_name(Format f);
+
+/// Parses a format name; throws InvalidArgument on unknown names.
+Format parse_format(const std::string& name);
+
+/// All formats in presentation order.
+const std::vector<Format>& all_formats();
+
+/// Multithreaded execution backend.
+enum class Backend {
+  kPool,    ///< persistent pinned thread pool (the paper's pthread model)
+  kOpenMP,  ///< OpenMP parallel region (thread binding via OMP_PROC_BIND);
+            ///< falls back to kPool when built without OpenMP
+};
+
+struct InstanceOptions {
+  CsrDuOptions du;                 ///< encoder knobs for the DU formats
+  index_t bcsr_block_rows = 2;     ///< BCSR block shape
+  index_t bcsr_block_cols = 2;
+  /// Construction guards against pathological blowup (0 = unguarded):
+  /// ELL refuses a width beyond this factor of the mean row length, DIA
+  /// refuses more than this many distinct diagonals.
+  double ell_max_width_factor = 0.0;
+  std::size_t dia_max_diags = 0;
+  bool pin_threads = true;         ///< bind workers per the placement plan
+  Placement placement = Placement::kCloseFirst;
+  /// Partition rows by nnz (paper's scheme); false = equal row counts.
+  bool balance_by_nnz = true;
+  Backend backend = Backend::kPool;
+};
+
+/// True when the library was compiled with OpenMP support.
+bool openmp_available();
+
+class SpmvInstance {
+ public:
+  /// Encodes `t` into `format` and prepares `nthreads`-way execution.
+  /// nthreads == 1 runs on the calling thread (the paper's serial case).
+  SpmvInstance(const Triplets& t, Format format, std::size_t nthreads = 1,
+               const InstanceOptions& opts = {});
+
+  ~SpmvInstance();
+  SpmvInstance(SpmvInstance&&) noexcept;
+  SpmvInstance& operator=(SpmvInstance&&) noexcept = delete;
+
+  Format format() const { return format_; }
+  std::size_t nthreads() const { return nthreads_; }
+  index_t nrows() const { return nrows_; }
+  index_t ncols() const { return ncols_; }
+  usize_t nnz() const { return nnz_; }
+
+  /// Size of the encoded matrix data (for compression-ratio reporting).
+  usize_t matrix_bytes() const;
+
+  /// Computes y = A*x. x must have ncols elements, y nrows elements.
+  void run(const Vector& x, Vector& y);
+
+  /// The partition in use (empty bounds for serial-only formats).
+  const RowPartition& partition() const { return partition_; }
+
+ private:
+  void run_serial(const value_t* x, value_t* y);
+  void run_parallel(const Vector& x, Vector& y);
+  /// Runs body(tid) on every worker via the configured backend.
+  void dispatch(const std::function<void(std::size_t)>& body);
+
+  Format format_;
+  std::size_t nthreads_;
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  usize_t nnz_ = 0;
+  InstanceOptions opts_;
+
+  std::variant<Csr, Csr16, Coo, Csc, Bcsr, Ell, Dia, Jds, CsrDu, CsrVi,
+               CsrDuVi, Dcsr>
+      matrix_;
+  RowPartition partition_;               ///< row ranges (or column ranges for CSC)
+  std::vector<CsrDu::Slice> du_slices_;  ///< per-thread DU slices
+  std::vector<Dcsr::Slice> dcsr_slices_;
+  std::vector<Vector> csc_scratch_;      ///< per-thread private y for CSC
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// One-shot convenience: y = A*x via CSR on the calling thread.
+Vector spmv_simple(const Triplets& t, const Vector& x);
+
+}  // namespace spc

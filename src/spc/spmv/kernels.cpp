@@ -1,0 +1,481 @@
+#include "spc/spmv/kernels.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "spc/support/varint.hpp"
+
+namespace spc {
+
+namespace {
+
+// Unaligned little-endian loads for the ucis arrays.
+inline std::uint32_t load_u16(const std::uint8_t* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint32_t load_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void spmv(const Coo& m, const value_t* x, value_t* y) {
+  std::fill(y, y + m.nrows(), 0.0);
+  const index_t* const __restrict rows = m.rows().data();
+  const index_t* const __restrict cols = m.cols().data();
+  const value_t* const __restrict values = m.values().data();
+  const usize_t nnz = m.nnz();
+  for (usize_t k = 0; k < nnz; ++k) {
+    y[rows[k]] += values[k] * x[cols[k]];
+  }
+}
+
+void spmv(const Csc& m, const value_t* x, value_t* y) {
+  std::fill(y, y + m.nrows(), 0.0);
+  spmv_csc_cols(m, x, y, 0, m.ncols());
+}
+
+void spmv_csc_cols(const Csc& m, const value_t* x, value_t* y,
+                   index_t col_begin, index_t col_end) {
+  const index_t* const __restrict col_ptr = m.col_ptr().data();
+  const index_t* const __restrict row_ind = m.row_ind().data();
+  const value_t* const __restrict values = m.values().data();
+  for (index_t c = col_begin; c < col_end; ++c) {
+    const value_t xc = x[c];
+    const index_t end = col_ptr[c + 1];
+    for (index_t j = col_ptr[c]; j < end; ++j) {
+      y[row_ind[j]] += values[j] * xc;
+    }
+  }
+}
+
+void spmv_bcsr_range(const Bcsr& m, const value_t* x, value_t* y,
+                     index_t block_row_begin, index_t block_row_end) {
+  const index_t br = m.block_rows();
+  const index_t bc = m.block_cols();
+  const usize_t block_elems = static_cast<usize_t>(br) * bc;
+  const index_t* const __restrict brp = m.block_row_ptr().data();
+  const index_t* const __restrict bcol = m.block_col().data();
+  const value_t* const __restrict vals = m.values().data();
+  const index_t nrows = m.nrows();
+  const index_t ncols = m.ncols();
+
+  value_t acc[8];
+  for (index_t brow = block_row_begin; brow < block_row_end; ++brow) {
+    const index_t row0 = brow * br;
+    const index_t live_rows = std::min<index_t>(br, nrows - row0);
+    for (index_t lr = 0; lr < live_rows; ++lr) {
+      acc[lr] = 0.0;
+    }
+    const index_t bend = brp[brow + 1];
+    for (index_t b = brp[brow]; b < bend; ++b) {
+      const value_t* const blk = vals + static_cast<usize_t>(b) * block_elems;
+      const index_t col0 = bcol[b];
+      const index_t live_cols = std::min<index_t>(bc, ncols - col0);
+      // Edge blocks (ragged right/bottom) use the clamped loop bounds; the
+      // padding slots hold zeros but x/y must not be read out of range.
+      for (index_t lr = 0; lr < live_rows; ++lr) {
+        value_t a = 0.0;
+        const value_t* const brow_vals = blk + static_cast<usize_t>(lr) * bc;
+        for (index_t lc = 0; lc < live_cols; ++lc) {
+          a += brow_vals[lc] * x[col0 + lc];
+        }
+        acc[lr] += a;
+      }
+    }
+    for (index_t lr = 0; lr < live_rows; ++lr) {
+      y[row0 + lr] = acc[lr];
+    }
+  }
+}
+
+void spmv(const Bcsr& m, const value_t* x, value_t* y) {
+  spmv_bcsr_range(m, x, y, 0, m.nblock_rows());
+}
+
+void spmv_ell_range(const Ell& m, const value_t* x, value_t* y,
+                    index_t row_begin, index_t row_end) {
+  const index_t width = m.width();
+  const index_t* const __restrict col_ind = m.col_ind().data();
+  const value_t* const __restrict values = m.values().data();
+  for (index_t r = row_begin; r < row_end; ++r) {
+    const usize_t base = static_cast<usize_t>(r) * width;
+    value_t acc = 0.0;
+    for (index_t k = 0; k < width; ++k) {
+      acc += values[base + k] * x[col_ind[base + k]];
+    }
+    y[r] = acc;
+  }
+}
+
+void spmv(const Ell& m, const value_t* x, value_t* y) {
+  spmv_ell_range(m, x, y, 0, m.nrows());
+}
+
+void spmv_dia_range(const Dia& m, const value_t* x, value_t* y,
+                    index_t row_begin, index_t row_end) {
+  std::fill(y + row_begin, y + row_end, 0.0);
+  const value_t* const __restrict values = m.values().data();
+  const index_t nrows = m.nrows();
+  const std::int64_t ncols = m.ncols();
+  for (std::size_t d = 0; d < m.ndiags(); ++d) {
+    const std::int64_t off = m.offsets()[d];
+    // Rows where the diagonal stays inside the matrix and the range.
+    std::int64_t rlo = row_begin;
+    if (off < 0) {
+      rlo = std::max<std::int64_t>(rlo, -off);
+    }
+    std::int64_t rhi = row_end;
+    if (off > 0) {
+      rhi = std::min<std::int64_t>(rhi, ncols - off);
+    }
+    const value_t* const diag = values + d * static_cast<usize_t>(nrows);
+    for (std::int64_t r = rlo; r < rhi; ++r) {
+      y[r] += diag[r] * x[r + off];
+    }
+  }
+}
+
+void spmv(const Dia& m, const value_t* x, value_t* y) {
+  spmv_dia_range(m, x, y, 0, m.nrows());
+}
+
+void spmv_jds_range(const Jds& m, const value_t* x, value_t* y,
+                    index_t i_begin, index_t i_end) {
+  const index_t* const __restrict perm = m.perm().data();
+  const index_t* const __restrict jd_ptr = m.jd_ptr().data();
+  const index_t* const __restrict col_ind = m.col_ind().data();
+  const value_t* const __restrict values = m.values().data();
+  for (index_t i = i_begin; i < i_end; ++i) {
+    y[perm[i]] = 0.0;
+  }
+  const index_t njd = m.njdiags();
+  for (index_t j = 0; j < njd; ++j) {
+    const index_t len = jd_ptr[j + 1] - jd_ptr[j];
+    const index_t hi = std::min(i_end, len);
+    for (index_t i = i_begin; i < hi; ++i) {
+      const usize_t k = static_cast<usize_t>(jd_ptr[j]) + i;
+      y[perm[i]] += values[k] * x[col_ind[k]];
+    }
+  }
+}
+
+void spmv(const Jds& m, const value_t* x, value_t* y) {
+  spmv_jds_range(m, x, y, 0, m.nrows());
+}
+
+void spmv(const CsrDu::Slice& s, const value_t* x, value_t* y) {
+  const std::uint8_t* p = s.ctl;
+  const std::uint8_t* const end = s.ctl_end;
+  const value_t* __restrict v = s.values;
+  std::int64_t row = s.row_state;
+  const std::int64_t row_begin = s.row_begin;
+  std::uint64_t x_idx = 0;
+  value_t acc = 0.0;
+  bool active = false;
+
+  while (p < end) {
+    const std::uint8_t uflags = *p++;
+    std::uint32_t usize = *p++;
+    if (uflags & kDuNewRow) {
+      if (active) {
+        y[row] = acc;
+      }
+      std::uint64_t extra = 0;
+      if (uflags & kDuRJmp) {
+        extra = varint_decode(p);
+      }
+      // Rows skipped over are empty; zero the ones this slice owns.
+      for (std::int64_t r = std::max(row + 1, row_begin);
+           r < row + 1 + static_cast<std::int64_t>(extra); ++r) {
+        y[r] = 0.0;
+      }
+      row += 1 + static_cast<std::int64_t>(extra);
+      x_idx = 0;
+      acc = 0.0;
+      active = true;
+    }
+    x_idx += varint_decode(p);
+
+    if (uflags & kDuRle) {
+      // Constant-stride run: usize elements at x_idx, x_idx+stride, ...
+      const std::uint64_t stride = varint_decode(p);
+      std::uint64_t idx = x_idx;
+      for (std::uint32_t k = 0; k < usize; ++k) {
+        acc += v[k] * x[idx];
+        idx += stride;
+      }
+      v += usize;
+      x_idx = idx - stride;
+      continue;
+    }
+    switch (static_cast<DeltaClass>(uflags & kDuClassMask)) {
+      case DeltaClass::kU8:
+        acc += (*v++) * x[x_idx];
+        --usize;
+        // Unrolled by 4: the index chain (x_idx += delta) is the loop's
+        // serial dependency; resolving four indices before the loads
+        // lets the x gathers overlap. Accumulation order is unchanged
+        // (one `acc +=` per element, in element order), so results stay
+        // bit-identical to the scalar loop and to CSR.
+        while (usize >= 4) {
+          const std::uint64_t i0 = x_idx + p[0];
+          const std::uint64_t i1 = i0 + p[1];
+          const std::uint64_t i2 = i1 + p[2];
+          const std::uint64_t i3 = i2 + p[3];
+          acc += v[0] * x[i0];
+          acc += v[1] * x[i1];
+          acc += v[2] * x[i2];
+          acc += v[3] * x[i3];
+          x_idx = i3;
+          p += 4;
+          v += 4;
+          usize -= 4;
+        }
+        while (usize-- != 0) {
+          x_idx += *p++;
+          acc += (*v++) * x[x_idx];
+        }
+        break;
+      case DeltaClass::kU16:
+        acc += (*v++) * x[x_idx];
+        while (--usize != 0) {
+          x_idx += load_u16(p);
+          p += 2;
+          acc += (*v++) * x[x_idx];
+        }
+        break;
+      case DeltaClass::kU32:
+        acc += (*v++) * x[x_idx];
+        while (--usize != 0) {
+          x_idx += load_u32(p);
+          p += 4;
+          acc += (*v++) * x[x_idx];
+        }
+        break;
+      case DeltaClass::kU64:
+        acc += (*v++) * x[x_idx];
+        while (--usize != 0) {
+          x_idx += load_u64(p);
+          p += 8;
+          acc += (*v++) * x[x_idx];
+        }
+        break;
+    }
+  }
+  if (active) {
+    y[row] = acc;
+  }
+  // Trailing empty rows owned by this slice.
+  for (std::int64_t r = std::max(row + 1, row_begin);
+       r < static_cast<std::int64_t>(s.row_end); ++r) {
+    y[r] = 0.0;
+  }
+}
+
+void spmv_csr_vi_range(const CsrVi& m, const value_t* x, value_t* y,
+                       index_t row_begin, index_t row_end) {
+  switch (m.width()) {
+    case ViWidth::kU8:
+      spmv_csr_vi_range(m.row_ptr().data(), m.col_ind().data(),
+                        m.val_ind_raw().data(), m.vals_unique().data(), x, y,
+                        row_begin, row_end);
+      break;
+    case ViWidth::kU16:
+      spmv_csr_vi_range(m.row_ptr().data(), m.col_ind().data(),
+                        m.val_ind_as<std::uint16_t>(),
+                        m.vals_unique().data(), x, y, row_begin, row_end);
+      break;
+    case ViWidth::kU32:
+      spmv_csr_vi_range(m.row_ptr().data(), m.col_ind().data(),
+                        m.val_ind_as<std::uint32_t>(),
+                        m.vals_unique().data(), x, y, row_begin, row_end);
+      break;
+  }
+}
+
+namespace {
+
+// Shared DU-VI slice decode, templated on the value-index width.
+template <typename IndT>
+void spmv_du_vi_impl(const CsrDu::Slice& s,
+                     const IndT* __restrict val_ind,
+                     const value_t* __restrict uniq, const value_t* x,
+                     value_t* y) {
+  const std::uint8_t* p = s.ctl;
+  const std::uint8_t* const end = s.ctl_end;
+  usize_t k = s.val_offset;
+  std::int64_t row = s.row_state;
+  const std::int64_t row_begin = s.row_begin;
+  std::uint64_t x_idx = 0;
+  value_t acc = 0.0;
+  bool active = false;
+
+  while (p < end) {
+    const std::uint8_t uflags = *p++;
+    std::uint32_t usize = *p++;
+    if (uflags & kDuNewRow) {
+      if (active) {
+        y[row] = acc;
+      }
+      std::uint64_t extra = 0;
+      if (uflags & kDuRJmp) {
+        extra = varint_decode(p);
+      }
+      for (std::int64_t r = std::max(row + 1, row_begin);
+           r < row + 1 + static_cast<std::int64_t>(extra); ++r) {
+        y[r] = 0.0;
+      }
+      row += 1 + static_cast<std::int64_t>(extra);
+      x_idx = 0;
+      acc = 0.0;
+      active = true;
+    }
+    x_idx += varint_decode(p);
+
+    if (uflags & kDuRle) {
+      const std::uint64_t stride = varint_decode(p);
+      std::uint64_t idx = x_idx;
+      for (std::uint32_t i = 0; i < usize; ++i) {
+        acc += uniq[val_ind[k + i]] * x[idx];
+        idx += stride;
+      }
+      k += usize;
+      x_idx = idx - stride;
+      continue;
+    }
+    switch (static_cast<DeltaClass>(uflags & kDuClassMask)) {
+      case DeltaClass::kU8:
+        acc += uniq[val_ind[k++]] * x[x_idx];
+        while (--usize != 0) {
+          x_idx += *p++;
+          acc += uniq[val_ind[k++]] * x[x_idx];
+        }
+        break;
+      case DeltaClass::kU16:
+        acc += uniq[val_ind[k++]] * x[x_idx];
+        while (--usize != 0) {
+          x_idx += load_u16(p);
+          p += 2;
+          acc += uniq[val_ind[k++]] * x[x_idx];
+        }
+        break;
+      case DeltaClass::kU32:
+        acc += uniq[val_ind[k++]] * x[x_idx];
+        while (--usize != 0) {
+          x_idx += load_u32(p);
+          p += 4;
+          acc += uniq[val_ind[k++]] * x[x_idx];
+        }
+        break;
+      case DeltaClass::kU64:
+        acc += uniq[val_ind[k++]] * x[x_idx];
+        while (--usize != 0) {
+          x_idx += load_u64(p);
+          p += 8;
+          acc += uniq[val_ind[k++]] * x[x_idx];
+        }
+        break;
+    }
+  }
+  if (active) {
+    y[row] = acc;
+  }
+  for (std::int64_t r = std::max(row + 1, row_begin);
+       r < static_cast<std::int64_t>(s.row_end); ++r) {
+    y[r] = 0.0;
+  }
+}
+
+}  // namespace
+
+void spmv(const CsrDuVi& m, const CsrDu::Slice& s, const value_t* x,
+          value_t* y) {
+  switch (m.width()) {
+    case ViWidth::kU8:
+      spmv_du_vi_impl(s, m.val_ind_raw().data(), m.vals_unique().data(), x,
+                      y);
+      break;
+    case ViWidth::kU16:
+      spmv_du_vi_impl(s, m.val_ind_as<std::uint16_t>(),
+                      m.vals_unique().data(), x, y);
+      break;
+    case ViWidth::kU32:
+      spmv_du_vi_impl(s, m.val_ind_as<std::uint32_t>(),
+                      m.vals_unique().data(), x, y);
+      break;
+  }
+}
+
+void spmv(const Dcsr::Slice& s, const value_t* x, value_t* y) {
+  const std::uint8_t* p = s.cmds;
+  const std::uint8_t* const end = s.cmds_end;
+  const value_t* __restrict v = s.values;
+  std::int64_t row = s.row_state;
+  const std::int64_t row_begin = s.row_begin;
+  std::uint64_t x_idx = 0;
+  value_t acc = 0.0;
+  bool active = false;
+
+  while (p < end) {
+    const std::uint8_t cmd = *p++;
+    const std::uint8_t op = cmd >> 6;
+    const std::uint8_t arg = cmd & 0x3F;
+    switch (op) {
+      case kDcsrOpDeltas8:
+        for (std::uint8_t i = 0; i < arg; ++i) {
+          x_idx += *p++;
+          acc += (*v++) * x[x_idx];
+        }
+        break;
+      case kDcsrOpDelta16:
+        x_idx += load_u16(p);
+        p += 2;
+        acc += (*v++) * x[x_idx];
+        break;
+      case kDcsrOpDelta32:
+        x_idx += load_u32(p);
+        p += 4;
+        acc += (*v++) * x[x_idx];
+        break;
+      case kDcsrOpNewRow: {
+        if (active) {
+          y[row] = acc;
+          active = false;
+        }
+        // arg-1 of the advanced rows are empty; zero the owned ones.
+        // (Chained NEWROWs make every advanced row except the final one
+        // empty, which this handles per command.)
+        for (std::int64_t r = std::max(row + 1, row_begin);
+             r < row + arg; ++r) {
+          y[r] = 0.0;
+        }
+        row += arg;
+        x_idx = 0;
+        acc = 0.0;
+        active = true;
+        break;
+      }
+    }
+  }
+  if (active) {
+    y[row] = acc;
+  }
+  for (std::int64_t r = std::max(row + 1, row_begin);
+       r < static_cast<std::int64_t>(s.row_end); ++r) {
+    y[r] = 0.0;
+  }
+}
+
+}  // namespace spc

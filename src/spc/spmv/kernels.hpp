@@ -1,0 +1,191 @@
+// SpMV kernels (y = A*x) for every storage format.
+//
+// All kernels are *row-range* kernels: they compute y for rows
+// [row_begin, row_end) only, which makes the serial case (full range) and
+// the multithreaded row-partitioned case (per-thread ranges) share one
+// implementation. Per the paper's code (§VI-A), each row's partial sum is
+// kept in a register and written to y once at the end of the row.
+//
+// Kernels take raw pointers: the caller guarantees x has ncols elements
+// and y has nrows elements.
+#pragma once
+
+#include <cstdint>
+
+#include "spc/formats/bcsr.hpp"
+#include "spc/formats/coo.hpp"
+#include "spc/formats/csc.hpp"
+#include "spc/formats/csr.hpp"
+#include "spc/formats/csr_du.hpp"
+#include "spc/formats/csr_du_vi.hpp"
+#include "spc/formats/csr_vi.hpp"
+#include "spc/formats/dcsr.hpp"
+#include "spc/formats/dia.hpp"
+#include "spc/formats/ell.hpp"
+#include "spc/formats/jds.hpp"
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+// ---------------------------------------------------------------- CSR ---
+
+/// The paper's baseline kernel (§II-B) with the register-accumulator
+/// optimization (§VI-A).
+template <typename ColIndexT>
+void spmv_csr_range(const BasicCsr<ColIndexT>& m, const value_t* x,
+                    value_t* y, index_t row_begin, index_t row_end) {
+  const index_t* const __restrict row_ptr = m.row_ptr().data();
+  const ColIndexT* const __restrict col_ind = m.col_ind().data();
+  const value_t* const __restrict values = m.values().data();
+  for (index_t i = row_begin; i < row_end; ++i) {
+    value_t acc = 0.0;
+    const index_t end = row_ptr[i + 1];
+    for (index_t j = row_ptr[i]; j < end; ++j) {
+      acc += values[j] * x[col_ind[j]];
+    }
+    y[i] = acc;
+  }
+}
+
+template <typename ColIndexT>
+void spmv(const BasicCsr<ColIndexT>& m, const value_t* x, value_t* y) {
+  spmv_csr_range(m, x, y, 0, m.nrows());
+}
+
+/// CSR kernel with software prefetch of the x gathers `Dist` elements
+/// ahead — the classic mitigation for the irregular x accesses the
+/// paper's related work (§III-A) targets with reordering/blocking.
+/// Compared by bench/ablation_prefetch.
+template <typename ColIndexT, int Dist = 16>
+void spmv_csr_prefetch_range(const BasicCsr<ColIndexT>& m,
+                             const value_t* x, value_t* y,
+                             index_t row_begin, index_t row_end) {
+  const index_t* const __restrict row_ptr = m.row_ptr().data();
+  const ColIndexT* const __restrict col_ind = m.col_ind().data();
+  const value_t* const __restrict values = m.values().data();
+  const index_t nnz_end = row_ptr[row_end];
+  for (index_t i = row_begin; i < row_end; ++i) {
+    value_t acc = 0.0;
+    const index_t end = row_ptr[i + 1];
+    for (index_t j = row_ptr[i]; j < end; ++j) {
+      if (j + Dist < nnz_end) {
+        __builtin_prefetch(&x[col_ind[j + Dist]], 0, 1);
+      }
+      acc += values[j] * x[col_ind[j]];
+    }
+    y[i] = acc;
+  }
+}
+
+// ---------------------------------------------------------------- COO ---
+
+/// Serial COO kernel. Writes the full y (zero-fills first).
+void spmv(const Coo& m, const value_t* x, value_t* y);
+
+// ---------------------------------------------------------------- CSC ---
+
+/// Serial CSC kernel: column-major scatter into y (zero-fills first).
+void spmv(const Csc& m, const value_t* x, value_t* y);
+
+/// Column-range CSC kernel accumulating into `y` *without* zero-filling;
+/// used by the column-partitioned multithreaded path (§II-C), where each
+/// thread owns a private y copy that is reduced afterwards.
+void spmv_csc_cols(const Csc& m, const value_t* x, value_t* y,
+                   index_t col_begin, index_t col_end);
+
+// --------------------------------------------------------------- BCSR ---
+
+/// Row-range (in block rows) BCSR kernel. Handles ragged edge blocks.
+void spmv_bcsr_range(const Bcsr& m, const value_t* x, value_t* y,
+                     index_t block_row_begin, index_t block_row_end);
+
+void spmv(const Bcsr& m, const value_t* x, value_t* y);
+
+// ---------------------------------------------------------------- ELL ---
+
+/// Row-range ELLPACK kernel: fixed-width rows, branch-free inner loop
+/// (padding contributes 0 * x[pad]).
+void spmv_ell_range(const Ell& m, const value_t* x, value_t* y,
+                    index_t row_begin, index_t row_end);
+
+void spmv(const Ell& m, const value_t* x, value_t* y);
+
+// ---------------------------------------------------------------- DIA ---
+
+/// Row-range DIA kernel: zero-fills y[row_begin, row_end) then streams
+/// each diagonal's overlap with the range.
+void spmv_dia_range(const Dia& m, const value_t* x, value_t* y,
+                    index_t row_begin, index_t row_end);
+
+void spmv(const Dia& m, const value_t* x, value_t* y);
+
+// ---------------------------------------------------------------- JDS ---
+
+/// JDS kernel over a range [i_begin, i_end) of *permuted* row positions
+/// (each thread owns a contiguous slice of the jagged index space and
+/// therefore a disjoint set of y entries).
+void spmv_jds_range(const Jds& m, const value_t* x, value_t* y,
+                    index_t i_begin, index_t i_end);
+
+void spmv(const Jds& m, const value_t* x, value_t* y);
+
+// ------------------------------------------------------------- CSR-DU ---
+
+/// Decodes and multiplies one ctl slice (Fig 3 of the paper, extended
+/// with the RJMP/RLE1 unit types). Writes y only for rows in the slice.
+void spmv(const CsrDu::Slice& s, const value_t* x, value_t* y);
+
+inline void spmv(const CsrDu& m, const value_t* x, value_t* y) {
+  spmv(m.full(), x, y);
+}
+
+// ------------------------------------------------------------- CSR-VI ---
+
+/// Row-range CSR-VI kernel (Fig 5 of the paper), templated on the value
+/// index width.
+template <typename IndT>
+void spmv_csr_vi_range(const index_t* __restrict row_ptr,
+                       const std::uint32_t* __restrict col_ind,
+                       const IndT* __restrict val_ind,
+                       const value_t* __restrict vals_unique,
+                       const value_t* x, value_t* y, index_t row_begin,
+                       index_t row_end) {
+  for (index_t i = row_begin; i < row_end; ++i) {
+    value_t acc = 0.0;
+    const index_t end = row_ptr[i + 1];
+    for (index_t j = row_ptr[i]; j < end; ++j) {
+      acc += vals_unique[val_ind[j]] * x[col_ind[j]];
+    }
+    y[i] = acc;
+  }
+}
+
+/// Width-dispatching row-range wrapper.
+void spmv_csr_vi_range(const CsrVi& m, const value_t* x, value_t* y,
+                       index_t row_begin, index_t row_end);
+
+inline void spmv(const CsrVi& m, const value_t* x, value_t* y) {
+  spmv_csr_vi_range(m, x, y, 0, m.nrows());
+}
+
+// ---------------------------------------------------------- CSR-DU-VI ---
+
+/// DU slice decode with value indirection. `slice.val_offset` selects the
+/// starting position in the val_ind stream.
+void spmv(const CsrDuVi& m, const CsrDu::Slice& s, const value_t* x,
+          value_t* y);
+
+inline void spmv(const CsrDuVi& m, const value_t* x, value_t* y) {
+  spmv(m, m.du().full(), x, y);
+}
+
+// --------------------------------------------------------------- DCSR ---
+
+/// Command-stream decode of one slice (fine-grained; see dcsr.hpp).
+void spmv(const Dcsr::Slice& s, const value_t* x, value_t* y);
+
+inline void spmv(const Dcsr& m, const value_t* x, value_t* y) {
+  spmv(m.full(), x, y);
+}
+
+}  // namespace spc

@@ -1,0 +1,67 @@
+// SpMM — sparse matrix times multiple dense vectors (Y = A·X).
+//
+// Blocked iterative methods (block CG/GMRES, multiple right-hand sides)
+// multiply the same matrix with k vectors at once. Each matrix element
+// then feeds k FMAs, so the matrix traffic is amortized k-fold — an
+// *alternative* answer to the paper's bandwidth problem, orthogonal to
+// compression and composable with it (ablation_spmm measures both).
+//
+// Layout: X is ncols×k and Y is nrows×k, row-major (vector index fastest:
+// X[col*k + j]), which keeps the k loads of one element contiguous.
+#pragma once
+
+#include <memory>
+
+#include "spc/formats/csr.hpp"
+#include "spc/formats/csr_vi.hpp"
+#include "spc/mm/vector.hpp"
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+/// Maximum simultaneous vectors the kernels are specialized for.
+inline constexpr index_t kSpmmMaxVectors = 16;
+
+/// Row-range CSR SpMM.
+void spmm_csr_range(const Csr& m, const value_t* X, value_t* Y, index_t k,
+                    index_t row_begin, index_t row_end);
+
+inline void spmm(const Csr& m, const value_t* X, value_t* Y, index_t k) {
+  spmm_csr_range(m, X, Y, k, 0, m.nrows());
+}
+
+/// Row-range CSR-VI SpMM (value indirection + amortization composed).
+void spmm_csr_vi_range(const CsrVi& m, const value_t* X, value_t* Y,
+                       index_t k, index_t row_begin, index_t row_end);
+
+inline void spmm(const CsrVi& m, const value_t* X, value_t* Y, index_t k) {
+  spmm_csr_vi_range(m, X, Y, k, 0, m.nrows());
+}
+
+/// Prepared multithreaded SpMM: nnz-balanced row partition over a pinned
+/// pool, mirroring SpmvInstance for the multi-vector case.
+class SpmmRunner {
+ public:
+  enum class Kind { kCsr, kCsrVi };
+
+  SpmmRunner(const Triplets& t, Kind kind, index_t k,
+             std::size_t nthreads = 1, bool pin_threads = false);
+  ~SpmmRunner();
+  SpmmRunner(SpmmRunner&&) noexcept;
+
+  index_t nrows() const;
+  index_t ncols() const;
+  index_t vectors() const { return k_; }
+  usize_t matrix_bytes() const;
+
+  /// Y = A*X; X has ncols*k entries, Y nrows*k (row-major, vector index
+  /// fastest).
+  void run(const Vector& X, Vector& Y);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  index_t k_ = 1;
+};
+
+}  // namespace spc

@@ -1,0 +1,78 @@
+#include "spc/spmv/sym_spmv.hpp"
+
+#include <algorithm>
+
+#include "spc/support/topology.hpp"
+
+namespace spc {
+
+void spmv_sym_rows(const SymCsr& m, const value_t* x, value_t* y,
+                   index_t row_begin, index_t row_end) {
+  const index_t* const __restrict row_ptr = m.row_ptr().data();
+  const index_t* const __restrict col_ind = m.col_ind().data();
+  const value_t* const __restrict values = m.values().data();
+  const value_t* const __restrict diag = m.diag().data();
+  for (index_t r = row_begin; r < row_end; ++r) {
+    value_t acc = diag[r] * x[r];
+    const index_t end = row_ptr[r + 1];
+    const value_t xr = x[r];
+    for (index_t j = row_ptr[r]; j < end; ++j) {
+      const index_t c = col_ind[j];
+      const value_t v = values[j];
+      acc += v * x[c];   // lower-triangle element (r, c)
+      y[c] += v * xr;    // mirrored upper-triangle element (c, r)
+    }
+    y[r] += acc;
+  }
+}
+
+void spmv(const SymCsr& m, const value_t* x, value_t* y) {
+  std::fill(y, y + m.nrows(), 0.0);
+  spmv_sym_rows(m, x, y, 0, m.nrows());
+}
+
+SymSpmv::SymSpmv(const Triplets& t, std::size_t nthreads, bool pin_threads)
+    : m_(SymCsr::from_triplets(t)), nthreads_(std::max<std::size_t>(1, nthreads)) {
+  if (nthreads_ > 1) {
+    // Balance by stored (lower-triangle) elements.
+    partition_ = partition_rows_by_nnz(m_.row_ptr(), nthreads_);
+    scratch_.assign(nthreads_, Vector(m_.nrows(), 0.0));
+    std::vector<int> plan;
+    if (pin_threads) {
+      plan = plan_placement(discover_topology(), nthreads_,
+                            Placement::kCloseFirst);
+    }
+    pool_ = std::make_unique<ThreadPool>(nthreads_, plan);
+  }
+}
+
+void SymSpmv::run(const Vector& x, Vector& y) {
+  SPC_CHECK_MSG(x.size() == m_.nrows() && y.size() == m_.nrows(),
+                "dimension mismatch");
+  if (nthreads_ == 1) {
+    spmv(m_, x.data(), y.data());
+    return;
+  }
+  const value_t* const xp = x.data();
+  value_t* const yp = y.data();
+  pool_->run([&](std::size_t th) {
+    Vector& s = scratch_[th];
+    std::fill(s.begin(), s.end(), 0.0);
+    spmv_sym_rows(m_, xp, s.data(), partition_.row_begin(th),
+                  partition_.row_end(th));
+  });
+  const RowPartition rows = partition_rows_even(m_.nrows(), nthreads_);
+  pool_->run([&](std::size_t th) {
+    const index_t r0 = rows.row_begin(th);
+    const index_t r1 = rows.row_end(th);
+    std::fill(yp + r0, yp + r1, 0.0);
+    for (const Vector& s : scratch_) {
+      const value_t* const sp = s.data();
+      for (index_t r = r0; r < r1; ++r) {
+        yp[r] += sp[r];
+      }
+    }
+  });
+}
+
+}  // namespace spc

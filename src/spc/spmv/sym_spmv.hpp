@@ -1,0 +1,48 @@
+// SpMV for the symmetric format (§III-C).
+//
+// The implicit upper triangle makes the kernel scatter into y[col], so
+// row ranges no longer write disjoint y — the multithreaded runner gives
+// each thread a private y copy and reduces, the same pattern as column-
+// partitioned CSC (§II-C).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "spc/formats/sym_csr.hpp"
+#include "spc/mm/vector.hpp"
+#include "spc/parallel/partition.hpp"
+#include "spc/parallel/thread_pool.hpp"
+
+namespace spc {
+
+/// Serial kernel: y = A*x for the full (symmetric) matrix.
+void spmv(const SymCsr& m, const value_t* x, value_t* y);
+
+/// Row-range partial kernel accumulating into y without zero-filling —
+/// building block of the multithreaded path (y must be zeroed by the
+/// caller; writes y[r] for r in range and scatters into y[c], c < r).
+void spmv_sym_rows(const SymCsr& m, const value_t* x, value_t* y,
+                   index_t row_begin, index_t row_end);
+
+/// Prepared multithreaded symmetric SpMV (private-y + reduction).
+class SymSpmv {
+ public:
+  explicit SymSpmv(const Triplets& t, std::size_t nthreads = 1,
+                   bool pin_threads = false);
+
+  index_t nrows() const { return m_.nrows(); }
+  usize_t matrix_bytes() const { return m_.bytes(); }
+  const SymCsr& matrix() const { return m_; }
+
+  void run(const Vector& x, Vector& y);
+
+ private:
+  SymCsr m_;
+  std::size_t nthreads_;
+  RowPartition partition_;
+  std::vector<Vector> scratch_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace spc

@@ -1,0 +1,64 @@
+// Cache-line-aligned storage for hot kernel arrays.
+//
+// SpMV is a streaming kernel; aligning the large arrays (values, col_ind,
+// ctl, x, y) to cache-line boundaries avoids split lines and makes
+// per-thread slices start on predictable boundaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+/// Minimal C++17-style allocator returning `Align`-aligned storage.
+template <typename T, std::size_t Align = kCacheLineBytes>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Align >= alignof(T), "alignment weaker than type requires");
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of 2");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    // Round the byte count up to a multiple of Align (required by
+    // std::aligned_alloc) and never pass zero.
+    std::size_t bytes = n * sizeof(T);
+    bytes = (bytes + Align - 1) / Align * Align;
+    if (bytes == 0) {
+      bytes = Align;
+    }
+    void* p = std::aligned_alloc(Align, bytes);
+    if (p == nullptr) {
+      throw std::bad_alloc();
+    }
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// Vector whose buffer starts on a cache-line boundary.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace spc

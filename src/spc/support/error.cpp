@@ -1,0 +1,17 @@
+#include "spc/support/error.hpp"
+
+#include <sstream>
+
+namespace spc::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "SPC_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace spc::detail

@@ -1,0 +1,58 @@
+// Error handling: a lightweight exception hierarchy plus check macros.
+//
+// Library invariants are enforced with SPC_CHECK (always on) and
+// SPC_DCHECK (debug only). User-facing failures (bad files, invalid
+// construction arguments) throw spc::Error with a formatted message.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace spc {
+
+/// Base class for all errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised on malformed input files (Matrix Market parsing, etc.).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when arguments to a public API violate its preconditions.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace spc
+
+/// Always-on invariant check; throws spc::Error on failure.
+#define SPC_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::spc::detail::check_failed(#expr, __FILE__, __LINE__, "");      \
+    }                                                                  \
+  } while (0)
+
+/// Always-on invariant check with an explanatory message.
+#define SPC_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::spc::detail::check_failed(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                  \
+  } while (0)
+
+#ifndef NDEBUG
+#define SPC_DCHECK(expr) SPC_CHECK(expr)
+#else
+#define SPC_DCHECK(expr) ((void)0)
+#endif

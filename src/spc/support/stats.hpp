@@ -1,0 +1,87 @@
+// Streaming statistics accumulators used by matrix analysis and the
+// benchmark harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace spc {
+
+/// Welford's online mean/variance plus min/max tracking.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact histogram over arbitrary integer keys (delta classes, row lengths).
+class Histogram {
+ public:
+  void add(std::uint64_t key, std::uint64_t weight = 1) {
+    bins_[key] += weight;
+    total_ += weight;
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(std::uint64_t key) const {
+    const auto it = bins_.find(key);
+    return it == bins_.end() ? 0 : it->second;
+  }
+  double fraction(std::uint64_t key) const {
+    return total_ ? static_cast<double>(count(key)) /
+                        static_cast<double>(total_)
+                  : 0.0;
+  }
+  const std::map<std::uint64_t, std::uint64_t>& bins() const { return bins_; }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// Median of a sample (copies; fine for harness-sized vectors).
+inline double median(std::vector<double> v) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  double m = v[mid];
+  if (v.size() % 2 == 0) {
+    std::nth_element(v.begin(),
+                     v.begin() + static_cast<std::ptrdiff_t>(mid - 1),
+                     v.begin() + static_cast<std::ptrdiff_t>(mid));
+    m = 0.5 * (m + v[mid - 1]);
+  }
+  return m;
+}
+
+}  // namespace spc

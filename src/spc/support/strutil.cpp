@@ -1,0 +1,50 @@
+#include "spc/support/strutil.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace spc {
+
+std::string human_bytes(std::uint64_t bytes) {
+  static const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1000.0 && u < 4) {
+    v /= 1000.0;
+    ++u;
+  }
+  std::ostringstream os;
+  if (u == 0) {
+    os << bytes << " B";
+  } else {
+    os << fmt_fixed(v, 1) << " " << units[u];
+  }
+  return os.str();
+}
+
+std::string fmt_fixed(double v, int digits) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << v;
+  return os.str();
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (is >> tok) {
+    out.push_back(tok);
+  }
+  return out;
+}
+
+std::string to_lower(std::string s) {
+  for (auto& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+}  // namespace spc

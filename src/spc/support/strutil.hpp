@@ -1,0 +1,22 @@
+// Small string/formatting helpers shared by reports and the CLI tools.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spc {
+
+/// "16.4 MB", "512 B", ... (decimal prefixes, one fractional digit).
+std::string human_bytes(std::uint64_t bytes);
+
+/// Fixed-point double with `digits` fractional digits.
+std::string fmt_fixed(double v, int digits = 2);
+
+/// Splits on any amount of whitespace; no empty tokens.
+std::vector<std::string> split_ws(const std::string& s);
+
+/// Lower-cases ASCII.
+std::string to_lower(std::string s);
+
+}  // namespace spc

@@ -1,0 +1,32 @@
+// Wall-clock timing utilities for the experiment harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace spc {
+
+/// Monotonic nanosecond timestamp.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Simple start/elapsed stopwatch.
+class Timer {
+ public:
+  Timer() : start_(now_ns()) {}
+
+  void restart() { start_ = now_ns(); }
+
+  std::uint64_t elapsed_ns() const { return now_ns() - start_; }
+  double elapsed_s() const { return static_cast<double>(elapsed_ns()) * 1e-9; }
+  double elapsed_ms() const { return static_cast<double>(elapsed_ns()) * 1e-6; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace spc

@@ -1,0 +1,238 @@
+#include "spc/support/topology.hpp"
+
+#include <sched.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace spc {
+
+namespace {
+
+// Reads a sysfs file containing a single integer; returns `fallback` when
+// the file is missing or malformed.
+long read_long(const std::string& path, long fallback) {
+  std::ifstream f(path);
+  long v = 0;
+  if (f >> v) {
+    return v;
+  }
+  return fallback;
+}
+
+// Parses a kernel cpulist string like "0-3,8,10-11" into cpu ids.
+std::vector<int> parse_cpulist(const std::string& s) {
+  std::vector<int> out;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (tok.empty()) {
+      continue;
+    }
+    const auto dash = tok.find('-');
+    if (dash == std::string::npos) {
+      out.push_back(std::stoi(tok));
+    } else {
+      const int lo = std::stoi(tok.substr(0, dash));
+      const int hi = std::stoi(tok.substr(dash + 1));
+      for (int c = lo; c <= hi; ++c) {
+        out.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+// Parses cache sizes of the form "4096K" / "4M".
+std::size_t parse_cache_size(const std::string& s) {
+  if (s.empty()) {
+    return 0;
+  }
+  std::size_t mult = 1;
+  std::string digits = s;
+  switch (s.back()) {
+    case 'K':
+      mult = 1024;
+      digits.pop_back();
+      break;
+    case 'M':
+      mult = 1024 * 1024;
+      digits.pop_back();
+      break;
+    case 'G':
+      mult = 1024ULL * 1024 * 1024;
+      digits.pop_back();
+      break;
+    default:
+      break;
+  }
+  try {
+    return static_cast<std::size_t>(std::stoull(digits)) * mult;
+  } catch (...) {
+    return 0;
+  }
+}
+
+std::string read_line(const std::string& path) {
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  return line;
+}
+
+}  // namespace
+
+std::size_t Topology::aggregate_llc_bytes(std::size_t threads_used) const {
+  if (llc_bytes == 0 || cpus.empty()) {
+    return 0;
+  }
+  // Close-first placement touches ceil(threads / cpus-per-LLC) LLC domains.
+  const std::size_t cpus_per_llc =
+      std::max<std::size_t>(1, num_cpus() / std::max<std::size_t>(1, llc_instances));
+  const std::size_t domains =
+      std::min(llc_instances,
+               (threads_used + cpus_per_llc - 1) / cpus_per_llc);
+  return domains * llc_bytes;
+}
+
+Topology discover_topology() {
+  Topology topo;
+  const std::string base = "/sys/devices/system/cpu";
+
+  const long n_online = sysconf(_SC_NPROCESSORS_ONLN);
+  const int ncpu = n_online > 0 ? static_cast<int>(n_online) : 1;
+
+  std::set<std::string> llc_domains;
+  for (int c = 0; c < ncpu; ++c) {
+    const std::string cdir = base + "/cpu" + std::to_string(c);
+    CpuInfo info;
+    info.cpu_id = c;
+    info.package_id = static_cast<int>(
+        read_long(cdir + "/topology/physical_package_id", 0));
+    info.core_id =
+        static_cast<int>(read_long(cdir + "/topology/core_id", c));
+
+    // Highest-index cache directory is the LLC.
+    for (int idx = 4; idx >= 0; --idx) {
+      const std::string cache =
+          cdir + "/cache/index" + std::to_string(idx);
+      const std::string type = read_line(cache + "/type");
+      if (type.empty() || type == "Instruction") {
+        continue;
+      }
+      const std::string shared =
+          read_line(cache + "/shared_cpu_list");
+      info.llc_siblings = parse_cpulist(shared);
+      const std::size_t sz = parse_cache_size(read_line(cache + "/size"));
+      if (sz > 0) {
+        topo.llc_bytes = sz;
+      }
+      if (!shared.empty()) {
+        llc_domains.insert(shared);
+      }
+      break;
+    }
+    if (info.llc_siblings.empty()) {
+      info.llc_siblings = {c};
+    }
+    topo.cpus.push_back(info);
+  }
+
+  topo.llc_instances = llc_domains.empty() ? topo.cpus.size()
+                                           : llc_domains.size();
+  if (topo.llc_instances == 0) {
+    topo.llc_instances = 1;
+  }
+  return topo;
+}
+
+std::vector<int> plan_placement(const Topology& topo, std::size_t nthreads,
+                                Placement policy) {
+  std::vector<int> plan;
+  if (topo.cpus.empty() || nthreads == 0) {
+    for (std::size_t i = 0; i < nthreads; ++i) {
+      plan.push_back(static_cast<int>(i));
+    }
+    return plan;
+  }
+
+  // Group logical CPUs by LLC domain, represented by the sorted sibling list.
+  std::map<std::vector<int>, std::vector<int>> domains;
+  for (const auto& cpu : topo.cpus) {
+    auto key = cpu.llc_siblings;
+    std::sort(key.begin(), key.end());
+    domains[key].push_back(cpu.cpu_id);
+  }
+  std::vector<std::vector<int>> groups;
+  groups.reserve(domains.size());
+  for (auto& [key, members] : domains) {
+    std::sort(members.begin(), members.end());
+    groups.push_back(members);
+  }
+  std::sort(groups.begin(), groups.end());
+
+  if (policy == Placement::kCloseFirst) {
+    // Fill one cache domain completely before moving to the next.
+    for (const auto& g : groups) {
+      for (int c : g) {
+        if (plan.size() == nthreads) {
+          return plan;
+        }
+        plan.push_back(c);
+      }
+    }
+  } else {
+    // Round-robin across domains so threads land on distinct caches first.
+    for (std::size_t round = 0; plan.size() < nthreads; ++round) {
+      bool placed = false;
+      for (const auto& g : groups) {
+        if (round < g.size()) {
+          plan.push_back(g[round]);
+          placed = true;
+          if (plan.size() == nthreads) {
+            return plan;
+          }
+        }
+      }
+      if (!placed) {
+        break;  // more threads than CPUs — wrap around below
+      }
+    }
+  }
+  // Oversubscription: wrap modulo the CPU count, preserving the policy order.
+  const std::size_t have = plan.size();
+  if (have == 0) {
+    plan.push_back(0);
+  }
+  while (plan.size() < nthreads) {
+    plan.push_back(plan[plan.size() % std::max<std::size_t>(1, have)]);
+  }
+  return plan;
+}
+
+bool pin_thread_to_cpu(int cpu_id) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu_id), &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+}
+
+std::string describe_topology(const Topology& topo) {
+  std::ostringstream os;
+  std::set<int> packages;
+  for (const auto& c : topo.cpus) {
+    packages.insert(c.package_id);
+  }
+  os << topo.num_cpus() << " logical CPU(s), " << packages.size()
+     << " package(s), " << topo.llc_instances << " LLC domain(s)";
+  if (topo.llc_bytes > 0) {
+    os << " of " << (topo.llc_bytes / 1024) << " KiB each";
+  }
+  return os.str();
+}
+
+}  // namespace spc

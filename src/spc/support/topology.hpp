@@ -1,0 +1,63 @@
+// CPU topology discovery.
+//
+// The paper schedules threads "as close as possible" and contrasts
+// 2-thread placements that share an L2 against placements on separate
+// caches (Table II). To reproduce that policy portably we read the Linux
+// sysfs topology (package / core / sibling / cache layout) and fall back to
+// a flat model when sysfs is unavailable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spc {
+
+/// One logical CPU as the kernel numbers it.
+struct CpuInfo {
+  int cpu_id = 0;       ///< logical cpu number (sysfs cpuN)
+  int package_id = 0;   ///< physical socket
+  int core_id = 0;      ///< core within the socket
+  /// Logical CPUs that share the highest-level cache with this one
+  /// (inclusive of this cpu). Empty when unknown.
+  std::vector<int> llc_siblings;
+};
+
+/// Snapshot of the machine layout relevant to thread placement.
+struct Topology {
+  std::vector<CpuInfo> cpus;
+  std::size_t llc_bytes = 0;       ///< size of one last-level cache
+  std::size_t llc_instances = 1;   ///< number of distinct LLC domains
+
+  std::size_t num_cpus() const { return cpus.size(); }
+
+  /// Total cache available when `n` threads are placed close-first
+  /// (the paper's aggregate-L2 model: more LLC domains in use → more cache).
+  std::size_t aggregate_llc_bytes(std::size_t threads_used) const;
+};
+
+/// Placement policies for the 2-thread experiment of Table II.
+enum class Placement {
+  kCloseFirst,   ///< pack threads onto shared-cache siblings first (default)
+  kSpreadCaches  ///< place threads on distinct LLC domains first
+};
+
+/// Reads /sys/devices/system/cpu; never throws — degrades to a flat
+/// single-package model with `sysconf` CPU count and a 0 llc size.
+Topology discover_topology();
+
+/// Chooses `nthreads` logical CPUs according to `policy`.
+/// Returned ids are valid arguments for pin_thread_to_cpu.
+std::vector<int> plan_placement(const Topology& topo, std::size_t nthreads,
+                                Placement policy);
+
+/// Binds the calling thread to one logical CPU (sched_setaffinity).
+/// Returns false if the kernel rejected the mask (e.g. restricted cpuset);
+/// callers treat that as a soft failure.
+bool pin_thread_to_cpu(int cpu_id);
+
+/// Human-readable topology description for reports (Fig 6 equivalent).
+std::string describe_topology(const Topology& topo);
+
+}  // namespace spc

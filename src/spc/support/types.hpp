@@ -1,0 +1,26 @@
+// Core scalar type aliases shared across the library.
+//
+// The paper's experimental setup (§VI-A) uses 32-bit indices and 64-bit
+// floating point values; these are the library-wide defaults. Formats that
+// deliberately deviate (CSR-16, CSR-VI value indices) say so explicitly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spc {
+
+/// Row/column index type. 32 bits per the paper's setup: vectors are assumed
+/// to have fewer than 2^32 elements.
+using index_t = std::uint32_t;
+
+/// Numerical value type (double precision, per the paper).
+using value_t = double;
+
+/// Unsigned size used for nnz counts and byte sizes (may exceed 2^32).
+using usize_t = std::uint64_t;
+
+/// Cache line size assumed for alignment/padding decisions.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+}  // namespace spc

@@ -1,0 +1,30 @@
+#include "spc/support/varint.hpp"
+
+namespace spc {
+
+std::uint64_t varint_decode_checked(const std::uint8_t*& p,
+                                    const std::uint8_t* end) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  const std::uint8_t* q = p;
+  for (;;) {
+    if (q == end) {
+      throw ParseError("varint: truncated encoding");
+    }
+    const std::uint8_t byte = *q++;
+    if (shift >= 63 && (byte & 0x7E) != 0) {
+      throw ParseError("varint: value overflows 64 bits");
+    }
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      p = q;
+      return v;
+    }
+    shift += 7;
+    if (shift >= 64) {
+      throw ParseError("varint: encoding longer than 10 bytes");
+    }
+  }
+}
+
+}  // namespace spc

@@ -1,0 +1,168 @@
+#include "spc/bench/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace spc {
+namespace {
+
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      saved_ = old;
+      had_ = true;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(Thresholds, PaperDefaultsAtBenchScale) {
+  const SetThresholds th = thresholds_for(CorpusScale::kBench);
+  EXPECT_EQ(th.reject_below, 3ull << 20);
+  EXPECT_EQ(th.large_at_least, 17ull << 20);
+}
+
+TEST(Thresholds, ScaledDownForSmallCorpora) {
+  const SetThresholds bench = thresholds_for(CorpusScale::kBench);
+  const SetThresholds small = thresholds_for(CorpusScale::kSmall);
+  const SetThresholds tiny = thresholds_for(CorpusScale::kTiny);
+  EXPECT_LT(small.reject_below, bench.reject_below);
+  EXPECT_LT(tiny.reject_below, small.reject_below);
+}
+
+TEST(Thresholds, EnvOverride) {
+  EnvGuard g1("SPC_WS_REJECT_KB", "100");
+  EnvGuard g2("SPC_WS_LARGE_KB", "900");
+  const SetThresholds th = thresholds_for(CorpusScale::kBench);
+  EXPECT_EQ(th.reject_below, 100ull << 10);
+  EXPECT_EQ(th.large_at_least, 900ull << 10);
+}
+
+TEST(Classify, ThreeWaySplit) {
+  SetThresholds th;
+  th.reject_below = 1000;
+  th.large_at_least = 5000;
+  EXPECT_EQ(classify_ws(999, th), SetClass::kRejected);
+  EXPECT_EQ(classify_ws(1000, th), SetClass::kSmall);
+  EXPECT_EQ(classify_ws(4999, th), SetClass::kSmall);
+  EXPECT_EQ(classify_ws(5000, th), SetClass::kLarge);
+}
+
+TEST(BenchConfig, EnvParsing) {
+  EnvGuard g1("SPC_SCALE", "tiny");
+  EnvGuard g2("SPC_ITERS", "17");
+  EnvGuard g3("SPC_THREADS", "1,3,9");
+  EnvGuard g4("SPC_PIN", "0");
+  const BenchConfig cfg = BenchConfig::from_env();
+  EXPECT_EQ(cfg.scale, CorpusScale::kTiny);
+  EXPECT_EQ(cfg.iterations, 17u);
+  EXPECT_EQ(cfg.threads, (std::vector<std::size_t>{1, 3, 9}));
+  EXPECT_FALSE(cfg.pin_threads);
+  EXPECT_FALSE(cfg.describe().empty());
+}
+
+TEST(ForEachMatrix, VisitsTinyCorpus) {
+  BenchConfig cfg;
+  cfg.scale = CorpusScale::kTiny;
+  std::size_t count = 0;
+  for_each_matrix(
+      cfg,
+      [&](MatrixCase& mc) {
+        ++count;
+        EXPECT_GT(mc.mat.nnz(), 0u);
+        EXPECT_EQ(mc.ws, mc.stats.working_set_bytes());
+      },
+      /*apply_rejection=*/false);
+  EXPECT_EQ(count, corpus_specs(CorpusScale::kTiny).size());
+}
+
+TEST(ForEachMatrix, RejectionFiltersSmallWorkingSets) {
+  BenchConfig cfg;
+  cfg.scale = CorpusScale::kTiny;
+  std::size_t all = 0, kept = 0;
+  for_each_matrix(cfg, [&](MatrixCase&) { ++all; }, false);
+  for_each_matrix(cfg, [&](MatrixCase& mc) {
+    ++kept;
+    EXPECT_NE(mc.set_class, SetClass::kRejected);
+  });
+  EXPECT_LE(kept, all);
+}
+
+TEST(ForEachMatrix, MaxMatricesTruncates) {
+  BenchConfig cfg;
+  cfg.scale = CorpusScale::kTiny;
+  cfg.max_matrices = 3;
+  std::size_t count = 0;
+  for_each_matrix(cfg, [&](MatrixCase&) { ++count; }, false);
+  EXPECT_LE(count, 3u);
+}
+
+TEST(TimeSpmv, ProducesPositiveTime) {
+  const auto spec = corpus_spec("lap2d-s", CorpusScale::kTiny);
+  const Triplets t = spec.build();
+  SpmvInstance inst(t, Format::kCsr);
+  const double secs = time_spmv(inst, 4, 1);
+  EXPECT_GT(secs, 0.0);
+  EXPECT_GT(mflops(t.nnz(), 4, secs), 0.0);
+}
+
+TEST(Mflops, Formula) {
+  EXPECT_DOUBLE_EQ(mflops(1000, 10, 0.001), 2.0 * 1000 * 10 / 0.001 / 1e6);
+  EXPECT_DOUBLE_EQ(mflops(1000, 10, 0.0), 0.0);
+}
+
+TEST(SpeedupAgg, TracksPaperStatistics) {
+  SpeedupAgg agg;
+  for (const double s : {1.2, 0.9, 1.5, 0.97, 1.0}) {
+    agg.add(s);
+  }
+  EXPECT_EQ(agg.count(), 5u);
+  EXPECT_DOUBLE_EQ(agg.max(), 1.5);
+  EXPECT_DOUBLE_EQ(agg.min(), 0.9);
+  EXPECT_EQ(agg.slowdowns(), 2u);  // 0.9 and 0.97
+  EXPECT_NEAR(agg.avg(), (1.2 + 0.9 + 1.5 + 0.97 + 1.0) / 5, 1e-12);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable tt({"name", "val"});
+  tt.add_row({"a", "1.00"});
+  tt.add_row({"longer-name", "2"});
+  std::ostringstream os;
+  tt.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name        | val  |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 2    |"), std::string::npos);
+}
+
+TEST(WriteCsv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/spc_harness_test.csv";
+  write_csv(path, {"a", "b"}, {{"1", "2"}, {"3", "4"}});
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(f, line);
+  EXPECT_EQ(line, "3,4");
+}
+
+}  // namespace
+}  // namespace spc

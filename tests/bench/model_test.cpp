@@ -1,0 +1,41 @@
+#include "spc/bench/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spc {
+namespace {
+
+TEST(BandwidthModel, CalibrationProducesPositiveBandwidth) {
+  // Tiny arrays keep the test fast; the numbers are cache bandwidth, but
+  // positivity and ordering are all the model requires.
+  const BandwidthCalibration cal = calibrate_bandwidth(4ull << 20, 1);
+  EXPECT_GT(cal.read_gbps, 0.0);
+  EXPECT_GT(cal.triad_gbps, 0.0);
+}
+
+TEST(BandwidthModel, StreamedBytesFormula) {
+  // matrix + x + y in doubles.
+  EXPECT_EQ(spmv_streamed_bytes(1000, 10, 20), 1000u + 20 * 8 + 10 * 8);
+}
+
+TEST(BandwidthModel, PredictionScalesLinearly) {
+  const double t1 = predicted_spmv_seconds(1'000'000, 10.0);
+  const double t2 = predicted_spmv_seconds(2'000'000, 10.0);
+  EXPECT_DOUBLE_EQ(t2, 2.0 * t1);
+  EXPECT_DOUBLE_EQ(predicted_spmv_seconds(1'000'000'000, 1.0), 1.0);
+}
+
+TEST(BandwidthModel, ZeroBandwidthGivesZeroPrediction) {
+  EXPECT_DOUBLE_EQ(predicted_spmv_seconds(1000, 0.0), 0.0);
+}
+
+TEST(BandwidthModel, SmallerEncodingPredictsFasterSpmv) {
+  // The §II-B claim in model form: fewer streamed bytes → smaller bound.
+  const usize_t csr = spmv_streamed_bytes(12'000'000, 100000, 100000);
+  const usize_t vi = spmv_streamed_bytes(5'000'000, 100000, 100000);
+  EXPECT_LT(predicted_spmv_seconds(vi, 8.0),
+            predicted_spmv_seconds(csr, 8.0));
+}
+
+}  // namespace
+}  // namespace spc

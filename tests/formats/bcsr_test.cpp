@@ -1,0 +1,112 @@
+#include "spc/formats/bcsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spc/gen/generators.hpp"
+#include "test_util.hpp"
+
+namespace spc {
+namespace {
+
+TEST(Bcsr, RoundTripPaperMatrix) {
+  const Triplets orig = test::paper_matrix();
+  for (const index_t br : {1u, 2u, 3u}) {
+    for (const index_t bc : {1u, 2u, 3u}) {
+      test::expect_triplets_eq(
+          orig, Bcsr::from_triplets(orig, br, bc).to_triplets());
+    }
+  }
+}
+
+TEST(Bcsr, OneByOneBlocksEqualCsrStructure) {
+  const Triplets t = test::paper_matrix();
+  const Bcsr m = Bcsr::from_triplets(t, 1, 1);
+  EXPECT_EQ(m.nblocks(), t.nnz());
+  EXPECT_DOUBLE_EQ(m.fill_ratio(), 1.0);
+}
+
+TEST(Bcsr, FillRatioOnDenseBlocks) {
+  // A perfectly 2x2-blocked matrix has fill ratio 1 at block 2x2.
+  Rng rng(3);
+  const Triplets t =
+      gen_fem_blocks(50, 2, 4, rng, ValueModel::random());
+  const Bcsr aligned = Bcsr::from_triplets(t, 2, 2);
+  EXPECT_DOUBLE_EQ(aligned.fill_ratio(), 1.0);
+  // A misaligned block shape must pay fill-in.
+  const Bcsr misaligned = Bcsr::from_triplets(t, 3, 3);
+  EXPECT_GT(misaligned.fill_ratio(), 1.0);
+}
+
+TEST(Bcsr, IndexBytesShrinkWithBlocking) {
+  Rng rng(4);
+  const Triplets t =
+      gen_fem_blocks(200, 4, 5, rng, ValueModel::random());
+  const Bcsr b1 = Bcsr::from_triplets(t, 1, 1);
+  const Bcsr b4 = Bcsr::from_triplets(t, 4, 4);
+  const usize_t idx1 = b1.bytes() - b1.stored_values() * 8;
+  const usize_t idx4 = b4.bytes() - b4.stored_values() * 8;
+  EXPECT_LT(idx4, idx1 / 8);
+}
+
+TEST(Bcsr, RaggedEdgesHandled) {
+  // 7x5 matrix with 2x2 blocks: bottom and right edges are partial.
+  Triplets t(7, 5);
+  for (index_t r = 0; r < 7; ++r) {
+    for (index_t c = 0; c < 5; ++c) {
+      if ((r + c) % 2 == 0) {
+        t.add(r, c, static_cast<value_t>(1 + r * 5 + c));
+      }
+    }
+  }
+  t.sort_and_combine();
+  test::expect_triplets_eq(t,
+                           Bcsr::from_triplets(t, 2, 2).to_triplets());
+}
+
+TEST(Bcsr, RejectsOversizedBlocks) {
+  const Triplets t = test::paper_matrix();
+  EXPECT_THROW(Bcsr::from_triplets(t, 9, 1), Error);
+  EXPECT_THROW(Bcsr::from_triplets(t, 1, 0), Error);
+}
+
+TEST(Bcsr, EmptyMatrix) {
+  Triplets t(4, 4);
+  const Bcsr m = Bcsr::from_triplets(t, 2, 2);
+  EXPECT_EQ(m.nblocks(), 0u);
+  EXPECT_EQ(m.nnz(), 0u);
+}
+
+struct BcsrCase {
+  index_t br, bc;
+  int seed;
+};
+
+class BcsrRoundTrip : public ::testing::TestWithParam<BcsrCase> {};
+
+TEST_P(BcsrRoundTrip, RandomMatrices) {
+  const BcsrCase& c = GetParam();
+  Rng rng(900 + c.seed);
+  // Nonzero values only: zeros are indistinguishable from block fill.
+  Triplets t(1 + static_cast<index_t>(rng.next_below(100)),
+             1 + static_cast<index_t>(rng.next_below(100)));
+  const usize_t n = rng.next_below(2000);
+  for (usize_t k = 0; k < n; ++k) {
+    t.add(static_cast<index_t>(rng.next_below(t.nrows())),
+          static_cast<index_t>(rng.next_below(t.ncols())),
+          1.0 + rng.next_double());
+  }
+  t.sort_and_combine();
+  test::expect_triplets_eq(
+      t, Bcsr::from_triplets(t, c.br, c.bc).to_triplets());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BlockShapes, BcsrRoundTrip,
+    ::testing::Values(BcsrCase{1, 1, 0}, BcsrCase{2, 2, 1},
+                      BcsrCase{4, 4, 2}, BcsrCase{2, 4, 3},
+                      BcsrCase{4, 2, 4}, BcsrCase{3, 5, 5},
+                      BcsrCase{8, 8, 6}, BcsrCase{1, 8, 7},
+                      BcsrCase{8, 1, 8}));
+
+}  // namespace
+}  // namespace spc

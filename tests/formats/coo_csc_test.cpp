@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "spc/formats/coo.hpp"
+#include "spc/formats/csc.hpp"
+#include "test_util.hpp"
+
+namespace spc {
+namespace {
+
+TEST(Coo, RoundTripPaperMatrix) {
+  const Triplets orig = test::paper_matrix();
+  test::expect_triplets_eq(orig, Coo::from_triplets(orig).to_triplets());
+}
+
+TEST(Coo, ArraysMirrorTriplets) {
+  const Triplets t = test::paper_matrix();
+  const Coo m = Coo::from_triplets(t);
+  ASSERT_EQ(m.nnz(), t.nnz());
+  for (usize_t k = 0; k < t.nnz(); ++k) {
+    EXPECT_EQ(m.rows()[k], t.entries()[k].row);
+    EXPECT_EQ(m.cols()[k], t.entries()[k].col);
+    EXPECT_DOUBLE_EQ(m.values()[k], t.entries()[k].val);
+  }
+}
+
+TEST(Coo, BytesAccounting) {
+  const Coo m = Coo::from_triplets(test::paper_matrix());
+  EXPECT_EQ(m.bytes(), 16u * (4 + 4 + 8));
+}
+
+TEST(Csc, RoundTripPaperMatrix) {
+  const Triplets orig = test::paper_matrix();
+  test::expect_triplets_eq(orig, Csc::from_triplets(orig).to_triplets());
+}
+
+TEST(Csc, ColumnPointersAreCorrect) {
+  const Csc m = Csc::from_triplets(test::paper_matrix());
+  // Column populations of the Fig 1 matrix: 3,2,3,3,2,3.
+  const std::vector<index_t> expect = {0, 3, 5, 8, 11, 13, 16};
+  ASSERT_EQ(m.col_ptr().size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(m.col_ptr()[i], expect[i]) << i;
+  }
+}
+
+TEST(Csc, RowIndicesSortedWithinColumns) {
+  Rng rng(3);
+  const Triplets t = test::random_triplets(100, 80, 1500, rng);
+  const Csc m = Csc::from_triplets(t);
+  for (index_t c = 0; c < m.ncols(); ++c) {
+    for (index_t j = m.col_ptr()[c] + 1; j < m.col_ptr()[c + 1]; ++j) {
+      EXPECT_LT(m.row_ind()[j - 1], m.row_ind()[j]);
+    }
+  }
+}
+
+class CooCscRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CooCscRoundTrip, RandomMatrices) {
+  Rng rng(300 + GetParam());
+  const Triplets t = test::random_triplets(
+      1 + static_cast<index_t>(rng.next_below(150)),
+      1 + static_cast<index_t>(rng.next_below(150)),
+      rng.next_below(3000), rng);
+  test::expect_triplets_eq(t, Coo::from_triplets(t).to_triplets());
+  test::expect_triplets_eq(t, Csc::from_triplets(t).to_triplets());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CooCscRoundTrip, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,113 @@
+#include "spc/formats/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spc/gen/generators.hpp"
+#include "test_util.hpp"
+
+namespace spc {
+namespace {
+
+TEST(Csr, PaperMatrixGoldenArrays) {
+  // Fig 1 of the paper.
+  const Csr m = Csr::from_triplets(test::paper_matrix());
+  const std::vector<index_t> row_ptr = {0, 2, 5, 6, 9, 12, 16};
+  const std::vector<std::uint32_t> col_ind = {0, 1, 1, 3, 5, 2, 2, 4,
+                                              5, 0, 3, 4, 0, 2, 3, 5};
+  const std::vector<value_t> values = {5.4, 1.1, 6.3, 7.7, 8.8, 1.1,
+                                       2.9, 3.7, 2.9, 9.0, 1.1, 4.5,
+                                       1.1, 2.9, 3.7, 1.1};
+  ASSERT_EQ(m.row_ptr().size(), row_ptr.size());
+  for (std::size_t i = 0; i < row_ptr.size(); ++i) {
+    EXPECT_EQ(m.row_ptr()[i], row_ptr[i]) << i;
+  }
+  ASSERT_EQ(m.col_ind().size(), col_ind.size());
+  for (std::size_t i = 0; i < col_ind.size(); ++i) {
+    EXPECT_EQ(m.col_ind()[i], col_ind[i]) << i;
+    EXPECT_DOUBLE_EQ(m.values()[i], values[i]) << i;
+  }
+}
+
+TEST(Csr, BytesAccounting) {
+  const Csr m = Csr::from_triplets(test::paper_matrix());
+  EXPECT_EQ(m.bytes(), 7 * 4 + 16 * 4 + 16 * 8);
+}
+
+TEST(Csr, RoundTripPaperMatrix) {
+  const Triplets orig = test::paper_matrix();
+  test::expect_triplets_eq(orig, Csr::from_triplets(orig).to_triplets());
+}
+
+TEST(Csr, EmptyMatrix) {
+  Triplets t(3, 3);
+  const Csr m = Csr::from_triplets(t);
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_EQ(m.row_ptr().size(), 4u);
+  EXPECT_EQ(m.row_ptr()[3], 0u);
+}
+
+TEST(Csr, RejectsUnsortedInput) {
+  Triplets t(2, 2);
+  t.add(1, 0, 1.0);
+  t.add(0, 0, 1.0);
+  EXPECT_THROW(Csr::from_triplets(t), Error);
+}
+
+TEST(Csr16, RoundTripWhenApplicable) {
+  Rng rng(9);
+  const Triplets t = test::random_triplets(300, 60000, 2000, rng);
+  ASSERT_TRUE(csr16_applicable(t));
+  test::expect_triplets_eq(t, Csr16::from_triplets(t).to_triplets());
+}
+
+TEST(Csr16, RejectsWideMatrix) {
+  Triplets t(2, 70000);
+  t.add(0, 69999, 1.0);
+  t.sort_and_combine();
+  EXPECT_FALSE(csr16_applicable(t));
+  EXPECT_THROW(Csr16::from_triplets(t), Error);
+}
+
+TEST(Csr16, HalvesIndexBytes) {
+  Rng rng(10);
+  const Triplets t = test::random_triplets(500, 500, 3000, rng);
+  const Csr m32 = Csr::from_triplets(t);
+  const Csr16 m16 = Csr16::from_triplets(t);
+  const usize_t idx32 = m32.bytes() - m32.nnz() * sizeof(value_t);
+  const usize_t idx16 = m16.bytes() - m16.nnz() * sizeof(value_t);
+  // col_ind halves; row_ptr stays 32-bit.
+  EXPECT_EQ(idx32 - idx16, m32.nnz() * 2);
+}
+
+class CsrRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsrRoundTrip, RandomMatrices) {
+  Rng rng(1000 + GetParam());
+  const index_t nrows = 1 + static_cast<index_t>(rng.next_below(200));
+  const index_t ncols = 1 + static_cast<index_t>(rng.next_below(200));
+  const usize_t nnz = rng.next_below(nrows * static_cast<usize_t>(ncols) / 2 + 1);
+  const Triplets t = test::random_triplets(nrows, ncols, nnz, rng);
+  test::expect_triplets_eq(t, Csr::from_triplets(t).to_triplets());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrRoundTrip, ::testing::Range(0, 20));
+
+TEST(Csr64, RoundTripAndWiderFootprint) {
+  Rng rng(11);
+  const Triplets t = test::random_triplets(200, 200, 2500, rng);
+  const Csr64 m = Csr64::from_triplets(t);
+  test::expect_triplets_eq(t, m.to_triplets());
+  const Csr m32 = Csr::from_triplets(t);
+  EXPECT_EQ(m.bytes() - m32.bytes(), m.nnz() * 4);
+}
+
+TEST(Csr, StructuredGeneratorsRoundTrip) {
+  for (const Triplets& t :
+       {gen_laplacian_2d(13, 9), gen_laplacian_3d(5, 6, 7),
+        gen_stencil_9pt(8, 8)}) {
+    test::expect_triplets_eq(t, Csr::from_triplets(t).to_triplets());
+  }
+}
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,94 @@
+#include "spc/formats/dcsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spc/formats/csr.hpp"
+#include "spc/gen/generators.hpp"
+#include "test_util.hpp"
+
+namespace spc {
+namespace {
+
+TEST(Dcsr, RoundTripPaperMatrix) {
+  const Triplets orig = test::paper_matrix();
+  test::expect_triplets_eq(orig, Dcsr::from_triplets(orig).to_triplets());
+}
+
+TEST(Dcsr, CommandStreamSmallerThanCsrIndices) {
+  Rng rng(2);
+  const Triplets t = gen_banded(2000, 50, 8, rng, ValueModel::random());
+  const Dcsr m = Dcsr::from_triplets(t);
+  const Csr csr = Csr::from_triplets(t);
+  EXPECT_LT(m.cmd_bytes(), csr.nnz() * 4);
+}
+
+TEST(Dcsr, HandlesEmptyRows) {
+  Triplets t(200, 200);
+  t.add(0, 5, 1.0);
+  t.add(150, 8, 2.0);  // row skip of 150 needs chained NEWROW commands
+  t.sort_and_combine();
+  const Dcsr m = Dcsr::from_triplets(t);
+  test::expect_triplets_eq(t, m.to_triplets());
+}
+
+TEST(Dcsr, WideDeltasEscapeToWiderOps) {
+  Triplets t(1, 2000000);
+  t.add(0, 0, 1.0);
+  t.add(0, 100, 1.0);      // u8 group
+  t.add(0, 70000, 1.0);    // needs 32-bit delta (69900 > 65535)
+  t.add(0, 70010, 1.0);    // back to u8
+  t.add(0, 71000, 1.0);    // 16-bit delta
+  t.sort_and_combine();
+  const Dcsr m = Dcsr::from_triplets(t);
+  test::expect_triplets_eq(t, m.to_triplets());
+}
+
+TEST(Dcsr, LongU8RunsSplitAt63) {
+  Triplets t(1, 300);
+  for (index_t c = 0; c < 200; ++c) {
+    t.add(0, c, 1.0);
+  }
+  t.sort_and_combine();
+  const Dcsr m = Dcsr::from_triplets(t);
+  test::expect_triplets_eq(t, m.to_triplets());
+}
+
+TEST(Dcsr, SlicesPartitionStream) {
+  Rng rng(5);
+  const Triplets t = test::random_triplets(400, 400, 5000, rng);
+  const Dcsr m = Dcsr::from_triplets(t);
+  const index_t cuts[] = {0, 77, 200, 400};
+  usize_t nnz_total = 0;
+  const std::uint8_t* expect_next = m.cmds().data();
+  for (std::size_t i = 0; i + 1 < std::size(cuts); ++i) {
+    const auto s = m.slice(cuts[i], cuts[i + 1]);
+    EXPECT_EQ(s.cmds, expect_next);
+    expect_next = s.cmds_end;
+    nnz_total += s.nnz;
+  }
+  EXPECT_EQ(expect_next, m.cmds().data() + m.cmd_bytes());
+  EXPECT_EQ(nnz_total, m.nnz());
+}
+
+TEST(Dcsr, EmptyMatrix) {
+  Triplets t(3, 3);
+  const Dcsr m = Dcsr::from_triplets(t);
+  EXPECT_EQ(m.cmd_bytes(), 0u);
+  EXPECT_TRUE(m.to_triplets().empty());
+}
+
+class DcsrRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DcsrRoundTrip, RandomMatrices) {
+  Rng rng(700 + GetParam());
+  const index_t nrows = 1 + static_cast<index_t>(rng.next_below(300));
+  const index_t ncols = 1 + static_cast<index_t>(rng.next_below(200000));
+  const Triplets t =
+      test::random_triplets(nrows, ncols, rng.next_below(4000), rng);
+  test::expect_triplets_eq(t, Dcsr::from_triplets(t).to_triplets());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DcsrRoundTrip, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,189 @@
+#include "spc/formats/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "spc/gen/generators.hpp"
+#include "test_util.hpp"
+
+namespace spc {
+namespace {
+
+template <typename M, typename Loader>
+M round_trip(const M& m, Loader load) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  save(m, buf);
+  buf.seekg(0);
+  return load(buf);
+}
+
+TEST(Serialize, CsrRoundTrip) {
+  Rng rng(1);
+  const Triplets t = test::random_triplets(120, 90, 1500, rng);
+  const Csr m = Csr::from_triplets(t);
+  const Csr back = round_trip(m, [](std::istream& in) {
+    return load_csr(in);
+  });
+  test::expect_triplets_eq(t, back.to_triplets());
+  EXPECT_EQ(back.bytes(), m.bytes());
+}
+
+TEST(Serialize, CsrDuRoundTripPreservesStreamAndOptions) {
+  Rng rng(2);
+  const Triplets t = gen_banded(500, 25, 8, rng, ValueModel::pooled(16));
+  CsrDuOptions opts;
+  opts.enable_rle = true;
+  opts.split_threshold = 4;
+  const CsrDu m = CsrDu::from_triplets(t, opts);
+  const CsrDu back = round_trip(m, [](std::istream& in) {
+    return load_csr_du(in);
+  });
+  EXPECT_EQ(back.ctl(), m.ctl());
+  EXPECT_EQ(back.unit_count(), m.unit_count());
+  EXPECT_EQ(back.rle_unit_count(), m.rle_unit_count());
+  EXPECT_EQ(back.options().split_threshold, 4u);
+  EXPECT_TRUE(back.options().enable_rle);
+  test::expect_triplets_eq(t, back.to_triplets());
+}
+
+TEST(Serialize, CsrViRoundTrip) {
+  Rng rng(3);
+  const Triplets t =
+      gen_random_uniform(300, 300, 9, rng, ValueModel::pooled(500));
+  const CsrVi m = CsrVi::from_triplets(t);
+  const CsrVi back = round_trip(m, [](std::istream& in) {
+    return load_csr_vi(in);
+  });
+  EXPECT_EQ(back.width(), m.width());
+  EXPECT_EQ(back.unique_count(), m.unique_count());
+  test::expect_triplets_eq(t, back.to_triplets());
+}
+
+TEST(Serialize, CsrDuViRoundTrip) {
+  Rng rng(4);
+  const Triplets t =
+      gen_banded(400, 30, 9, rng, ValueModel::pooled(40));
+  CsrDuOptions opts;
+  opts.enable_rle = true;
+  const CsrDuVi m = CsrDuVi::from_triplets(t, opts);
+  const CsrDuVi back = round_trip(m, [](std::istream& in) {
+    return load_csr_du_vi(in);
+  });
+  EXPECT_EQ(back.width(), m.width());
+  EXPECT_EQ(back.unique_count(), m.unique_count());
+  EXPECT_EQ(back.du().ctl(), m.du().ctl());
+  test::expect_triplets_eq(t, back.to_triplets());
+}
+
+TEST(Serialize, CsrDuViRejectsBadValueIndices) {
+  const CsrDuVi m = CsrDuVi::from_triplets(test::paper_matrix());
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  save(m, buf);
+  std::string s = buf.str();
+  // The vals_unique length field sits near the end; shrink the table so
+  // indices dangle. Easier: truncate the final unique value.
+  s.resize(s.size() - 8);
+  std::stringstream in(s);
+  EXPECT_THROW(load_csr_du_vi(in), ParseError);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/spc_serialize.spcm";
+  const CsrDu m = CsrDu::from_triplets(test::paper_matrix());
+  save_file(m, path);
+  const CsrDu back = load_csr_du_file(path);
+  test::expect_triplets_eq(test::paper_matrix(), back.to_triplets());
+}
+
+TEST(Serialize, HeaderIdentifiesFormat) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  save(CsrVi::from_triplets(test::paper_matrix()), buf);
+  buf.seekg(0);
+  index_t nrows = 0, ncols = 0;
+  EXPECT_EQ(read_spcm_header(buf, &nrows, &ncols), SpcmTag::kCsrVi);
+  EXPECT_EQ(nrows, 6u);
+  EXPECT_EQ(ncols, 6u);
+}
+
+TEST(Serialize, RejectsWrongFormatTag) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  save(Csr::from_triplets(test::paper_matrix()), buf);
+  buf.seekg(0);
+  EXPECT_THROW(load_csr_du(buf), ParseError);
+}
+
+TEST(Serialize, RejectsBadMagicAndTruncation) {
+  std::stringstream empty;
+  EXPECT_THROW(load_csr(empty), ParseError);
+
+  std::stringstream bad;
+  bad << "NOPE....................";
+  EXPECT_THROW(load_csr(bad), ParseError);
+
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  save(Csr::from_triplets(test::paper_matrix()), buf);
+  const std::string full = buf.str();
+  for (const std::size_t cut :
+       {std::size_t{5}, std::size_t{16}, std::size_t{24},
+        full.size() - 3}) {
+    std::stringstream part(full.substr(0, cut));
+    EXPECT_THROW(load_csr(part), ParseError) << "cut " << cut;
+  }
+}
+
+TEST(Serialize, CorruptedCtlStreamIsRejected) {
+  // Flip bytes in the ctl payload; validation in CsrDu::from_raw must
+  // catch every corruption that would send the kernel out of bounds.
+  Rng rng(5);
+  const Triplets t = test::random_triplets(60, 60, 500, rng);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  save(CsrDu::from_triplets(t), buf);
+  const std::string full = buf.str();
+
+  int rejected = 0, accepted = 0;
+  for (std::size_t pos = 40; pos < full.size() && pos < 340; pos += 7) {
+    std::string mutated = full;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0xFF);
+    std::stringstream in(mutated);
+    try {
+      const CsrDu m = load_csr_du(in);
+      // If accepted, the decode must still be self-consistent (coords in
+      // bounds, counts matching) — verified by a full decode.
+      const Triplets round = m.to_triplets();
+      EXPECT_LE(round.nnz(), t.nnz() * 2);
+      ++accepted;
+    } catch (const ParseError&) {
+      ++rejected;
+    }
+  }
+  // Most flips must be rejected; none may crash or read out of bounds.
+  EXPECT_GT(rejected, accepted / 4);
+}
+
+TEST(Serialize, FromRawRejectsInconsistentCsr) {
+  aligned_vector<index_t> rp = {0, 2, 1};  // non-monotone
+  aligned_vector<std::uint32_t> ci = {0, 1};
+  aligned_vector<value_t> v = {1.0, 2.0};
+  EXPECT_THROW(Csr::from_raw(2, 2, rp, ci, v), ParseError);
+
+  aligned_vector<index_t> rp2 = {0, 1, 2};
+  aligned_vector<std::uint32_t> ci2 = {0, 9};  // col out of bounds
+  EXPECT_THROW(Csr::from_raw(2, 2, rp2, ci2, v), ParseError);
+}
+
+TEST(Serialize, FromRawRejectsBadViIndices) {
+  aligned_vector<index_t> rp = {0, 1};
+  aligned_vector<std::uint32_t> ci = {0};
+  aligned_vector<std::uint8_t> vi = {7};  // only 1 unique value exists
+  aligned_vector<value_t> uniq = {3.0};
+  EXPECT_THROW(CsrVi::from_raw(1, 1, rp, ci, ViWidth::kU8, vi, uniq),
+               ParseError);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_csr_file("/nonexistent/m.spcm"), Error);
+}
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,96 @@
+#include "spc/gen/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "spc/formats/csr_vi.hpp"
+#include "spc/mm/stats.hpp"
+
+namespace spc {
+namespace {
+
+TEST(Corpus, NamesAreUniqueAndStableAcrossScales) {
+  const auto tiny = corpus_specs(CorpusScale::kTiny);
+  const auto small = corpus_specs(CorpusScale::kSmall);
+  ASSERT_EQ(tiny.size(), small.size());
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < tiny.size(); ++i) {
+    EXPECT_EQ(tiny[i].name, small[i].name);
+    names.insert(tiny[i].name);
+  }
+  EXPECT_EQ(names.size(), tiny.size());
+}
+
+TEST(Corpus, HasBothValueRegimes) {
+  // The paper's M0vi is ~39% of M0; the corpus must include both
+  // VI-friendly and VI-hostile recipes in comparable numbers.
+  const auto specs = corpus_specs(CorpusScale::kTiny);
+  std::size_t friendly = 0;
+  for (const auto& s : specs) {
+    friendly += s.vi_friendly;
+  }
+  EXPECT_GE(friendly, specs.size() / 4);
+  EXPECT_LE(friendly, 3 * specs.size() / 4);
+}
+
+TEST(Corpus, AllTinyRecipesBuildValidMatrices) {
+  for (const auto& spec : corpus_specs(CorpusScale::kTiny)) {
+    const Triplets t = spec.build();
+    EXPECT_GT(t.nnz(), 0u) << spec.name;
+    EXPECT_TRUE(t.is_sorted_unique()) << spec.name;
+    EXPECT_NO_THROW(t.validate()) << spec.name;
+  }
+}
+
+TEST(Corpus, ViFriendlyFlagPredictsTtu) {
+  for (const auto& spec : corpus_specs(CorpusScale::kTiny)) {
+    const MatrixStats s = compute_stats(spec.build());
+    if (spec.vi_friendly) {
+      EXPECT_GT(s.ttu, kViTtuThreshold) << spec.name;
+    }
+  }
+}
+
+TEST(Corpus, BuildsAreDeterministic) {
+  const auto specs = corpus_specs(CorpusScale::kTiny);
+  const Triplets a = specs[7].build();
+  const Triplets b = specs[7].build();
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (usize_t i = 0; i < a.nnz(); ++i) {
+    ASSERT_EQ(a.entries()[i], b.entries()[i]);
+  }
+}
+
+TEST(Corpus, SmallScaleIsLargerThanTiny) {
+  const auto spec_t = corpus_spec("lap2d-m", CorpusScale::kTiny);
+  const auto spec_s = corpus_spec("lap2d-m", CorpusScale::kSmall);
+  EXPECT_GT(spec_s.build().nnz(), spec_t.build().nnz());
+}
+
+TEST(Corpus, LookupByNameThrowsOnUnknown) {
+  EXPECT_THROW(corpus_spec("no-such-matrix", CorpusScale::kTiny),
+               InvalidArgument);
+}
+
+TEST(Corpus, ParseScale) {
+  EXPECT_EQ(parse_corpus_scale("tiny"), CorpusScale::kTiny);
+  EXPECT_EQ(parse_corpus_scale("SMALL"), CorpusScale::kSmall);
+  EXPECT_EQ(parse_corpus_scale("bench"), CorpusScale::kBench);
+  EXPECT_THROW(parse_corpus_scale("huge"), InvalidArgument);
+}
+
+TEST(Corpus, CoversExpectedStructuralClasses) {
+  std::set<std::string> classes;
+  for (const auto& s : corpus_specs(CorpusScale::kTiny)) {
+    classes.insert(s.cls);
+  }
+  for (const char* need :
+       {"fem", "banded", "random", "graph", "fem-block", "diag",
+        "irregular"}) {
+    EXPECT_TRUE(classes.count(need)) << need;
+  }
+}
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,142 @@
+#include "spc/gen/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "spc/mm/stats.hpp"
+#include "test_util.hpp"
+
+namespace spc {
+namespace {
+
+TEST(Generators, Laplacian2dShapeAndSymmetry) {
+  const Triplets t = gen_laplacian_2d(8, 5);
+  EXPECT_EQ(t.nrows(), 40u);
+  EXPECT_EQ(t.ncols(), 40u);
+  // Interior points have 5 entries, corners 3, edges 4.
+  const MatrixStats s = compute_stats(t);
+  EXPECT_EQ(s.row_len_min, 3u);
+  EXPECT_EQ(s.row_len_max, 5u);
+  EXPECT_EQ(s.unique_values, 2u);
+  // Symmetric pattern: (r,c) present iff (c,r) present.
+  std::set<std::pair<index_t, index_t>> coords;
+  for (const Entry& e : t.entries()) {
+    coords.insert({e.row, e.col});
+  }
+  for (const Entry& e : t.entries()) {
+    EXPECT_TRUE(coords.count({e.col, e.row}));
+  }
+}
+
+TEST(Generators, Laplacian2dRowSumsAreBoundaryDependent) {
+  // Interior row sums are 0 (4 - 4*1); boundary rows are positive.
+  const Triplets t = gen_laplacian_2d(6, 6);
+  Vector x(36, 1.0);
+  const Vector y = test::reference_spmv(t, x);
+  for (const double v : y) {
+    EXPECT_GE(v, 0.0);
+  }
+  // The exact center has all four neighbours.
+  EXPECT_DOUBLE_EQ(y[2 * 6 + 2], 0.0);
+}
+
+TEST(Generators, Laplacian3dStructure) {
+  const Triplets t = gen_laplacian_3d(4, 4, 4);
+  EXPECT_EQ(t.nrows(), 64u);
+  const MatrixStats s = compute_stats(t);
+  EXPECT_EQ(s.row_len_max, 7u);
+  EXPECT_EQ(s.unique_values, 2u);
+  EXPECT_EQ(s.bandwidth, 16u);  // nx*ny
+}
+
+TEST(Generators, Stencil9HasNineUniqueValues) {
+  const MatrixStats s = compute_stats(gen_stencil_9pt(10, 10));
+  EXPECT_LE(s.unique_values, 9u);
+  EXPECT_GE(s.unique_values, 4u);
+  EXPECT_EQ(s.row_len_max, 9u);
+}
+
+TEST(Generators, BandedRespectsBandwidth) {
+  Rng rng(1);
+  const index_t hbw = 17;
+  const Triplets t = gen_banded(300, hbw, 6, rng, ValueModel::random());
+  const MatrixStats s = compute_stats(t);
+  EXPECT_LE(s.bandwidth, hbw);
+  EXPECT_EQ(s.empty_rows, 0u);  // diagonal always present
+}
+
+TEST(Generators, RandomUniformShape) {
+  Rng rng(2);
+  const Triplets t =
+      gen_random_uniform(100, 5000, 9, rng, ValueModel::random());
+  EXPECT_EQ(t.nrows(), 100u);
+  EXPECT_EQ(t.ncols(), 5000u);
+  EXPECT_LE(t.nnz(), 900u);
+  EXPECT_GE(t.nnz(), 800u);  // few collisions in a sparse draw
+}
+
+TEST(Generators, DeterministicForSameSeed) {
+  Rng a(77), b(77);
+  const Triplets t1 =
+      gen_random_uniform(50, 50, 5, a, ValueModel::pooled(7));
+  const Triplets t2 =
+      gen_random_uniform(50, 50, 5, b, ValueModel::pooled(7));
+  test::expect_triplets_eq(t1, t2);
+}
+
+TEST(Generators, PooledValuesBoundUniqueCount) {
+  Rng rng(3);
+  const Triplets t =
+      gen_random_uniform(200, 200, 10, rng, ValueModel::pooled(13));
+  EXPECT_LE(compute_stats(t).unique_values, 13u);
+}
+
+TEST(Generators, RmatProducesSkewedDegrees) {
+  Rng rng(4);
+  const Triplets t = gen_rmat(10, 8000, rng, ValueModel::random());
+  EXPECT_EQ(t.nrows(), 1024u);
+  const MatrixStats s = compute_stats(t);
+  // Power-law: the max row degree dwarfs the mean.
+  EXPECT_GT(static_cast<double>(s.row_len_max), 4.0 * s.row_len_mean);
+}
+
+TEST(Generators, FemBlocksAreDense) {
+  Rng rng(5);
+  const Triplets t = gen_fem_blocks(20, 3, 4, rng, ValueModel::random());
+  EXPECT_EQ(t.nrows(), 60u);
+  // nnz divisible by block area: whole blocks only.
+  EXPECT_EQ(t.nnz() % 9, 0u);
+}
+
+TEST(Generators, DiagPlusRandomKeepsDiagonal) {
+  Rng rng(6);
+  const Triplets t =
+      gen_diag_plus_random(120, 2, rng, ValueModel::random());
+  std::set<index_t> diag_rows;
+  for (const Entry& e : t.entries()) {
+    if (e.row == e.col) {
+      diag_rows.insert(e.row);
+    }
+  }
+  EXPECT_EQ(diag_rows.size(), 120u);
+}
+
+TEST(Generators, RaggedProducesEmptyRows) {
+  Rng rng(7);
+  const Triplets t =
+      gen_ragged(1000, 1000, 10, 0.3, rng, ValueModel::random());
+  const MatrixStats s = compute_stats(t);
+  EXPECT_GT(s.empty_rows, 150u);
+  EXPECT_LT(s.empty_rows, 450u);
+}
+
+TEST(Generators, RejectsDegenerateArguments) {
+  Rng rng(8);
+  EXPECT_THROW(gen_laplacian_2d(1, 5), Error);
+  EXPECT_THROW(gen_rmat(0, 10, rng, ValueModel::random()), Error);
+  EXPECT_THROW(gen_fem_blocks(5, 9, 2, rng, ValueModel::random()), Error);
+}
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,67 @@
+// Robustness sweep for the Matrix Market parser: random corruptions of a
+// valid file must either parse to *some* valid matrix or throw ParseError
+// — never crash, hang, or return out-of-bounds entries.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "spc/mm/mtx.hpp"
+#include "test_util.hpp"
+
+namespace spc {
+namespace {
+
+std::string valid_mtx() {
+  std::stringstream out;
+  Rng rng(7);
+  const Triplets t = test::random_triplets(30, 25, 150, rng);
+  write_matrix_market(t, out);
+  return out.str();
+}
+
+class MtxFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(MtxFuzz, ByteFlipsNeverCrashOrEscapeBounds) {
+  const std::string base = valid_mtx();
+  Rng rng(100 + GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string mutated = base;
+    // 1-4 random byte mutations.
+    const int edits = 1 + static_cast<int>(rng.next_below(4));
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.next_below(mutated.size());
+      mutated[pos] = static_cast<char>(rng.next_below(256));
+    }
+    std::istringstream in(mutated);
+    try {
+      const Triplets t = read_matrix_market(in);
+      // Accepted: entries must be in bounds and sorted.
+      EXPECT_NO_THROW(t.validate());
+      EXPECT_TRUE(t.is_sorted_unique());
+    } catch (const ParseError&) {
+      // Rejected cleanly — fine.
+    } catch (const Error&) {
+      // Other library errors are also acceptable rejections.
+    }
+  }
+}
+
+TEST_P(MtxFuzz, TruncationsNeverCrash) {
+  const std::string base = valid_mtx();
+  Rng rng(200 + GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t cut = rng.next_below(base.size());
+    std::istringstream in(base.substr(0, cut));
+    try {
+      const Triplets t = read_matrix_market(in);
+      EXPECT_NO_THROW(t.validate());
+    } catch (const Error&) {
+      // clean rejection
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MtxFuzz, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace spc

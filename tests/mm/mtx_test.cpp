@@ -1,0 +1,167 @@
+#include "spc/mm/mtx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.hpp"
+
+namespace spc {
+namespace {
+
+TEST(Mtx, ParsesGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 4 3\n"
+      "1 1 1.5\n"
+      "2 3 -2.0\n"
+      "3 4 0.25\n");
+  const Triplets t = read_matrix_market(in);
+  EXPECT_EQ(t.nrows(), 3u);
+  EXPECT_EQ(t.ncols(), 4u);
+  ASSERT_EQ(t.nnz(), 3u);
+  EXPECT_EQ(t.entries()[0], (Entry{0, 0, 1.5}));
+  EXPECT_EQ(t.entries()[1], (Entry{1, 2, -2.0}));
+  EXPECT_EQ(t.entries()[2], (Entry{2, 3, 0.25}));
+}
+
+TEST(Mtx, ParsesPatternAsOnes) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const Triplets t = read_matrix_market(in);
+  ASSERT_EQ(t.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(t.entries()[0].val, 1.0);
+  EXPECT_DOUBLE_EQ(t.entries()[1].val, 1.0);
+}
+
+TEST(Mtx, ExpandsSymmetric) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 2.0\n"
+      "2 1 -1.0\n"
+      "3 2 5.0\n");
+  const Triplets t = read_matrix_market(in);
+  ASSERT_EQ(t.nnz(), 5u);  // diagonal kept once, off-diagonals mirrored
+  EXPECT_EQ(t.entries()[0], (Entry{0, 0, 2.0}));
+  EXPECT_EQ(t.entries()[1], (Entry{0, 1, -1.0}));
+  EXPECT_EQ(t.entries()[2], (Entry{1, 0, -1.0}));
+  EXPECT_EQ(t.entries()[3], (Entry{1, 2, 5.0}));
+  EXPECT_EQ(t.entries()[4], (Entry{2, 1, 5.0}));
+}
+
+TEST(Mtx, ExpandsSkewSymmetricWithNegation) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3.0\n");
+  const Triplets t = read_matrix_market(in);
+  ASSERT_EQ(t.nnz(), 2u);
+  EXPECT_EQ(t.entries()[0], (Entry{0, 1, -3.0}));
+  EXPECT_EQ(t.entries()[1], (Entry{1, 0, 3.0}));
+}
+
+TEST(Mtx, ParsesIntegerField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 1\n"
+      "1 2 7\n");
+  const Triplets t = read_matrix_market(in);
+  ASSERT_EQ(t.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(t.entries()[0].val, 7.0);
+}
+
+TEST(Mtx, RejectsBadBanner) {
+  std::istringstream in("%%NotMatrixMarket\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(in), ParseError);
+}
+
+TEST(Mtx, RejectsArrayFormat) {
+  std::istringstream in("%%MatrixMarket matrix array real general\n");
+  EXPECT_THROW(read_matrix_market(in), ParseError);
+}
+
+TEST(Mtx, RejectsComplexField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate complex general\n");
+  EXPECT_THROW(read_matrix_market(in), ParseError);
+}
+
+TEST(Mtx, RejectsOutOfBoundsEntry) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), ParseError);
+}
+
+TEST(Mtx, RejectsZeroBasedEntry) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "0 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), ParseError);
+}
+
+TEST(Mtx, RejectsTruncatedEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 3\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), ParseError);
+}
+
+TEST(Mtx, RejectsMissingValue) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1\n");
+  EXPECT_THROW(read_matrix_market(in), ParseError);
+}
+
+TEST(Mtx, WriteReadRoundTrip) {
+  Rng rng(17);
+  const Triplets orig = test::random_triplets(40, 33, 200, rng);
+  std::stringstream buf;
+  write_matrix_market(orig, buf);
+  const Triplets back = read_matrix_market(buf);
+  test::expect_triplets_eq(orig, back);
+}
+
+TEST(Mtx, WriteReadRoundTripPaperMatrix) {
+  const Triplets orig = test::paper_matrix();
+  std::stringstream buf;
+  write_matrix_market(orig, buf);
+  const Triplets back = read_matrix_market(buf);
+  test::expect_triplets_eq(orig, back);
+}
+
+TEST(Mtx, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/spc_mtx_test.mtx";
+  const Triplets orig = test::paper_matrix();
+  write_matrix_market_file(orig, path);
+  const Triplets back = read_matrix_market_file(path);
+  test::expect_triplets_eq(orig, back);
+}
+
+TEST(Mtx, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/nope.mtx"), Error);
+}
+
+TEST(Mtx, CombinesDuplicateEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n"
+      "1 1 2.0\n");
+  const Triplets t = read_matrix_market(in);
+  ASSERT_EQ(t.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(t.entries()[0].val, 3.0);
+}
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,154 @@
+#include "spc/mm/reorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "spc/gen/generators.hpp"
+#include "spc/mm/stats.hpp"
+#include "test_util.hpp"
+
+namespace spc {
+namespace {
+
+TEST(Permutation, IdentityMapsToSelf) {
+  const Permutation p = Permutation::identity(5);
+  for (index_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(p.old_of(i), i);
+    EXPECT_EQ(p.new_of(i), i);
+  }
+}
+
+TEST(Permutation, InverseRelations) {
+  const Permutation p(std::vector<index_t>{2, 0, 3, 1});
+  for (index_t n = 0; n < 4; ++n) {
+    EXPECT_EQ(p.new_of(p.old_of(n)), n);
+  }
+  const Permutation q = p.inverted();
+  for (index_t n = 0; n < 4; ++n) {
+    EXPECT_EQ(q.old_of(p.old_of(n)), p.new_of(p.old_of(n)));
+  }
+}
+
+TEST(Permutation, RejectsNonBijections) {
+  EXPECT_THROW(Permutation(std::vector<index_t>{0, 0, 1}),
+               InvalidArgument);
+  EXPECT_THROW(Permutation(std::vector<index_t>{0, 5, 1}),
+               InvalidArgument);
+}
+
+TEST(PermuteSymmetric, MovesEntriesConsistently) {
+  // 3x3 with distinct values; permutation swaps 0 and 2.
+  Triplets t(3, 3);
+  t.add(0, 1, 1.0);
+  t.add(2, 2, 2.0);
+  t.sort_and_combine();
+  const Permutation p(std::vector<index_t>{2, 1, 0});
+  const Triplets pt = permute_symmetric(t, p);
+  // (0,1) -> (new_of(0), new_of(1)) = (2, 1); (2,2) -> (0,0).
+  ASSERT_EQ(pt.nnz(), 2u);
+  EXPECT_EQ(pt.entries()[0], (Entry{0, 0, 2.0}));
+  EXPECT_EQ(pt.entries()[1], (Entry{2, 1, 1.0}));
+}
+
+TEST(PermuteSymmetric, SpmvCommutesWithPermutation) {
+  // (P A Pᵀ)(P x) = P (A x): the fundamental consistency property that
+  // lets reordered matrices be used inside solvers.
+  Rng rng(7);
+  const Triplets t = test::random_triplets(80, 80, 600, rng);
+  Rng xr(8);
+  const Vector x = random_vector(80, xr);
+
+  std::vector<index_t> idx(80);
+  std::iota(idx.begin(), idx.end(), 0);
+  Rng pr(9);
+  std::shuffle(idx.begin(), idx.end(), pr);
+  const Permutation p(idx);
+
+  const Vector y = test::reference_spmv(t, x);
+  const Vector py = permute_vector(y, p);
+
+  const Triplets pt = permute_symmetric(t, p);
+  const Vector px = permute_vector(x, p);
+  const Vector y2 = test::reference_spmv(pt, px);
+  EXPECT_LT(max_abs_diff(py, y2), 1e-12);
+  // And back.
+  EXPECT_LT(max_abs_diff(unpermute_vector(y2, p), y), 1e-12);
+}
+
+TEST(PermuteVector, RoundTrip) {
+  const Permutation p(std::vector<index_t>{3, 1, 0, 2});
+  const Vector v = {10, 11, 12, 13};
+  const Vector pv = permute_vector(v, p);
+  EXPECT_EQ(pv[0], 13);
+  EXPECT_EQ(pv[1], 11);
+  EXPECT_EQ(pv[2], 10);
+  EXPECT_EQ(pv[3], 12);
+  const Vector back = unpermute_vector(pv, p);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(back[i], v[i]);
+  }
+}
+
+TEST(Rcm, IsAValidPermutation) {
+  Rng rng(3);
+  const Triplets t = test::random_triplets(200, 200, 1500, rng);
+  const Permutation p = rcm_ordering(t);
+  EXPECT_EQ(p.size(), 200u);  // Permutation ctor validated bijection
+}
+
+TEST(Rcm, ReducesBandwidthOfShuffledBandedMatrix) {
+  // Take a narrow-band matrix, scramble it, and check RCM recovers a
+  // bandwidth far below the scrambled one.
+  Rng rng(4);
+  const Triplets banded = gen_banded(400, 5, 4, rng, ValueModel::random());
+  std::vector<index_t> idx(400);
+  std::iota(idx.begin(), idx.end(), 0);
+  Rng pr(5);
+  std::shuffle(idx.begin(), idx.end(), pr);
+  const Triplets scrambled = permute_symmetric(banded, Permutation(idx));
+
+  const usize_t bw_scrambled = pattern_bandwidth(scrambled);
+  const Permutation rcm = rcm_ordering(scrambled);
+  const Triplets restored = permute_symmetric(scrambled, rcm);
+  const usize_t bw_rcm = pattern_bandwidth(restored);
+
+  EXPECT_GT(bw_scrambled, 300u);  // a shuffle destroys the band
+  EXPECT_LT(bw_rcm, bw_scrambled / 4);
+}
+
+TEST(Rcm, LaplacianBandwidthStaysNearGridWidth) {
+  const Triplets t = gen_laplacian_2d(30, 30);
+  const Permutation p = rcm_ordering(t);
+  const usize_t bw = pattern_bandwidth(permute_symmetric(t, p));
+  // Optimal is ~30 (grid width); RCM should land in the same regime.
+  EXPECT_LE(bw, 60u);
+}
+
+TEST(Rcm, HandlesDisconnectedComponentsAndIsolatedVertices) {
+  Triplets t(10, 10);
+  t.add(0, 1, 1.0);
+  t.add(1, 0, 1.0);
+  t.add(5, 6, 1.0);
+  t.add(6, 5, 1.0);
+  // vertices 2,3,4,7,8,9 isolated
+  t.sort_and_combine();
+  const Permutation p = rcm_ordering(t);
+  EXPECT_EQ(p.size(), 10u);
+}
+
+TEST(Rcm, DeterministicAcrossRuns) {
+  Rng rng(11);
+  const Triplets t = test::random_triplets(120, 120, 900, rng);
+  const Permutation a = rcm_ordering(t);
+  const Permutation b = rcm_ordering(t);
+  EXPECT_EQ(a.perm(), b.perm());
+}
+
+TEST(Rcm, RejectsRectangular) {
+  Triplets t(3, 4);
+  EXPECT_THROW(rcm_ordering(t), Error);
+}
+
+}  // namespace
+}  // namespace spc

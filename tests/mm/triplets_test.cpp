@@ -1,0 +1,110 @@
+#include "spc/mm/triplets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace spc {
+namespace {
+
+TEST(Triplets, StartsEmpty) {
+  Triplets t(4, 5);
+  EXPECT_EQ(t.nrows(), 4u);
+  EXPECT_EQ(t.ncols(), 5u);
+  EXPECT_EQ(t.nnz(), 0u);
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.is_sorted_unique());
+}
+
+TEST(Triplets, SortOrdersRowMajor) {
+  Triplets t(3, 3);
+  t.add(2, 0, 1.0);
+  t.add(0, 2, 2.0);
+  t.add(1, 1, 3.0);
+  t.add(0, 0, 4.0);
+  EXPECT_FALSE(t.is_sorted_unique());
+  t.sort_and_combine();
+  ASSERT_TRUE(t.is_sorted_unique());
+  ASSERT_EQ(t.nnz(), 4u);
+  EXPECT_EQ(t.entries()[0], (Entry{0, 0, 4.0}));
+  EXPECT_EQ(t.entries()[1], (Entry{0, 2, 2.0}));
+  EXPECT_EQ(t.entries()[2], (Entry{1, 1, 3.0}));
+  EXPECT_EQ(t.entries()[3], (Entry{2, 0, 1.0}));
+}
+
+TEST(Triplets, CombineSumsDuplicates) {
+  Triplets t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(0, 0, 2.5);
+  t.add(1, 1, -1.0);
+  t.add(0, 0, 0.5);
+  t.sort_and_combine();
+  ASSERT_EQ(t.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(t.entries()[0].val, 4.0);
+  EXPECT_DOUBLE_EQ(t.entries()[1].val, -1.0);
+}
+
+TEST(Triplets, CombineKeepsZeroSums) {
+  // Structural zeros remain: formats must preserve them.
+  Triplets t(1, 2);
+  t.add(0, 0, 1.0);
+  t.add(0, 0, -1.0);
+  t.sort_and_combine();
+  ASSERT_EQ(t.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(t.entries()[0].val, 0.0);
+}
+
+TEST(Triplets, ValidateAcceptsInBounds) {
+  Triplets t(2, 2);
+  t.add(1, 1, 1.0);
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Triplets, ValidateAcceptsBoundaryEntry) {
+  Triplets t(3, 3);
+  t.add(2, 2, 1.0);
+  EXPECT_NO_THROW(t.validate());
+}
+
+#ifdef NDEBUG
+TEST(Triplets, ValidateRejectsOutOfBounds) {
+  // In release builds add() skips the debug bounds assert; validate() is
+  // the release-mode integrity check (the Matrix Market reader relies on
+  // its own bounds checks instead).
+  Triplets t(2, 2);
+  t.add(2, 0, 1.0);
+  EXPECT_THROW(t.validate(), InvalidArgument);
+}
+#endif
+
+TEST(Triplets, ResizeDimsGrows) {
+  Triplets t(2, 2);
+  t.add(1, 1, 1.0);
+  t.resize_dims(5, 6);
+  EXPECT_EQ(t.nrows(), 5u);
+  EXPECT_EQ(t.ncols(), 6u);
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Triplets, ResizeDimsRejectsShrink) {
+  Triplets t(4, 4);
+  EXPECT_THROW(t.resize_dims(2, 4), Error);
+}
+
+TEST(Triplets, IsSortedUniqueDetectsDuplicates) {
+  Triplets t(2, 2);
+  t.add(0, 1, 1.0);
+  t.add(0, 1, 2.0);
+  EXPECT_FALSE(t.is_sorted_unique());
+}
+
+TEST(Triplets, PaperMatrixShape) {
+  const Triplets t = test::paper_matrix();
+  EXPECT_EQ(t.nrows(), 6u);
+  EXPECT_EQ(t.ncols(), 6u);
+  EXPECT_EQ(t.nnz(), 16u);
+  EXPECT_TRUE(t.is_sorted_unique());
+}
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,148 @@
+#include "spc/parallel/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spc/formats/csr.hpp"
+#include "spc/gen/generators.hpp"
+#include "test_util.hpp"
+
+namespace spc {
+namespace {
+
+aligned_vector<index_t> row_ptr_of(const Triplets& t) {
+  return Csr::from_triplets(t).row_ptr();
+}
+
+TEST(Partition, CoversAllRowsMonotonically) {
+  Rng rng(1);
+  const Triplets t = test::random_triplets(1000, 1000, 20000, rng);
+  const auto rp = row_ptr_of(t);
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 8u, 16u}) {
+    const RowPartition p = partition_rows_by_nnz(rp, n);
+    ASSERT_EQ(p.nthreads(), n);
+    EXPECT_EQ(p.bounds.front(), 0u);
+    EXPECT_EQ(p.bounds.back(), 1000u);
+    for (std::size_t i = 1; i < p.bounds.size(); ++i) {
+      EXPECT_LE(p.bounds[i - 1], p.bounds[i]);
+    }
+  }
+}
+
+TEST(Partition, NnzBalanceWithinOneRow) {
+  // Uniform row lengths: every thread's share may differ from ideal by at
+  // most one row's worth of non-zeros.
+  Triplets t(1024, 64);
+  for (index_t r = 0; r < 1024; ++r) {
+    for (index_t c = 0; c < 5; ++c) {
+      t.add(r, c * 7 % 64, 1.0);
+    }
+  }
+  t.sort_and_combine();
+  const auto rp = row_ptr_of(t);
+  const RowPartition p = partition_rows_by_nnz(rp, 8);
+  const double ideal = static_cast<double>(rp.back()) / 8.0;
+  for (std::size_t th = 0; th < 8; ++th) {
+    EXPECT_NEAR(static_cast<double>(p.nnz_of(th, rp)), ideal, 5.0);
+  }
+  EXPECT_LT(partition_imbalance(p, rp), 1.01);
+}
+
+TEST(Partition, BalancesSkewedRows) {
+  // One huge row among tiny ones: imbalance is bounded by that row, and
+  // nnz balancing must beat the even-rows split.
+  Triplets t(100, 2000);
+  for (index_t c = 0; c < 2000; ++c) {
+    t.add(0, c, 1.0);
+  }
+  for (index_t r = 1; r < 100; ++r) {
+    t.add(r, r, 1.0);
+  }
+  t.sort_and_combine();
+  const auto rp = row_ptr_of(t);
+  const RowPartition by_nnz = partition_rows_by_nnz(rp, 4);
+  const RowPartition even = partition_rows_even(100, 4);
+  EXPECT_LT(partition_imbalance(by_nnz, rp),
+            partition_imbalance(even, rp));
+}
+
+TEST(Partition, SingleThreadOwnsEverything) {
+  Rng rng(2);
+  const Triplets t = test::random_triplets(50, 50, 300, rng);
+  const auto rp = row_ptr_of(t);
+  const RowPartition p = partition_rows_by_nnz(rp, 1);
+  EXPECT_EQ(p.row_begin(0), 0u);
+  EXPECT_EQ(p.row_end(0), 50u);
+  EXPECT_EQ(p.nnz_of(0, rp), t.nnz());
+}
+
+TEST(Partition, MoreThreadsThanRows) {
+  Triplets t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 1.0);
+  t.add(2, 2, 1.0);
+  t.sort_and_combine();
+  const auto rp = row_ptr_of(t);
+  const RowPartition p = partition_rows_by_nnz(rp, 8);
+  EXPECT_EQ(p.bounds.front(), 0u);
+  EXPECT_EQ(p.bounds.back(), 3u);
+  usize_t total = 0;
+  for (std::size_t th = 0; th < 8; ++th) {
+    total += p.nnz_of(th, rp);
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Partition, EmptyMatrix) {
+  Triplets t(10, 10);
+  const auto rp = row_ptr_of(t);
+  const RowPartition p = partition_rows_by_nnz(rp, 4);
+  EXPECT_EQ(p.bounds.back(), 10u);
+  EXPECT_DOUBLE_EQ(partition_imbalance(p, rp), 1.0);
+}
+
+TEST(Partition, TripletsOverloadMatchesRowPtrOverload) {
+  Rng rng(3);
+  const Triplets t = test::random_triplets(500, 500, 8000, rng);
+  const auto rp = row_ptr_of(t);
+  for (const std::size_t n : {2u, 4u, 7u}) {
+    const RowPartition a = partition_rows_by_nnz(rp, n);
+    const RowPartition b = partition_rows_by_nnz(t, n);
+    EXPECT_EQ(a.bounds, b.bounds);
+  }
+}
+
+TEST(Partition, EvenSplitsRowCounts) {
+  const RowPartition p = partition_rows_even(10, 4);
+  EXPECT_EQ(p.bounds, (std::vector<index_t>{0, 2, 5, 7, 10}));
+}
+
+TEST(Partition, RejectsZeroThreads) {
+  aligned_vector<index_t> rp = {0, 1};
+  EXPECT_THROW(partition_rows_by_nnz(rp, 0), Error);
+  EXPECT_THROW(partition_rows_even(5, 0), Error);
+}
+
+class PartitionPropertySweep
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PartitionPropertySweep, EveryRowAssignedExactlyOnce) {
+  Rng rng(40 + GetParam());
+  const index_t nrows = 1 + static_cast<index_t>(rng.next_below(500));
+  const Triplets t = test::random_triplets(
+      nrows, 64, rng.next_below(4000), rng);
+  const auto rp = row_ptr_of(t);
+  const std::size_t nthreads = GetParam();
+  const RowPartition p = partition_rows_by_nnz(rp, nthreads);
+  usize_t nnz_total = 0;
+  for (std::size_t th = 0; th < nthreads; ++th) {
+    nnz_total += p.nnz_of(th, rp);
+  }
+  EXPECT_EQ(nnz_total, t.nnz());
+  EXPECT_GE(partition_imbalance(p, rp), t.nnz() ? 1.0 : 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, PartitionPropertySweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13, 16, 32));
+
+}  // namespace
+}  // namespace spc

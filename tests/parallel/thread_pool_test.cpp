@@ -1,0 +1,110 @@
+#include "spc/parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "spc/support/error.hpp"
+
+namespace spc {
+namespace {
+
+TEST(ThreadPool, RunsEveryWorkerExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](std::size_t tid) { hits[tid]++; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, TidsAreDistinctAndInRange) {
+  ThreadPool pool(6);
+  std::mutex mu;
+  std::set<std::size_t> seen;
+  pool.run([&](std::size_t tid) {
+    std::lock_guard<std::mutex> lk(mu);
+    seen.insert(tid);
+  });
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.rbegin(), 5u);
+}
+
+TEST(ThreadPool, ManySequentialDispatches) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.run([&](std::size_t) { counter++; });
+  }
+  EXPECT_EQ(counter.load(), 1500);
+}
+
+TEST(ThreadPool, WorkIsActuallyConcurrentlyDispatched) {
+  // All workers must enter the job before any can leave: a barrier
+  // implemented with atomics would deadlock if the pool serialized jobs.
+  constexpr std::size_t kN = 4;
+  ThreadPool pool(kN);
+  std::atomic<std::size_t> arrived{0};
+  pool.run([&](std::size_t) {
+    arrived++;
+    while (arrived.load() < kN) {
+      std::this_thread::yield();
+    }
+  });
+  EXPECT_EQ(arrived.load(), kN);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run([&](std::size_t tid) {
+                 if (tid == 2) {
+                   throw Error("boom");
+                 }
+               }),
+               Error);
+  // Pool must stay usable after an exception.
+  std::atomic<int> counter{0};
+  pool.run([&](std::size_t) { counter++; });
+  EXPECT_EQ(counter.load(), 4);
+}
+
+TEST(ThreadPool, SingleWorkerPool) {
+  ThreadPool pool(1);
+  int value = 0;
+  pool.run([&](std::size_t tid) {
+    EXPECT_EQ(tid, 0u);
+    value = 42;
+  });
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+  EXPECT_THROW(ThreadPool pool(0), Error);
+}
+
+TEST(ThreadPool, PinningPlanAccepted) {
+  // Pin all workers to cpu 0 (always present). Pinning may soft-fail in
+  // restricted environments; fully_pinned() reports it either way.
+  ThreadPool pool(2, {0, 0});
+  std::atomic<int> counter{0};
+  pool.run([&](std::size_t) { counter++; });
+  EXPECT_EQ(counter.load(), 2);
+  (void)pool.fully_pinned();
+}
+
+TEST(ThreadPool, OversizedPlanWraps) {
+  ThreadPool pool(5, {0});
+  std::atomic<int> counter{0};
+  pool.run([&](std::size_t) { counter++; });
+  EXPECT_EQ(counter.load(), 5);
+}
+
+TEST(ThreadPool, DestructionWithoutRunIsClean) {
+  ThreadPool pool(8);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,111 @@
+#include "spc/solvers/multi_rhs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spc/gen/generators.hpp"
+#include "spc/spmv/spmm.hpp"
+#include "test_util.hpp"
+
+namespace spc {
+namespace {
+
+// Interleave k column vectors into the SpMM layout.
+Vector interleave(const std::vector<Vector>& cols) {
+  const index_t k = static_cast<index_t>(cols.size());
+  const index_t n = static_cast<index_t>(cols[0].size());
+  Vector out(static_cast<usize_t>(n) * k);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < k; ++j) {
+      out[static_cast<usize_t>(i) * k + j] = cols[j][i];
+    }
+  }
+  return out;
+}
+
+Vector column(const Vector& inter, index_t n, index_t k, index_t j) {
+  Vector out(n);
+  for (index_t i = 0; i < n; ++i) {
+    out[i] = inter[static_cast<usize_t>(i) * k + j];
+  }
+  return out;
+}
+
+TEST(MultiCg, SolvesSeveralSystemsAgainstSingleRhsCg) {
+  const Triplets t = gen_laplacian_2d(14, 14);
+  const index_t n = t.nrows();
+  const index_t k = 4;
+
+  // Known solutions -> right-hand sides.
+  std::vector<Vector> x_true(k), b_cols(k);
+  for (index_t j = 0; j < k; ++j) {
+    Rng rng(100 + j);
+    x_true[j] = random_vector(n, rng);
+    b_cols[j] = test::reference_spmv(t, x_true[j]);
+  }
+  const Vector B = interleave(b_cols);
+
+  SpmmRunner A(t, SpmmRunner::Kind::kCsr, k, 2);
+  Vector X(static_cast<usize_t>(n) * k, 0.0);
+  SolverOptions opts;
+  opts.max_iterations = 2000;
+  opts.rel_tolerance = 1e-10;
+  const MultiSolveResult r = multi_cg(
+      [&A](const Vector& in, Vector& out) { A.run(in, out); }, n, k, B, X,
+      opts);
+  EXPECT_TRUE(r.all_converged());
+  for (index_t j = 0; j < k; ++j) {
+    EXPECT_LT(max_abs_diff(column(X, n, k, j), x_true[j]), 1e-6)
+        << "system " << j;
+  }
+}
+
+TEST(MultiCg, ColumnsConvergeIndependently) {
+  // One easy system (b = 0) plus one real one: the easy column converges
+  // at iteration 0 and must stay frozen without corrupting the other.
+  const Triplets t = gen_laplacian_2d(10, 10);
+  const index_t n = t.nrows();
+  const index_t k = 2;
+  Rng rng(7);
+  Vector xt = random_vector(n, rng);
+  const Vector b1 = test::reference_spmv(t, xt);
+  Vector B(static_cast<usize_t>(n) * k, 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    B[static_cast<usize_t>(i) * k + 1] = b1[i];
+  }
+
+  SpmmRunner A(t, SpmmRunner::Kind::kCsr, k, 1);
+  Vector X(static_cast<usize_t>(n) * k, 0.0);
+  const MultiSolveResult r = multi_cg(
+      [&A](const Vector& in, Vector& out) { A.run(in, out); }, n, k, B,
+      X);
+  EXPECT_TRUE(r.all_converged());
+  // Zero-rhs column stays exactly zero.
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(X[static_cast<usize_t>(i) * k], 0.0);
+  }
+  EXPECT_LT(max_abs_diff(column(X, n, k, 1), xt), 1e-6);
+}
+
+TEST(MultiCg, ReportsPerColumnNonConvergence) {
+  const Triplets t = gen_laplacian_2d(12, 12);
+  const index_t n = t.nrows();
+  Vector B(static_cast<usize_t>(n) * 2, 1.0);
+  SpmmRunner A(t, SpmmRunner::Kind::kCsr, 2, 1);
+  Vector X(B.size(), 0.0);
+  SolverOptions opts;
+  opts.max_iterations = 2;
+  const MultiSolveResult r = multi_cg(
+      [&A](const Vector& in, Vector& out) { A.run(in, out); }, n, 2, B, X,
+      opts);
+  EXPECT_FALSE(r.all_converged());
+  EXPECT_EQ(r.iterations, 2u);
+}
+
+TEST(MultiCg, RejectsDimensionMismatch) {
+  Vector B(10, 1.0), X(12, 0.0);
+  EXPECT_THROW(
+      multi_cg([](const Vector&, Vector&) {}, 5, 2, B, X), Error);
+}
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,113 @@
+#include "spc/solvers/refinement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spc/formats/csr.hpp"
+#include "spc/formats/csr_f32.hpp"
+#include "spc/gen/generators.hpp"
+#include "spc/spmv/kernels.hpp"
+#include "test_util.hpp"
+
+namespace spc {
+namespace {
+
+struct Ops {
+  Csr hi;
+  CsrF32 lo;
+
+  explicit Ops(const Triplets& t)
+      : hi(Csr::from_triplets(t)), lo(CsrF32::from_triplets(t)) {}
+
+  LinOp hi_op() {
+    return [this](const Vector& x, Vector& y) {
+      spmv(hi, x.data(), y.data());
+    };
+  }
+  LinOp lo_op() {
+    return [this](const Vector& x, Vector& y) {
+      spmv(lo, x.data(), y.data());
+    };
+  }
+};
+
+TEST(CsrF32, HalvesValueBytes) {
+  const Triplets t = gen_laplacian_2d(30, 30);
+  const CsrF32 lo = CsrF32::from_triplets(t);
+  const Csr hi = Csr::from_triplets(t);
+  EXPECT_EQ(hi.bytes() - lo.bytes(), t.nnz() * 4);
+}
+
+TEST(CsrF32, KernelAccurateToSinglePrecision) {
+  Rng rng(3);
+  const Triplets t = test::random_triplets(400, 400, 5000, rng);
+  Rng xr(4);
+  const Vector x = random_vector(400, xr);
+  const Vector ref = test::reference_spmv(t, x);
+  const CsrF32 m = CsrF32::from_triplets(t);
+  Vector y(400, 0.0);
+  spmv(m, x.data(), y.data());
+  const double err = rel_error(ref, y);
+  EXPECT_LT(err, 1e-5);   // single-precision values
+  EXPECT_GT(err, 1e-12);  // ...but genuinely single, not double
+}
+
+TEST(CsrF32, RoundTripQuantizesToFloat) {
+  const Triplets t = test::paper_matrix();
+  const Triplets back = CsrF32::from_triplets(t).to_triplets();
+  ASSERT_EQ(back.nnz(), t.nnz());
+  for (usize_t i = 0; i < t.nnz(); ++i) {
+    EXPECT_EQ(back.entries()[i].val,
+              static_cast<double>(
+                  static_cast<float>(t.entries()[i].val)));
+  }
+}
+
+TEST(MixedPrecision, RecoversDoubleAccuracy) {
+  // The §III-C claim: bulk work in single precision, double-precision
+  // answer. Refinement must reach a tolerance far below what a pure
+  // single-precision solve could.
+  const Triplets t = gen_laplacian_2d(24, 24);
+  Ops ops(t);
+  Rng rng(5);
+  Vector x_true = random_vector(t.nrows(), rng);
+  const Vector b = test::reference_spmv(t, x_true);
+
+  Vector x(t.nrows(), 0.0);
+  RefinementOptions opts;
+  opts.rel_tolerance = 1e-12;
+  const RefinementResult r =
+      mixed_precision_cg(ops.hi_op(), ops.lo_op(), b, x, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.residual_norm, 1e-12 * norm2(b) + 1e-300);
+  EXPECT_LT(max_abs_diff(x, x_true), 1e-8);
+  // The bulk of the iterations must be the cheap inner ones.
+  EXPECT_GT(r.inner_iterations_total, 2 * r.outer_iterations);
+}
+
+TEST(MixedPrecision, ZeroRhsImmediate) {
+  const Triplets t = gen_laplacian_2d(8, 8);
+  Ops ops(t);
+  const Vector b(t.nrows(), 0.0);
+  Vector x(t.nrows(), 0.0);
+  const RefinementResult r =
+      mixed_precision_cg(ops.hi_op(), ops.lo_op(), b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.outer_iterations, 0u);
+}
+
+TEST(MixedPrecision, ReportsNonConvergenceHonestly) {
+  const Triplets t = gen_laplacian_2d(20, 20);
+  Ops ops(t);
+  Vector b(t.nrows(), 1.0);
+  Vector x(t.nrows(), 0.0);
+  RefinementOptions opts;
+  opts.max_outer = 1;
+  opts.inner_iterations = 1;
+  const RefinementResult r =
+      mixed_precision_cg(ops.hi_op(), ops.lo_op(), b, x, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_GT(r.residual_norm, 0.0);
+}
+
+}  // namespace
+}  // namespace spc

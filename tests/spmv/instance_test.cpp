@@ -1,0 +1,228 @@
+#include "spc/spmv/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "spc/gen/generators.hpp"
+#include "test_util.hpp"
+
+namespace spc {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(FormatNames, RoundTrip) {
+  for (const Format f : all_formats()) {
+    EXPECT_EQ(parse_format(format_name(f)), f);
+  }
+}
+
+TEST(FormatNames, ParseIsCaseInsensitive) {
+  EXPECT_EQ(parse_format("CSR-DU"), Format::kCsrDu);
+  EXPECT_EQ(parse_format("Csr-Vi"), Format::kCsrVi);
+}
+
+TEST(FormatNames, UnknownNameThrows) {
+  EXPECT_THROW(parse_format("hyper-csr"), InvalidArgument);
+}
+
+TEST(SpmvInstance, SerialMatchesReferenceForEveryFormat) {
+  Rng rng(21);
+  const Triplets t = gen_banded(500, 30, 7, rng, ValueModel::pooled(40));
+  Rng xr(22);
+  const Vector x = random_vector(t.ncols(), xr);
+  const Vector ref = test::reference_spmv(t, x);
+  for (const Format f : all_formats()) {
+    SpmvInstance inst(t, f, 1);
+    Vector y(t.nrows(), std::numeric_limits<double>::quiet_NaN());
+    inst.run(x, y);
+    EXPECT_LT(rel_error(ref, y), kTol) << format_name(f);
+    EXPECT_EQ(inst.nnz(), t.nnz());
+  }
+}
+
+struct MtCase {
+  Format format;
+  std::size_t threads;
+};
+
+class MtAgreement : public ::testing::TestWithParam<MtCase> {};
+
+TEST_P(MtAgreement, MultithreadedMatchesReference) {
+  const MtCase c = GetParam();
+  Rng rng(33);
+  const Triplets t =
+      gen_ragged(700, 700, 14, 0.1, rng, ValueModel::pooled(90));
+  Rng xr(34);
+  const Vector x = random_vector(t.ncols(), xr);
+  const Vector ref = test::reference_spmv(t, x);
+
+  InstanceOptions opts;
+  opts.pin_threads = false;  // keep CI environments happy
+  SpmvInstance inst(t, c.format, c.threads, opts);
+  Vector y(t.nrows(), std::numeric_limits<double>::quiet_NaN());
+  inst.run(x, y);
+  EXPECT_LT(rel_error(ref, y), kTol)
+      << format_name(c.format) << " x" << c.threads;
+
+  // Repeated runs must be stable (pool reuse, no state leakage).
+  Vector y2(t.nrows(), 0.0);
+  inst.run(x, y2);
+  EXPECT_LT(max_abs_diff(y, y2), kTol);
+}
+
+std::vector<MtCase> mt_cases() {
+  std::vector<MtCase> cases;
+  for (const Format f : all_formats()) {
+    for (const std::size_t n : {2u, 4u, 8u}) {
+      cases.push_back(MtCase{f, n});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormatsThreads, MtAgreement, ::testing::ValuesIn(mt_cases()),
+    [](const ::testing::TestParamInfo<MtCase>& param_info) {
+      std::string n = format_name(param_info.param.format) + "_x" +
+                      std::to_string(param_info.param.threads);
+      for (auto& ch : n) {
+        if (ch == '-') {
+          ch = '_';
+        }
+      }
+      return n;
+    });
+
+TEST(SpmvInstance, ThreadCountBeyondRows) {
+  Triplets t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(2, 2, 2.0);
+  t.sort_and_combine();
+  InstanceOptions opts;
+  opts.pin_threads = false;
+  SpmvInstance inst(t, Format::kCsrDu, 8, opts);
+  const Vector x(3, 1.0);
+  Vector y(3, -1.0);
+  inst.run(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+}
+
+TEST(SpmvInstance, MatrixBytesReflectCompression) {
+  Rng rng(41);
+  const Triplets t =
+      gen_banded(2000, 25, 9, rng, ValueModel::pooled(30));
+  SpmvInstance csr(t, Format::kCsr);
+  SpmvInstance du(t, Format::kCsrDu);
+  SpmvInstance vi(t, Format::kCsrVi);
+  SpmvInstance duvi(t, Format::kCsrDuVi);
+  EXPECT_LT(du.matrix_bytes(), csr.matrix_bytes());
+  EXPECT_LT(vi.matrix_bytes(), csr.matrix_bytes());
+  EXPECT_LT(duvi.matrix_bytes(), du.matrix_bytes());
+  EXPECT_LT(duvi.matrix_bytes(), vi.matrix_bytes());
+}
+
+TEST(SpmvInstance, DimensionChecks) {
+  const Triplets t = test::paper_matrix();
+  SpmvInstance inst(t, Format::kCsr);
+  Vector x(5, 1.0);  // wrong size
+  Vector y(6, 0.0);
+  EXPECT_THROW(inst.run(x, y), Error);
+  Vector x6(6, 1.0);
+  Vector y5(5, 0.0);
+  EXPECT_THROW(inst.run(x6, y5), Error);
+}
+
+TEST(SpmvInstance, Csr16RequiresNarrowMatrix) {
+  Triplets t(2, 100000);
+  t.add(0, 99999, 1.0);
+  t.sort_and_combine();
+  EXPECT_THROW(SpmvInstance(t, Format::kCsr16), Error);
+}
+
+TEST(SpmvInstance, BcsrBlockShapeFromOptions) {
+  Rng rng(55);
+  const Triplets t = gen_fem_blocks(30, 4, 3, rng, ValueModel::random());
+  InstanceOptions opts;
+  opts.bcsr_block_rows = 4;
+  opts.bcsr_block_cols = 4;
+  SpmvInstance inst(t, Format::kBcsr, 1, opts);
+  Rng xr(56);
+  const Vector x = random_vector(t.ncols(), xr);
+  Vector y(t.nrows(), 0.0);
+  inst.run(x, y);
+  EXPECT_LT(rel_error(test::reference_spmv(t, x), y), kTol);
+}
+
+TEST(SpmvInstance, EvenPartitionOptionWorks) {
+  Rng rng(60);
+  const Triplets t = test::random_triplets(400, 400, 6000, rng);
+  InstanceOptions opts;
+  opts.pin_threads = false;
+  opts.balance_by_nnz = false;
+  SpmvInstance inst(t, Format::kCsr, 4, opts);
+  Rng xr(61);
+  const Vector x = random_vector(400, xr);
+  Vector y(400, 0.0);
+  inst.run(x, y);
+  EXPECT_LT(rel_error(test::reference_spmv(t, x), y), kTol);
+  EXPECT_EQ(inst.partition().bounds[1], 100u);
+}
+
+TEST(SpmvInstance, EllGuardRejectsSkewedMatrix) {
+  // One huge row among tiny ones trips the ELL width guard.
+  Triplets t(100, 2000);
+  for (index_t c = 0; c < 2000; ++c) {
+    t.add(0, c, 1.0);
+  }
+  for (index_t r = 1; r < 100; ++r) {
+    t.add(r, r, 1.0);
+  }
+  t.sort_and_combine();
+  InstanceOptions opts;
+  opts.ell_max_width_factor = 4.0;
+  EXPECT_THROW(SpmvInstance(t, Format::kEll, 1, opts), InvalidArgument);
+  opts.ell_max_width_factor = 0.0;  // unguarded
+  EXPECT_NO_THROW(SpmvInstance(t, Format::kEll, 1, opts));
+}
+
+TEST(SpmvInstance, DiaGuardRejectsScatteredMatrix) {
+  Rng rng(70);
+  const Triplets t = test::random_triplets(300, 300, 3000, rng);
+  InstanceOptions opts;
+  opts.dia_max_diags = 8;
+  EXPECT_THROW(SpmvInstance(t, Format::kDia, 1, opts), InvalidArgument);
+}
+
+TEST(SpmvInstance, ClassicFormatsMtMatchCsr) {
+  Rng rng(71);
+  const Triplets t =
+      gen_banded(600, 15, 6, rng, ValueModel::random());
+  Rng xr(72);
+  const Vector x = random_vector(t.ncols(), xr);
+  SpmvInstance csr(t, Format::kCsr, 1);
+  Vector y_ref(t.nrows(), 0.0);
+  csr.run(x, y_ref);
+
+  InstanceOptions opts;
+  opts.pin_threads = false;
+  for (const Format f : {Format::kEll, Format::kDia, Format::kJds}) {
+    SpmvInstance inst(t, f, 4, opts);
+    Vector y(t.nrows(), std::numeric_limits<double>::quiet_NaN());
+    inst.run(x, y);
+    EXPECT_LT(rel_error(y_ref, y), kTol) << format_name(f);
+  }
+}
+
+TEST(SpmvSimple, OneShotHelper) {
+  const Triplets t = test::paper_matrix();
+  const Vector x(6, 1.0);
+  const Vector y = spmv_simple(t, x);
+  EXPECT_LT(rel_error(test::reference_spmv(t, x), y), kTol);
+}
+
+}  // namespace
+}  // namespace spc

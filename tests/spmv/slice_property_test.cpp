@@ -1,0 +1,97 @@
+// Property: for ANY row partition into T parts, running the per-slice
+// kernels (in any order, here sequentially) reconstructs exactly the
+// full-matrix result — the invariant the multithreaded path stands on.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "spc/formats/csr_du.hpp"
+#include "spc/formats/dcsr.hpp"
+#include "spc/gen/generators.hpp"
+#include "spc/parallel/partition.hpp"
+#include "spc/spmv/kernels.hpp"
+#include "test_util.hpp"
+
+namespace spc {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+// Random monotone partition of [0, nrows] into nparts ranges (empty
+// ranges allowed — the degenerate case worth testing).
+RowPartition random_partition(index_t nrows, std::size_t nparts,
+                              Rng& rng) {
+  RowPartition p;
+  p.bounds.resize(nparts + 1);
+  p.bounds[0] = 0;
+  p.bounds[nparts] = nrows;
+  std::vector<index_t> cuts;
+  for (std::size_t i = 1; i < nparts; ++i) {
+    cuts.push_back(static_cast<index_t>(rng.next_below(nrows + 1)));
+  }
+  std::sort(cuts.begin(), cuts.end());
+  for (std::size_t i = 1; i < nparts; ++i) {
+    p.bounds[i] = cuts[i - 1];
+  }
+  return p;
+}
+
+class SliceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SliceProperty, DuSlicesComposeUnderRandomPartitions) {
+  Rng rng(4000 + GetParam());
+  const Triplets t = gen_ragged(
+      1 + static_cast<index_t>(rng.next_below(500)),
+      1 + static_cast<index_t>(rng.next_below(500)),
+      1 + static_cast<index_t>(rng.next_below(16)),
+      0.25 * rng.next_double(), rng, ValueModel::random());
+  CsrDuOptions opts;
+  opts.enable_rle = rng.next_bernoulli(0.5);
+  opts.rle_min_run = 4;
+  opts.split_threshold =
+      1 + static_cast<std::uint32_t>(rng.next_below(16));
+  const CsrDu m = CsrDu::from_triplets(t, opts);
+
+  Rng xr(5000 + GetParam());
+  const Vector x = random_vector(t.ncols(), xr);
+  const Vector ref = test::reference_spmv(t, x);
+
+  for (const std::size_t nparts : {1u, 2u, 3u, 5u, 9u}) {
+    const RowPartition p = random_partition(t.nrows(), nparts, rng);
+    Vector y(t.nrows(), std::numeric_limits<double>::quiet_NaN());
+    for (std::size_t th = 0; th < nparts; ++th) {
+      spmv(m.slice(p.row_begin(th), p.row_end(th)), x.data(), y.data());
+    }
+    ASSERT_LT(rel_error(ref, y), kTol)
+        << "nparts " << nparts << " seed " << GetParam();
+  }
+}
+
+TEST_P(SliceProperty, DcsrSlicesComposeUnderRandomPartitions) {
+  Rng rng(6000 + GetParam());
+  const Triplets t = gen_ragged(
+      1 + static_cast<index_t>(rng.next_below(400)),
+      1 + static_cast<index_t>(rng.next_below(400)),
+      1 + static_cast<index_t>(rng.next_below(12)),
+      0.4 * rng.next_double(), rng, ValueModel::random());
+  const Dcsr m = Dcsr::from_triplets(t);
+
+  Rng xr(7000 + GetParam());
+  const Vector x = random_vector(t.ncols(), xr);
+  const Vector ref = test::reference_spmv(t, x);
+
+  for (const std::size_t nparts : {2u, 4u, 7u}) {
+    const RowPartition p = random_partition(t.nrows(), nparts, rng);
+    Vector y(t.nrows(), std::numeric_limits<double>::quiet_NaN());
+    for (std::size_t th = 0; th < nparts; ++th) {
+      spmv(m.slice(p.row_begin(th), p.row_end(th)), x.data(), y.data());
+    }
+    ASSERT_LT(rel_error(ref, y), kTol)
+        << "nparts " << nparts << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SliceProperty, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,130 @@
+#include "spc/spmv/spmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spc/gen/generators.hpp"
+#include "test_util.hpp"
+
+namespace spc {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+// Reference: k independent SpMVs, interleaved into the SpMM layout.
+void reference_spmm(const Triplets& t, const Vector& X, Vector& Y,
+                    index_t k) {
+  std::fill(Y.begin(), Y.end(), 0.0);
+  for (const Entry& e : t.entries()) {
+    for (index_t c = 0; c < k; ++c) {
+      Y[static_cast<usize_t>(e.row) * k + c] +=
+          e.val * X[static_cast<usize_t>(e.col) * k + c];
+    }
+  }
+}
+
+class SpmmWidths : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(SpmmWidths, CsrMatchesReference) {
+  const index_t k = GetParam();
+  Rng rng(50 + k);
+  const Triplets t = test::random_triplets(200, 150, 2500, rng);
+  Rng xr(60 + k);
+  const Vector X = random_vector(t.ncols() * k, xr);
+  Vector Y_ref(t.nrows() * k, 0.0);
+  reference_spmm(t, X, Y_ref, k);
+
+  const Csr m = Csr::from_triplets(t);
+  Vector Y(t.nrows() * k, -1.0);
+  spmm(m, X.data(), Y.data(), k);
+  EXPECT_LT(max_abs_diff(Y_ref, Y), kTol);
+}
+
+TEST_P(SpmmWidths, CsrViMatchesReference) {
+  const index_t k = GetParam();
+  Rng rng(70 + k);
+  const Triplets t =
+      gen_banded(300, 20, 7, rng, ValueModel::pooled(25));
+  Rng xr(80 + k);
+  const Vector X = random_vector(t.ncols() * k, xr);
+  Vector Y_ref(t.nrows() * k, 0.0);
+  reference_spmm(t, X, Y_ref, k);
+
+  const CsrVi m = CsrVi::from_triplets(t);
+  Vector Y(t.nrows() * k, -1.0);
+  spmm(m, X.data(), Y.data(), k);
+  EXPECT_LT(max_abs_diff(Y_ref, Y), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(VectorCounts, SpmmWidths,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 11, 16));
+
+TEST(Spmm, SingleVectorMatchesSpmv) {
+  Rng rng(90);
+  const Triplets t = test::random_triplets(120, 120, 1200, rng);
+  Rng xr(91);
+  const Vector x = random_vector(120, xr);
+  const Vector y_ref = test::reference_spmv(t, x);
+  const Csr m = Csr::from_triplets(t);
+  Vector y(120, 0.0);
+  spmm(m, x.data(), y.data(), 1);
+  EXPECT_LT(max_abs_diff(y_ref, y), kTol);
+}
+
+TEST(Spmm, RowRangeWritesOnlyItsRows) {
+  Rng rng(92);
+  const Triplets t = test::random_triplets(50, 50, 400, rng);
+  Rng xr(93);
+  const Vector X = random_vector(50 * 4, xr);
+  const Csr m = Csr::from_triplets(t);
+  Vector Y(50 * 4, -9.0);
+  spmm_csr_range(m, X.data(), Y.data(), 4, 10, 20);
+  for (index_t i = 0; i < 50; ++i) {
+    for (index_t c = 0; c < 4; ++c) {
+      if (i < 10 || i >= 20) {
+        EXPECT_DOUBLE_EQ(Y[i * 4 + c], -9.0) << i;
+      }
+    }
+  }
+}
+
+class SpmmRunnerMt : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpmmRunnerMt, MatchesReferenceAcrossThreads) {
+  Rng rng(95);
+  const Triplets t =
+      gen_banded(500, 25, 8, rng, ValueModel::pooled(30));
+  const index_t k = 4;
+  Rng xr(96);
+  const Vector X = random_vector(t.ncols() * k, xr);
+  Vector Y_ref(t.nrows() * k, 0.0);
+  reference_spmm(t, X, Y_ref, k);
+
+  for (const auto kind :
+       {SpmmRunner::Kind::kCsr, SpmmRunner::Kind::kCsrVi}) {
+    SpmmRunner runner(t, kind, k, GetParam());
+    Vector Y(t.nrows() * k, -3.0);
+    runner.run(X, Y);
+    EXPECT_LT(max_abs_diff(Y_ref, Y), kTol);
+    EXPECT_EQ(runner.vectors(), k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, SpmmRunnerMt,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(SpmmRunner, DimensionChecks) {
+  const Triplets t = test::paper_matrix();
+  SpmmRunner runner(t, SpmmRunner::Kind::kCsr, 2);
+  Vector X(6, 1.0);  // should be 12
+  Vector Y(12, 0.0);
+  EXPECT_THROW(runner.run(X, Y), Error);
+}
+
+TEST(Spmm, RejectsZeroVectors) {
+  const Csr m = Csr::from_triplets(test::paper_matrix());
+  Vector X(6, 1.0), Y(6, 0.0);
+  EXPECT_THROW(spmm(m, X.data(), Y.data(), 0), Error);
+}
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,56 @@
+#include "spc/support/aligned.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+namespace spc {
+namespace {
+
+TEST(AlignedVector, DataIsCacheLineAligned) {
+  for (const std::size_t n : {1u, 7u, 64u, 1000u, 4097u}) {
+    aligned_vector<double> v(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLineBytes,
+              0u)
+        << "n=" << n;
+  }
+}
+
+TEST(AlignedVector, WorksForByteElements) {
+  aligned_vector<std::uint8_t> v(123, 7);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLineBytes,
+            0u);
+  for (const auto b : v) {
+    EXPECT_EQ(b, 7);
+  }
+}
+
+TEST(AlignedVector, GrowsAndPreservesContents) {
+  aligned_vector<int> v;
+  for (int i = 0; i < 10000; ++i) {
+    v.push_back(i);
+  }
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_EQ(v[i], i);
+  }
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLineBytes,
+            0u);
+}
+
+TEST(AlignedVector, CopyAndMove) {
+  aligned_vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  aligned_vector<int> copy = v;
+  EXPECT_EQ(copy, v);
+  aligned_vector<int> moved = std::move(copy);
+  EXPECT_EQ(moved, v);
+}
+
+TEST(AlignedAllocator, EqualityIsStateless) {
+  AlignedAllocator<int> a, b;
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,121 @@
+#include "spc/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace spc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.next_u64() == b.next_u64();
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(99);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) {
+    first.push_back(a.next_u64());
+  }
+  a.reseed(99);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.next_u64(), first[i]);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL,
+                                    1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowZeroBoundReturnsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowCoversSmallRange) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.next_below(7));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleRangeRespected) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double(-3.5, 2.25);
+    EXPECT_GE(v, -3.5);
+    EXPECT_LT(v, 2.25);
+  }
+}
+
+TEST(Rng, MeanOfUniformIsAboutHalf) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.next_double();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliFrequencyTracksP) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.next_bernoulli(0.3);
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, WorksWithStdShuffle) {
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) {
+    v[i] = i;
+  }
+  const std::vector<int> orig = v;
+  Rng rng(31);
+  std::shuffle(v.begin(), v.end(), rng);
+  EXPECT_NE(v, orig);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(SplitMix64, KnownFirstOutputsDiffer) {
+  SplitMix64 a(0), b(1);
+  EXPECT_NE(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,96 @@
+#include "spc/support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spc/support/rng.hpp"
+
+namespace spc {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  Rng rng(3);
+  std::vector<double> xs;
+  OnlineStats s;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double(-10, 10);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (const double x : xs) {
+    mean += x;
+  }
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const double x : xs) {
+    var += (x - mean) * (x - mean);
+  }
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-9);
+}
+
+TEST(OnlineStats, TracksMinMax) {
+  OnlineStats s;
+  s.add(5);
+  s.add(-2);
+  s.add(9);
+  s.add(0);
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Histogram, CountsAndFractions) {
+  Histogram h;
+  h.add(1, 3);
+  h.add(2);
+  h.add(1);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(1), 4u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(9), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.8);
+  EXPECT_DOUBLE_EQ(h.fraction(9), 0.0);
+}
+
+TEST(Histogram, EmptyFractionIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Median, OddCount) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+}
+
+TEST(Median, EvenCountAveragesMiddlePair) {
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(Median, EmptyIsZero) { EXPECT_DOUBLE_EQ(median({}), 0.0); }
+
+TEST(Median, SingleElement) { EXPECT_DOUBLE_EQ(median({7}), 7.0); }
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,58 @@
+#include "spc/support/strutil.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spc/support/error.hpp"
+
+namespace spc {
+namespace {
+
+TEST(HumanBytes, SmallValuesInBytes) {
+  EXPECT_EQ(human_bytes(0), "0 B");
+  EXPECT_EQ(human_bytes(999), "999 B");
+}
+
+TEST(HumanBytes, ScalesUnits) {
+  EXPECT_EQ(human_bytes(1000), "1.0 KB");
+  EXPECT_EQ(human_bytes(1500000), "1.5 MB");
+  EXPECT_EQ(human_bytes(17ull << 20), "17.8 MB");
+  EXPECT_EQ(human_bytes(3ull * 1000 * 1000 * 1000), "3.0 GB");
+}
+
+TEST(FmtFixed, RespectsDigits) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(3.14159, 0), "3");
+  EXPECT_EQ(fmt_fixed(-1.005, 1), "-1.0");
+}
+
+TEST(SplitWs, SplitsOnAnyWhitespace) {
+  const auto tok = split_ws("  a\tbb \n ccc ");
+  ASSERT_EQ(tok.size(), 3u);
+  EXPECT_EQ(tok[0], "a");
+  EXPECT_EQ(tok[1], "bb");
+  EXPECT_EQ(tok[2], "ccc");
+}
+
+TEST(SplitWs, EmptyInput) { EXPECT_TRUE(split_ws("   ").empty()); }
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("MatrixMarket CSR-DU"), "matrixmarket csr-du");
+}
+
+TEST(CheckMacro, ThrowsWithExpressionText) {
+  try {
+    SPC_CHECK_MSG(1 == 2, "custom context");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+  }
+}
+
+TEST(CheckMacro, PassesQuietly) {
+  EXPECT_NO_THROW(SPC_CHECK(2 + 2 == 4));
+}
+
+}  // namespace
+}  // namespace spc

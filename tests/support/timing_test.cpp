@@ -1,0 +1,41 @@
+#include "spc/support/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace spc {
+namespace {
+
+TEST(Timing, NowIsMonotonic) {
+  const std::uint64_t a = now_ns();
+  const std::uint64_t b = now_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(Timing, TimerMeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = t.elapsed_ms();
+  EXPECT_GE(ms, 15.0);   // scheduler slack downward
+  EXPECT_LT(ms, 2000.0); // and a generous upper bound
+}
+
+TEST(Timing, RestartResetsTheClock) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.restart();
+  EXPECT_LT(t.elapsed_ms(), 10.0);
+}
+
+TEST(Timing, UnitConversionsAgree) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = t.elapsed_s();
+  const double ms = t.elapsed_ms();
+  // elapsed_ms read slightly later; they must agree to within a few ms.
+  EXPECT_NEAR(ms, s * 1e3, 5.0);
+}
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,108 @@
+#include "spc/support/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace spc {
+namespace {
+
+Topology fake_two_socket_topology() {
+  // 2 packages × 2 LLC domains of 2 cpus each = the paper's Clovertown-ish
+  // layout scaled to 8 cpus with 4 LLC instances.
+  Topology topo;
+  topo.llc_bytes = 4ull << 20;
+  topo.llc_instances = 4;
+  int cpu = 0;
+  for (int pkg = 0; pkg < 2; ++pkg) {
+    for (int dom = 0; dom < 2; ++dom) {
+      const int first = cpu;
+      for (int c = 0; c < 2; ++c, ++cpu) {
+        CpuInfo info;
+        info.cpu_id = cpu;
+        info.package_id = pkg;
+        info.core_id = cpu;
+        info.llc_siblings = {first, first + 1};
+        topo.cpus.push_back(info);
+      }
+    }
+  }
+  return topo;
+}
+
+TEST(Topology, DiscoverReturnsAtLeastOneCpu) {
+  const Topology topo = discover_topology();
+  EXPECT_GE(topo.num_cpus(), 1u);
+  EXPECT_GE(topo.llc_instances, 1u);
+  EXPECT_FALSE(describe_topology(topo).empty());
+}
+
+TEST(Topology, CloseFirstFillsOneCacheDomainFirst) {
+  const Topology topo = fake_two_socket_topology();
+  const auto plan = plan_placement(topo, 2, Placement::kCloseFirst);
+  ASSERT_EQ(plan.size(), 2u);
+  // Both cpus must share an LLC domain: {0,1} in the fake layout.
+  EXPECT_EQ(plan[0], 0);
+  EXPECT_EQ(plan[1], 1);
+}
+
+TEST(Topology, SpreadPlacesOnDistinctCaches) {
+  const Topology topo = fake_two_socket_topology();
+  const auto plan = plan_placement(topo, 2, Placement::kSpreadCaches);
+  ASSERT_EQ(plan.size(), 2u);
+  // First cpus of two different domains.
+  EXPECT_EQ(plan[0], 0);
+  EXPECT_EQ(plan[1], 2);
+}
+
+TEST(Topology, FullMachinePlanCoversAllCpus) {
+  const Topology topo = fake_two_socket_topology();
+  for (const auto policy :
+       {Placement::kCloseFirst, Placement::kSpreadCaches}) {
+    const auto plan = plan_placement(topo, 8, policy);
+    std::set<int> unique(plan.begin(), plan.end());
+    EXPECT_EQ(unique.size(), 8u);
+  }
+}
+
+TEST(Topology, OversubscriptionWrapsAround) {
+  const Topology topo = fake_two_socket_topology();
+  const auto plan = plan_placement(topo, 19, Placement::kCloseFirst);
+  ASSERT_EQ(plan.size(), 19u);
+  for (const int c : plan) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 8);
+  }
+}
+
+TEST(Topology, AggregateLlcGrowsWithThreads) {
+  const Topology topo = fake_two_socket_topology();
+  const std::size_t one = topo.aggregate_llc_bytes(1);
+  const std::size_t four = topo.aggregate_llc_bytes(4);
+  const std::size_t eight = topo.aggregate_llc_bytes(8);
+  EXPECT_EQ(one, 4ull << 20);
+  EXPECT_EQ(four, 8ull << 20);
+  EXPECT_EQ(eight, 16ull << 20);
+}
+
+TEST(Topology, AggregateLlcZeroWhenUnknown) {
+  Topology topo;
+  EXPECT_EQ(topo.aggregate_llc_bytes(4), 0u);
+}
+
+TEST(Topology, PinToCurrentCpuSucceedsOrSoftFails) {
+  // Pinning to cpu 0 should normally succeed; in restricted cpusets it may
+  // fail, which the API reports rather than throwing.
+  const bool ok = pin_thread_to_cpu(0);
+  (void)ok;
+  SUCCEED();
+}
+
+TEST(Topology, EmptyTopologyPlanStillProducesIds) {
+  Topology topo;
+  const auto plan = plan_placement(topo, 3, Placement::kCloseFirst);
+  ASSERT_EQ(plan.size(), 3u);
+}
+
+}  // namespace
+}  // namespace spc

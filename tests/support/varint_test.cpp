@@ -1,0 +1,137 @@
+#include "spc/support/varint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "spc/support/rng.hpp"
+
+namespace spc {
+namespace {
+
+TEST(Varint, EncodesSmallValuesInOneByte) {
+  for (std::uint64_t v = 0; v < 128; ++v) {
+    std::vector<std::uint8_t> buf;
+    EXPECT_EQ(varint_encode(v, buf), 1);
+    ASSERT_EQ(buf.size(), 1u);
+    EXPECT_EQ(buf[0], v);
+  }
+}
+
+TEST(Varint, KnownEncodings) {
+  std::vector<std::uint8_t> buf;
+  varint_encode(300, buf);  // 0b1010_1100 0b0000_0010
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0], 0xAC);
+  EXPECT_EQ(buf[1], 0x02);
+}
+
+TEST(Varint, SizeMatchesEncode) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.next_u64() >> (rng.next_below(64));
+    std::vector<std::uint8_t> buf;
+    const int n = varint_encode(v, buf);
+    EXPECT_EQ(n, varint_size(v));
+    EXPECT_EQ(buf.size(), static_cast<std::size_t>(n));
+  }
+}
+
+TEST(Varint, RoundTripBoundaries) {
+  const std::uint64_t cases[] = {
+      0,         1,          127,        128,        255,
+      256,       16383,      16384,      (1ULL << 21) - 1,
+      1ULL << 21, 1ULL << 32, (1ULL << 56) - 1,
+      std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : cases) {
+    std::vector<std::uint8_t> buf;
+    varint_encode(v, buf);
+    const std::uint8_t* p = buf.data();
+    EXPECT_EQ(varint_decode(p), v);
+    EXPECT_EQ(p, buf.data() + buf.size());
+  }
+}
+
+TEST(Varint, RoundTripRandomStream) {
+  Rng rng(42);
+  std::vector<std::uint64_t> values;
+  std::vector<std::uint8_t> buf;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.next_u64() >> rng.next_below(64);
+    values.push_back(v);
+    varint_encode(v, buf);
+  }
+  const std::uint8_t* p = buf.data();
+  for (const std::uint64_t v : values) {
+    EXPECT_EQ(varint_decode(p), v);
+  }
+  EXPECT_EQ(p, buf.data() + buf.size());
+}
+
+TEST(Varint, CheckedDecodeAcceptsExactBuffer) {
+  std::vector<std::uint8_t> buf;
+  varint_encode(1234567, buf);
+  const std::uint8_t* p = buf.data();
+  EXPECT_EQ(varint_decode_checked(p, buf.data() + buf.size()), 1234567u);
+}
+
+TEST(Varint, CheckedDecodeRejectsTruncation) {
+  std::vector<std::uint8_t> buf;
+  varint_encode(1ULL << 40, buf);
+  for (std::size_t cut = 0; cut + 1 < buf.size(); ++cut) {
+    const std::uint8_t* p = buf.data();
+    EXPECT_THROW(varint_decode_checked(p, buf.data() + cut), ParseError)
+        << "cut at " << cut;
+  }
+}
+
+TEST(Varint, CheckedDecodeRejectsOverlongEncoding) {
+  // 11 continuation bytes can never be a valid 64-bit varint.
+  std::vector<std::uint8_t> buf(11, 0x80);
+  buf.push_back(0x01);
+  const std::uint8_t* p = buf.data();
+  EXPECT_THROW(varint_decode_checked(p, buf.data() + buf.size()),
+               ParseError);
+}
+
+TEST(Varint, CheckedDecodeRejects65BitValue) {
+  // Ten bytes whose top byte pushes past 64 bits.
+  std::vector<std::uint8_t> buf(9, 0xFF);
+  buf.push_back(0x7F);  // would need bits >= 64
+  const std::uint8_t* p = buf.data();
+  EXPECT_THROW(varint_decode_checked(p, buf.data() + buf.size()),
+               ParseError);
+}
+
+TEST(ZigZag, RoundTrip) {
+  const std::int64_t cases[] = {0, -1, 1, -2, 2, 1000, -1000,
+                                std::numeric_limits<std::int64_t>::max(),
+                                std::numeric_limits<std::int64_t>::min()};
+  for (const std::int64_t v : cases) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+}
+
+TEST(ZigZag, SmallMagnitudesStaySmall) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  EXPECT_EQ(zigzag_encode(2), 4u);
+}
+
+class VarintWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(VarintWidthSweep, EncodedSizeIsCeilBitsOver7) {
+  const int bits = GetParam();
+  const std::uint64_t v = bits == 0 ? 0 : (1ULL << (bits - 1));
+  const int expected = bits == 0 ? 1 : (bits + 6) / 7;
+  EXPECT_EQ(varint_size(v), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBitWidths, VarintWidthSweep,
+                         ::testing::Range(0, 64));
+
+}  // namespace
+}  // namespace spc

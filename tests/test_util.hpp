@@ -1,0 +1,82 @@
+// Shared helpers for the spc test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "spc/mm/triplets.hpp"
+#include "spc/mm/vector.hpp"
+#include "spc/support/rng.hpp"
+
+namespace spc::test {
+
+/// The paper's 6×6 example matrix (Fig 1). Golden data for CSR, CSR-DU
+/// (Table I) and CSR-VI (Fig 4) layouts.
+inline Triplets paper_matrix() {
+  Triplets t(6, 6);
+  t.add(0, 0, 5.4);
+  t.add(0, 1, 1.1);
+  t.add(1, 1, 6.3);
+  t.add(1, 3, 7.7);
+  t.add(1, 5, 8.8);
+  t.add(2, 2, 1.1);
+  t.add(3, 2, 2.9);
+  t.add(3, 4, 3.7);
+  t.add(3, 5, 2.9);
+  t.add(4, 0, 9.0);
+  t.add(4, 3, 1.1);
+  t.add(4, 4, 4.5);
+  t.add(5, 0, 1.1);
+  t.add(5, 2, 2.9);
+  t.add(5, 3, 3.7);
+  t.add(5, 5, 1.1);
+  t.sort_and_combine();
+  return t;
+}
+
+/// Dense reference SpMV: straightforward O(nnz) accumulation.
+inline Vector reference_spmv(const Triplets& t, const Vector& x) {
+  Vector y(t.nrows(), 0.0);
+  for (const Entry& e : t.entries()) {
+    y[e.row] += e.val * x[e.col];
+  }
+  return y;
+}
+
+/// Random sparse triplets with `nnz_target` draws (duplicates combined).
+inline Triplets random_triplets(index_t nrows, index_t ncols,
+                                usize_t nnz_target, Rng& rng,
+                                std::uint32_t value_pool = 0) {
+  Triplets t(nrows, ncols);
+  std::vector<value_t> pool;
+  for (std::uint32_t i = 0; i < value_pool; ++i) {
+    pool.push_back(rng.next_double(-2.0, 2.0));
+  }
+  for (usize_t k = 0; k < nnz_target; ++k) {
+    const auto r = static_cast<index_t>(rng.next_below(nrows));
+    const auto c = static_cast<index_t>(rng.next_below(ncols));
+    const value_t v = pool.empty()
+                          ? rng.next_double(-2.0, 2.0)
+                          : pool[rng.next_below(pool.size())];
+    t.add(r, c, v);
+  }
+  t.sort_and_combine();
+  return t;
+}
+
+/// Asserts both triplet sets represent the same matrix.
+inline void expect_triplets_eq(const Triplets& a, const Triplets& b) {
+  ASSERT_EQ(a.nrows(), b.nrows());
+  ASSERT_EQ(a.ncols(), b.ncols());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (usize_t i = 0; i < a.nnz(); ++i) {
+    const Entry& ea = a.entries()[i];
+    const Entry& eb = b.entries()[i];
+    ASSERT_EQ(ea.row, eb.row) << "entry " << i;
+    ASSERT_EQ(ea.col, eb.col) << "entry " << i;
+    ASSERT_DOUBLE_EQ(ea.val, eb.val) << "entry " << i;
+  }
+}
+
+}  // namespace spc::test
