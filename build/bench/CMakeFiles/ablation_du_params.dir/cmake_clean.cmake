@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_du_params.dir/ablation_du_params.cpp.o"
+  "CMakeFiles/ablation_du_params.dir/ablation_du_params.cpp.o.d"
+  "ablation_du_params"
+  "ablation_du_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_du_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

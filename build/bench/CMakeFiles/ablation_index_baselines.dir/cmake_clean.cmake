@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_index_baselines.dir/ablation_index_baselines.cpp.o"
+  "CMakeFiles/ablation_index_baselines.dir/ablation_index_baselines.cpp.o.d"
+  "ablation_index_baselines"
+  "ablation_index_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_index_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_index_width.dir/ablation_index_width.cpp.o"
+  "CMakeFiles/ablation_index_width.dir/ablation_index_width.cpp.o.d"
+  "ablation_index_width"
+  "ablation_index_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_index_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reordering.dir/ablation_reordering.cpp.o"
+  "CMakeFiles/ablation_reordering.dir/ablation_reordering.cpp.o.d"
+  "ablation_reordering"
+  "ablation_reordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spmm.dir/ablation_spmm.cpp.o"
+  "CMakeFiles/ablation_spmm.dir/ablation_spmm.cpp.o.d"
+  "ablation_spmm"
+  "ablation_spmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_symmetric.dir/ablation_symmetric.cpp.o"
+  "CMakeFiles/ablation_symmetric.dir/ablation_symmetric.cpp.o.d"
+  "ablation_symmetric"
+  "ablation_symmetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_symmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

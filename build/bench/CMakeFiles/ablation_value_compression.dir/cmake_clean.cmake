@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_value_compression.dir/ablation_value_compression.cpp.o"
+  "CMakeFiles/ablation_value_compression.dir/ablation_value_compression.cpp.o.d"
+  "ablation_value_compression"
+  "ablation_value_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_value_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_model.dir/bandwidth_model.cpp.o"
+  "CMakeFiles/bandwidth_model.dir/bandwidth_model.cpp.o.d"
+  "bandwidth_model"
+  "bandwidth_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoding_cost.dir/encoding_cost.cpp.o"
+  "CMakeFiles/encoding_cost.dir/encoding_cost.cpp.o.d"
+  "encoding_cost"
+  "encoding_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoding_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_csr_du_detail.dir/fig7_csr_du_detail.cpp.o"
+  "CMakeFiles/fig7_csr_du_detail.dir/fig7_csr_du_detail.cpp.o.d"
+  "fig7_csr_du_detail"
+  "fig7_csr_du_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_csr_du_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_csr_du_detail.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_csr_vi_detail.dir/fig8_csr_vi_detail.cpp.o"
+  "CMakeFiles/fig8_csr_vi_detail.dir/fig8_csr_vi_detail.cpp.o.d"
+  "fig8_csr_vi_detail"
+  "fig8_csr_vi_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_csr_vi_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_csr_vi_detail.
+# This may be replaced when dependencies are built.

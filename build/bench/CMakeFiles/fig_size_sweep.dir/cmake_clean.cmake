@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_size_sweep.dir/fig_size_sweep.cpp.o"
+  "CMakeFiles/fig_size_sweep.dir/fig_size_sweep.cpp.o.d"
+  "fig_size_sweep"
+  "fig_size_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_size_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_report.dir/machine_report.cpp.o"
+  "CMakeFiles/machine_report.dir/machine_report.cpp.o.d"
+  "machine_report"
+  "machine_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_csr_scaling.dir/table2_csr_scaling.cpp.o"
+  "CMakeFiles/table2_csr_scaling.dir/table2_csr_scaling.cpp.o.d"
+  "table2_csr_scaling"
+  "table2_csr_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_csr_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

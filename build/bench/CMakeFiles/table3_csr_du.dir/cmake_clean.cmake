@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_csr_du.dir/table3_csr_du.cpp.o"
+  "CMakeFiles/table3_csr_du.dir/table3_csr_du.cpp.o.d"
+  "table3_csr_du"
+  "table3_csr_du.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_csr_du.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

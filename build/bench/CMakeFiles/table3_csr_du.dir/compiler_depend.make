@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table3_csr_du.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_csr_du.
+# This may be replaced when dependencies are built.

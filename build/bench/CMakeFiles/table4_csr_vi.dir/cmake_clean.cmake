@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_csr_vi.dir/table4_csr_vi.cpp.o"
+  "CMakeFiles/table4_csr_vi.dir/table4_csr_vi.cpp.o.d"
+  "table4_csr_vi"
+  "table4_csr_vi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_csr_vi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

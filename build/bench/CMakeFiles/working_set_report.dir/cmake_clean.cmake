@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/working_set_report.dir/working_set_report.cpp.o"
+  "CMakeFiles/working_set_report.dir/working_set_report.cpp.o.d"
+  "working_set_report"
+  "working_set_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/working_set_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

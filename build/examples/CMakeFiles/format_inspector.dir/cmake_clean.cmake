@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_inspector.dir/format_inspector.cpp.o"
+  "CMakeFiles/format_inspector.dir/format_inspector.cpp.o.d"
+  "format_inspector"
+  "format_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

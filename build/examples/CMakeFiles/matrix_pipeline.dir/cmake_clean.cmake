@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_pipeline.dir/matrix_pipeline.cpp.o"
+  "CMakeFiles/matrix_pipeline.dir/matrix_pipeline.cpp.o.d"
+  "matrix_pipeline"
+  "matrix_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spctool.dir/spctool.cpp.o"
+  "CMakeFiles/spctool.dir/spctool.cpp.o.d"
+  "spctool"
+  "spctool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spctool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cg_solver "/root/repo/build/examples/cg_solver" "24" "2")
+set_tests_properties(example_cg_solver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_format_inspector "/root/repo/build/examples/format_inspector" "corpus:lap2d-s")
+set_tests_properties(example_format_inspector PROPERTIES  ENVIRONMENT "SPC_SCALE=tiny" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_corpus_report "/root/repo/build/examples/corpus_report")
+set_tests_properties(example_corpus_report PROPERTIES  ENVIRONMENT "SPC_SCALE=tiny" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_matrix_pipeline "/root/repo/build/examples/matrix_pipeline" "2000" "2")
+set_tests_properties(example_matrix_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pagerank "/root/repo/build/examples/pagerank" "10" "8" "2")
+set_tests_properties(example_pagerank PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_spctool "/root/repo/build/examples/spctool" "inspect" "corpus:lap2d-s")
+set_tests_properties(example_spctool PROPERTIES  ENVIRONMENT "SPC_SCALE=tiny" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spc_benchlib.dir/experiments.cpp.o"
+  "CMakeFiles/spc_benchlib.dir/experiments.cpp.o.d"
+  "CMakeFiles/spc_benchlib.dir/harness.cpp.o"
+  "CMakeFiles/spc_benchlib.dir/harness.cpp.o.d"
+  "CMakeFiles/spc_benchlib.dir/model.cpp.o"
+  "CMakeFiles/spc_benchlib.dir/model.cpp.o.d"
+  "libspc_benchlib.a"
+  "libspc_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spc_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spc/formats/bcsr.cpp" "src/spc/formats/CMakeFiles/spc_formats.dir/bcsr.cpp.o" "gcc" "src/spc/formats/CMakeFiles/spc_formats.dir/bcsr.cpp.o.d"
+  "/root/repo/src/spc/formats/csr_du.cpp" "src/spc/formats/CMakeFiles/spc_formats.dir/csr_du.cpp.o" "gcc" "src/spc/formats/CMakeFiles/spc_formats.dir/csr_du.cpp.o.d"
+  "/root/repo/src/spc/formats/csr_du_vi.cpp" "src/spc/formats/CMakeFiles/spc_formats.dir/csr_du_vi.cpp.o" "gcc" "src/spc/formats/CMakeFiles/spc_formats.dir/csr_du_vi.cpp.o.d"
+  "/root/repo/src/spc/formats/csr_f32.cpp" "src/spc/formats/CMakeFiles/spc_formats.dir/csr_f32.cpp.o" "gcc" "src/spc/formats/CMakeFiles/spc_formats.dir/csr_f32.cpp.o.d"
+  "/root/repo/src/spc/formats/csr_vi.cpp" "src/spc/formats/CMakeFiles/spc_formats.dir/csr_vi.cpp.o" "gcc" "src/spc/formats/CMakeFiles/spc_formats.dir/csr_vi.cpp.o.d"
+  "/root/repo/src/spc/formats/dcsr.cpp" "src/spc/formats/CMakeFiles/spc_formats.dir/dcsr.cpp.o" "gcc" "src/spc/formats/CMakeFiles/spc_formats.dir/dcsr.cpp.o.d"
+  "/root/repo/src/spc/formats/dia.cpp" "src/spc/formats/CMakeFiles/spc_formats.dir/dia.cpp.o" "gcc" "src/spc/formats/CMakeFiles/spc_formats.dir/dia.cpp.o.d"
+  "/root/repo/src/spc/formats/ell.cpp" "src/spc/formats/CMakeFiles/spc_formats.dir/ell.cpp.o" "gcc" "src/spc/formats/CMakeFiles/spc_formats.dir/ell.cpp.o.d"
+  "/root/repo/src/spc/formats/jds.cpp" "src/spc/formats/CMakeFiles/spc_formats.dir/jds.cpp.o" "gcc" "src/spc/formats/CMakeFiles/spc_formats.dir/jds.cpp.o.d"
+  "/root/repo/src/spc/formats/serialize.cpp" "src/spc/formats/CMakeFiles/spc_formats.dir/serialize.cpp.o" "gcc" "src/spc/formats/CMakeFiles/spc_formats.dir/serialize.cpp.o.d"
+  "/root/repo/src/spc/formats/sym_csr.cpp" "src/spc/formats/CMakeFiles/spc_formats.dir/sym_csr.cpp.o" "gcc" "src/spc/formats/CMakeFiles/spc_formats.dir/sym_csr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spc/mm/CMakeFiles/spc_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/spc/support/CMakeFiles/spc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spc_formats.dir/bcsr.cpp.o"
+  "CMakeFiles/spc_formats.dir/bcsr.cpp.o.d"
+  "CMakeFiles/spc_formats.dir/csr_du.cpp.o"
+  "CMakeFiles/spc_formats.dir/csr_du.cpp.o.d"
+  "CMakeFiles/spc_formats.dir/csr_du_vi.cpp.o"
+  "CMakeFiles/spc_formats.dir/csr_du_vi.cpp.o.d"
+  "CMakeFiles/spc_formats.dir/csr_f32.cpp.o"
+  "CMakeFiles/spc_formats.dir/csr_f32.cpp.o.d"
+  "CMakeFiles/spc_formats.dir/csr_vi.cpp.o"
+  "CMakeFiles/spc_formats.dir/csr_vi.cpp.o.d"
+  "CMakeFiles/spc_formats.dir/dcsr.cpp.o"
+  "CMakeFiles/spc_formats.dir/dcsr.cpp.o.d"
+  "CMakeFiles/spc_formats.dir/dia.cpp.o"
+  "CMakeFiles/spc_formats.dir/dia.cpp.o.d"
+  "CMakeFiles/spc_formats.dir/ell.cpp.o"
+  "CMakeFiles/spc_formats.dir/ell.cpp.o.d"
+  "CMakeFiles/spc_formats.dir/jds.cpp.o"
+  "CMakeFiles/spc_formats.dir/jds.cpp.o.d"
+  "CMakeFiles/spc_formats.dir/serialize.cpp.o"
+  "CMakeFiles/spc_formats.dir/serialize.cpp.o.d"
+  "CMakeFiles/spc_formats.dir/sym_csr.cpp.o"
+  "CMakeFiles/spc_formats.dir/sym_csr.cpp.o.d"
+  "libspc_formats.a"
+  "libspc_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spc_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spc/gen/corpus.cpp" "src/spc/gen/CMakeFiles/spc_gen.dir/corpus.cpp.o" "gcc" "src/spc/gen/CMakeFiles/spc_gen.dir/corpus.cpp.o.d"
+  "/root/repo/src/spc/gen/generators.cpp" "src/spc/gen/CMakeFiles/spc_gen.dir/generators.cpp.o" "gcc" "src/spc/gen/CMakeFiles/spc_gen.dir/generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spc/mm/CMakeFiles/spc_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/spc/support/CMakeFiles/spc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

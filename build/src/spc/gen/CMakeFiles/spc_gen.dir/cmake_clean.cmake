@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spc_gen.dir/corpus.cpp.o"
+  "CMakeFiles/spc_gen.dir/corpus.cpp.o.d"
+  "CMakeFiles/spc_gen.dir/generators.cpp.o"
+  "CMakeFiles/spc_gen.dir/generators.cpp.o.d"
+  "libspc_gen.a"
+  "libspc_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spc_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

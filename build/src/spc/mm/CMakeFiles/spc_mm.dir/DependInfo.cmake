@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spc/mm/mtx.cpp" "src/spc/mm/CMakeFiles/spc_mm.dir/mtx.cpp.o" "gcc" "src/spc/mm/CMakeFiles/spc_mm.dir/mtx.cpp.o.d"
+  "/root/repo/src/spc/mm/ops.cpp" "src/spc/mm/CMakeFiles/spc_mm.dir/ops.cpp.o" "gcc" "src/spc/mm/CMakeFiles/spc_mm.dir/ops.cpp.o.d"
+  "/root/repo/src/spc/mm/reorder.cpp" "src/spc/mm/CMakeFiles/spc_mm.dir/reorder.cpp.o" "gcc" "src/spc/mm/CMakeFiles/spc_mm.dir/reorder.cpp.o.d"
+  "/root/repo/src/spc/mm/stats.cpp" "src/spc/mm/CMakeFiles/spc_mm.dir/stats.cpp.o" "gcc" "src/spc/mm/CMakeFiles/spc_mm.dir/stats.cpp.o.d"
+  "/root/repo/src/spc/mm/triplets.cpp" "src/spc/mm/CMakeFiles/spc_mm.dir/triplets.cpp.o" "gcc" "src/spc/mm/CMakeFiles/spc_mm.dir/triplets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spc/support/CMakeFiles/spc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spc_mm.dir/mtx.cpp.o"
+  "CMakeFiles/spc_mm.dir/mtx.cpp.o.d"
+  "CMakeFiles/spc_mm.dir/ops.cpp.o"
+  "CMakeFiles/spc_mm.dir/ops.cpp.o.d"
+  "CMakeFiles/spc_mm.dir/reorder.cpp.o"
+  "CMakeFiles/spc_mm.dir/reorder.cpp.o.d"
+  "CMakeFiles/spc_mm.dir/stats.cpp.o"
+  "CMakeFiles/spc_mm.dir/stats.cpp.o.d"
+  "CMakeFiles/spc_mm.dir/triplets.cpp.o"
+  "CMakeFiles/spc_mm.dir/triplets.cpp.o.d"
+  "libspc_mm.a"
+  "libspc_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spc_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

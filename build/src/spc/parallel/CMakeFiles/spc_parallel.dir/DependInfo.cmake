@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spc/parallel/partition.cpp" "src/spc/parallel/CMakeFiles/spc_parallel.dir/partition.cpp.o" "gcc" "src/spc/parallel/CMakeFiles/spc_parallel.dir/partition.cpp.o.d"
+  "/root/repo/src/spc/parallel/thread_pool.cpp" "src/spc/parallel/CMakeFiles/spc_parallel.dir/thread_pool.cpp.o" "gcc" "src/spc/parallel/CMakeFiles/spc_parallel.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spc/mm/CMakeFiles/spc_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/spc/support/CMakeFiles/spc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

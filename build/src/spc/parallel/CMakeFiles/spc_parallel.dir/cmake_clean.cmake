@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spc_parallel.dir/partition.cpp.o"
+  "CMakeFiles/spc_parallel.dir/partition.cpp.o.d"
+  "CMakeFiles/spc_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/spc_parallel.dir/thread_pool.cpp.o.d"
+  "libspc_parallel.a"
+  "libspc_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spc_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spc/solvers/iterative.cpp" "src/spc/solvers/CMakeFiles/spc_solvers.dir/iterative.cpp.o" "gcc" "src/spc/solvers/CMakeFiles/spc_solvers.dir/iterative.cpp.o.d"
+  "/root/repo/src/spc/solvers/multi_rhs.cpp" "src/spc/solvers/CMakeFiles/spc_solvers.dir/multi_rhs.cpp.o" "gcc" "src/spc/solvers/CMakeFiles/spc_solvers.dir/multi_rhs.cpp.o.d"
+  "/root/repo/src/spc/solvers/refinement.cpp" "src/spc/solvers/CMakeFiles/spc_solvers.dir/refinement.cpp.o" "gcc" "src/spc/solvers/CMakeFiles/spc_solvers.dir/refinement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spc/mm/CMakeFiles/spc_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/spc/support/CMakeFiles/spc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

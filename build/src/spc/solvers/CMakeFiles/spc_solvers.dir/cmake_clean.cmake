@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spc_solvers.dir/iterative.cpp.o"
+  "CMakeFiles/spc_solvers.dir/iterative.cpp.o.d"
+  "CMakeFiles/spc_solvers.dir/multi_rhs.cpp.o"
+  "CMakeFiles/spc_solvers.dir/multi_rhs.cpp.o.d"
+  "CMakeFiles/spc_solvers.dir/refinement.cpp.o"
+  "CMakeFiles/spc_solvers.dir/refinement.cpp.o.d"
+  "libspc_solvers.a"
+  "libspc_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spc_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spc/spmv/instance.cpp" "src/spc/spmv/CMakeFiles/spc_spmv.dir/instance.cpp.o" "gcc" "src/spc/spmv/CMakeFiles/spc_spmv.dir/instance.cpp.o.d"
+  "/root/repo/src/spc/spmv/kernels.cpp" "src/spc/spmv/CMakeFiles/spc_spmv.dir/kernels.cpp.o" "gcc" "src/spc/spmv/CMakeFiles/spc_spmv.dir/kernels.cpp.o.d"
+  "/root/repo/src/spc/spmv/spmm.cpp" "src/spc/spmv/CMakeFiles/spc_spmv.dir/spmm.cpp.o" "gcc" "src/spc/spmv/CMakeFiles/spc_spmv.dir/spmm.cpp.o.d"
+  "/root/repo/src/spc/spmv/sym_spmv.cpp" "src/spc/spmv/CMakeFiles/spc_spmv.dir/sym_spmv.cpp.o" "gcc" "src/spc/spmv/CMakeFiles/spc_spmv.dir/sym_spmv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spc/formats/CMakeFiles/spc_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/spc/parallel/CMakeFiles/spc_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/spc/mm/CMakeFiles/spc_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/spc/support/CMakeFiles/spc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

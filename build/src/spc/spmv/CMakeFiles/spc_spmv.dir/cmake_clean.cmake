@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spc_spmv.dir/instance.cpp.o"
+  "CMakeFiles/spc_spmv.dir/instance.cpp.o.d"
+  "CMakeFiles/spc_spmv.dir/kernels.cpp.o"
+  "CMakeFiles/spc_spmv.dir/kernels.cpp.o.d"
+  "CMakeFiles/spc_spmv.dir/spmm.cpp.o"
+  "CMakeFiles/spc_spmv.dir/spmm.cpp.o.d"
+  "CMakeFiles/spc_spmv.dir/sym_spmv.cpp.o"
+  "CMakeFiles/spc_spmv.dir/sym_spmv.cpp.o.d"
+  "libspc_spmv.a"
+  "libspc_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spc_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spc/support/error.cpp" "src/spc/support/CMakeFiles/spc_support.dir/error.cpp.o" "gcc" "src/spc/support/CMakeFiles/spc_support.dir/error.cpp.o.d"
+  "/root/repo/src/spc/support/strutil.cpp" "src/spc/support/CMakeFiles/spc_support.dir/strutil.cpp.o" "gcc" "src/spc/support/CMakeFiles/spc_support.dir/strutil.cpp.o.d"
+  "/root/repo/src/spc/support/topology.cpp" "src/spc/support/CMakeFiles/spc_support.dir/topology.cpp.o" "gcc" "src/spc/support/CMakeFiles/spc_support.dir/topology.cpp.o.d"
+  "/root/repo/src/spc/support/varint.cpp" "src/spc/support/CMakeFiles/spc_support.dir/varint.cpp.o" "gcc" "src/spc/support/CMakeFiles/spc_support.dir/varint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

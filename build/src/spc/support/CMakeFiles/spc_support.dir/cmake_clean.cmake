@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spc_support.dir/error.cpp.o"
+  "CMakeFiles/spc_support.dir/error.cpp.o.d"
+  "CMakeFiles/spc_support.dir/strutil.cpp.o"
+  "CMakeFiles/spc_support.dir/strutil.cpp.o.d"
+  "CMakeFiles/spc_support.dir/topology.cpp.o"
+  "CMakeFiles/spc_support.dir/topology.cpp.o.d"
+  "CMakeFiles/spc_support.dir/varint.cpp.o"
+  "CMakeFiles/spc_support.dir/varint.cpp.o.d"
+  "libspc_support.a"
+  "libspc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coo_csc_test.dir/formats/coo_csc_test.cpp.o"
+  "CMakeFiles/coo_csc_test.dir/formats/coo_csc_test.cpp.o.d"
+  "coo_csc_test"
+  "coo_csc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coo_csc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

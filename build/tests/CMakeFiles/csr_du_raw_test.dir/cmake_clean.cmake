@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_du_raw_test.dir/formats/csr_du_raw_test.cpp.o"
+  "CMakeFiles/csr_du_raw_test.dir/formats/csr_du_raw_test.cpp.o.d"
+  "csr_du_raw_test"
+  "csr_du_raw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_du_raw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

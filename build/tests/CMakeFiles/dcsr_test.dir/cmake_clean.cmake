@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsr_test.dir/formats/dcsr_test.cpp.o"
+  "CMakeFiles/dcsr_test.dir/formats/dcsr_test.cpp.o.d"
+  "dcsr_test"
+  "dcsr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

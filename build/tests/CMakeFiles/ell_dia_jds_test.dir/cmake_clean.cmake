@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ell_dia_jds_test.dir/formats/ell_dia_jds_test.cpp.o"
+  "CMakeFiles/ell_dia_jds_test.dir/formats/ell_dia_jds_test.cpp.o.d"
+  "ell_dia_jds_test"
+  "ell_dia_jds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ell_dia_jds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

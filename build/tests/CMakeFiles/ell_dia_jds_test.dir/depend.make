@@ -1,0 +1,2 @@
+# Empty dependencies file for ell_dia_jds_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_stats_test.dir/mm/matrix_stats_test.cpp.o"
+  "CMakeFiles/matrix_stats_test.dir/mm/matrix_stats_test.cpp.o.d"
+  "matrix_stats_test"
+  "matrix_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtx_fuzz_test.dir/mm/mtx_fuzz_test.cpp.o"
+  "CMakeFiles/mtx_fuzz_test.dir/mm/mtx_fuzz_test.cpp.o.d"
+  "mtx_fuzz_test"
+  "mtx_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtx_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

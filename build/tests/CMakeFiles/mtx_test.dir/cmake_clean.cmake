@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtx_test.dir/mm/mtx_test.cpp.o"
+  "CMakeFiles/mtx_test.dir/mm/mtx_test.cpp.o.d"
+  "mtx_test"
+  "mtx_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

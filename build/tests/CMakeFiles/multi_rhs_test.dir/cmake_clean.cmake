@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_rhs_test.dir/solvers/multi_rhs_test.cpp.o"
+  "CMakeFiles/multi_rhs_test.dir/solvers/multi_rhs_test.cpp.o.d"
+  "multi_rhs_test"
+  "multi_rhs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_rhs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

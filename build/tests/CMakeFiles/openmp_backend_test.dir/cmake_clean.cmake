@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openmp_backend_test.dir/spmv/openmp_backend_test.cpp.o"
+  "CMakeFiles/openmp_backend_test.dir/spmv/openmp_backend_test.cpp.o.d"
+  "openmp_backend_test"
+  "openmp_backend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openmp_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slice_property_test.dir/spmv/slice_property_test.cpp.o"
+  "CMakeFiles/slice_property_test.dir/spmv/slice_property_test.cpp.o.d"
+  "slice_property_test"
+  "slice_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slice_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmm_test.dir/spmv/spmm_test.cpp.o"
+  "CMakeFiles/spmm_test.dir/spmv/spmm_test.cpp.o.d"
+  "spmm_test"
+  "spmm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_util_test.dir/support/stats_util_test.cpp.o"
+  "CMakeFiles/stats_util_test.dir/support/stats_util_test.cpp.o.d"
+  "stats_util_test"
+  "stats_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

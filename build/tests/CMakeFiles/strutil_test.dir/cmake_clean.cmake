@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strutil_test.dir/support/strutil_test.cpp.o"
+  "CMakeFiles/strutil_test.dir/support/strutil_test.cpp.o.d"
+  "strutil_test"
+  "strutil_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strutil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

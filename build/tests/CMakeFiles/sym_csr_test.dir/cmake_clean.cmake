@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sym_csr_test.dir/formats/sym_csr_test.cpp.o"
+  "CMakeFiles/sym_csr_test.dir/formats/sym_csr_test.cpp.o.d"
+  "sym_csr_test"
+  "sym_csr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sym_csr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
