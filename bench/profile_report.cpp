@@ -1,0 +1,233 @@
+// Reproduces the paper's Fig. 7/8-style per-format breakdown from the
+// JSONL metrics records the harness emits under SPC_METRICS.
+//
+// The paper argues CSR-DU/CSR-VI through per-kernel cycles,
+// instructions, and cache misses (§VII): compression should trade a few
+// decode instructions for fewer LLC misses per non-zero. This report
+// makes that trade visible:
+//   1. a per-(format, threads) aggregate — MFLOPS, speedup vs CSR, IPC,
+//      cycles/nnz, LLC misses per thousand nnz, busy-time imbalance;
+//   2. a per-matrix detail at the highest recorded thread count, sorted
+//      by speedup the way Figs. 7/8 sort their bars.
+//
+// Usage: profile_report [metrics.jsonl]   (default: $SPC_METRICS)
+// Cells read "-" where hardware counters were unavailable; wall-clock
+// columns are always present.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "spc/bench/harness.hpp"
+#include "spc/obs/json.hpp"
+#include "spc/support/strutil.hpp"
+
+namespace {
+
+struct Record {
+  std::string bench;
+  std::string matrix;
+  std::string set;
+  std::string format;
+  std::size_t threads = 1;
+  double mflops = 0.0;
+  double speedup = 0.0;  ///< 0 when absent
+  double imbalance = 0.0;
+  std::uint64_t nnz = 0;
+  bool has_counters = false;
+  double ipc = 0.0;
+  double cycles_per_nnz = 0.0;
+  bool has_llc = false;
+  double misses_per_knnz = 0.0;
+};
+
+double num(const spc::obs::Json& j, const char* key, double dflt = 0.0) {
+  const spc::obs::Json* v = j.find(key);
+  return v != nullptr ? v->as_double(dflt) : dflt;
+}
+
+std::string str(const spc::obs::Json& j, const char* key) {
+  const spc::obs::Json* v = j.find(key);
+  return v != nullptr ? v->as_string() : std::string();
+}
+
+bool parse_record(const std::string& line, Record& r) {
+  spc::obs::Json j;
+  try {
+    j = spc::obs::Json::parse(line);
+  } catch (const spc::Error&) {
+    return false;
+  }
+  if (!j.is_object()) {
+    return false;
+  }
+  r.bench = str(j, "bench");
+  r.matrix = str(j, "matrix");
+  r.set = str(j, "set");
+  r.format = str(j, "format");
+  r.threads = static_cast<std::size_t>(num(j, "threads", 1));
+  r.mflops = num(j, "mflops");
+  r.speedup = num(j, "speedup_vs_csr");
+  r.imbalance = num(j, "imbalance");
+  r.nnz = j.find("nnz") != nullptr ? j.find("nnz")->as_u64() : 0;
+  if (const spc::obs::Json* c = j.find("counters");
+      c != nullptr && c->is_object()) {
+    r.has_counters = true;
+    r.ipc = num(*c, "ipc");
+    r.cycles_per_nnz = num(*c, "cycles_per_nnz");
+    if (c->find("misses_per_knnz") != nullptr) {
+      r.has_llc = true;
+      r.misses_per_knnz = num(*c, "misses_per_knnz");
+    }
+  }
+  return !r.matrix.empty() && !r.format.empty();
+}
+
+std::string f2(double v) { return spc::fmt_fixed(v, 2); }
+std::string f1(double v) { return spc::fmt_fixed(v, 1); }
+
+/// Mean over added samples; "-" when none were added.
+struct MaybeMean {
+  double sum = 0.0;
+  std::size_t n = 0;
+  void add(double v) {
+    sum += v;
+    ++n;
+  }
+  std::string fmt(int digits) const {
+    return n ? spc::fmt_fixed(sum / static_cast<double>(n), digits) : "-";
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  if (argc > 1) {
+    path = argv[1];
+  } else if (const char* env = std::getenv("SPC_METRICS");
+             env != nullptr && *env != '\0') {
+    path = env;
+  } else {
+    std::cerr << "usage: profile_report <metrics.jsonl>  (or set "
+                 "SPC_METRICS)\n";
+    return 2;
+  }
+
+  std::ifstream f(path);
+  if (!f) {
+    std::cerr << "error: cannot read " << path << "\n";
+    return 1;
+  }
+
+  std::vector<Record> records;
+  std::size_t bad_lines = 0;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    Record r;
+    if (parse_record(line, r)) {
+      records.push_back(std::move(r));
+    } else {
+      ++bad_lines;
+    }
+  }
+  if (records.empty()) {
+    std::cerr << "error: no metrics records in " << path << "\n";
+    return 1;
+  }
+
+  std::size_t with_counters = 0;
+  std::size_t max_threads = 1;
+  for (const Record& r : records) {
+    with_counters += r.has_counters ? 1 : 0;
+    max_threads = std::max(max_threads, r.threads);
+  }
+  std::cout << "=== profile report: " << path << " (" << records.size()
+            << " records, " << with_counters << " with hardware counters";
+  if (bad_lines > 0) {
+    std::cout << ", " << bad_lines << " unparseable lines skipped";
+  }
+  std::cout << ") ===\n\n";
+
+  // 1. Per-(format, threads) aggregate — the Fig. 7/8 summary view.
+  struct Agg {
+    MaybeMean mflops, speedup, ipc, cycles_per_nnz, misses_per_knnz,
+        imbalance;
+    std::size_t runs = 0;
+  };
+  std::map<std::pair<std::string, std::size_t>, Agg> by_cell;
+  for (const Record& r : records) {
+    Agg& a = by_cell[{r.format, r.threads}];
+    ++a.runs;
+    a.mflops.add(r.mflops);
+    if (r.speedup > 0.0) {
+      a.speedup.add(r.speedup);
+    }
+    if (r.imbalance > 0.0) {
+      a.imbalance.add(r.imbalance);
+    }
+    if (r.has_counters) {
+      a.ipc.add(r.ipc);
+      a.cycles_per_nnz.add(r.cycles_per_nnz);
+      if (r.has_llc) {
+        a.misses_per_knnz.add(r.misses_per_knnz);
+      }
+    }
+  }
+  spc::TextTable summary({"format", "threads", "runs", "MFLOPS",
+                          "speedup", "IPC", "cyc/nnz", "miss/knnz",
+                          "imbalance"});
+  for (const auto& [key, a] : by_cell) {
+    summary.add_row({key.first, std::to_string(key.second),
+                     std::to_string(a.runs), a.mflops.fmt(1),
+                     a.speedup.fmt(2), a.ipc.fmt(2),
+                     a.cycles_per_nnz.fmt(1), a.misses_per_knnz.fmt(2),
+                     a.imbalance.fmt(2)});
+  }
+  std::cout << "per-(format, threads) aggregate:\n";
+  summary.print(std::cout);
+
+  // 2. Per-matrix detail at the highest thread count, sorted by speedup
+  //    (the paper sorts its Fig. 7/8 bars the same way).
+  std::vector<const Record*> detail;
+  for (const Record& r : records) {
+    if (r.threads == max_threads) {
+      detail.push_back(&r);
+    }
+  }
+  std::sort(detail.begin(), detail.end(),
+            [](const Record* a, const Record* b) {
+              if (a->speedup != b->speedup) {
+                return a->speedup < b->speedup;
+              }
+              return a->matrix < b->matrix;
+            });
+  spc::TextTable per_matrix({"matrix", "set", "format", "speedup",
+                             "MFLOPS", "IPC", "cyc/nnz", "miss/knnz",
+                             "imbalance"});
+  for (const Record* r : detail) {
+    per_matrix.add_row(
+        {r->matrix, r->set, r->format,
+         r->speedup > 0.0 ? f2(r->speedup) : "-", f1(r->mflops),
+         r->has_counters ? f2(r->ipc) : "-",
+         r->has_counters ? f1(r->cycles_per_nnz) : "-",
+         r->has_llc ? f2(r->misses_per_knnz) : "-",
+         r->imbalance > 0.0 ? f2(r->imbalance) : "-"});
+  }
+  std::cout << "\nper-matrix detail at " << max_threads
+            << " thread(s), sorted by speedup:\n";
+  per_matrix.print(std::cout);
+
+  if (with_counters == 0) {
+    std::cout << "\nnote: hardware counters were unavailable for every "
+                 "record (SPC_COUNTERS=0, perf_event_paranoid, or "
+                 "platform limits); wall-clock columns remain valid.\n";
+  }
+  return 0;
+}

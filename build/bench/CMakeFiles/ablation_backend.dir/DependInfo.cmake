@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/spc/spmv/CMakeFiles/spc_spmv.dir/DependInfo.cmake"
   "/root/repo/build/src/spc/formats/CMakeFiles/spc_formats.dir/DependInfo.cmake"
   "/root/repo/build/src/spc/parallel/CMakeFiles/spc_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/spc/obs/CMakeFiles/spc_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/spc/mm/CMakeFiles/spc_mm.dir/DependInfo.cmake"
   "/root/repo/build/src/spc/support/CMakeFiles/spc_support.dir/DependInfo.cmake"
   )

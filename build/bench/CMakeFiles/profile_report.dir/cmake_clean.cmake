@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_report.dir/profile_report.cpp.o"
+  "CMakeFiles/profile_report.dir/profile_report.cpp.o.d"
+  "profile_report"
+  "profile_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spc/obs/json.cpp" "src/spc/obs/CMakeFiles/spc_obs.dir/json.cpp.o" "gcc" "src/spc/obs/CMakeFiles/spc_obs.dir/json.cpp.o.d"
+  "/root/repo/src/spc/obs/metrics.cpp" "src/spc/obs/CMakeFiles/spc_obs.dir/metrics.cpp.o" "gcc" "src/spc/obs/CMakeFiles/spc_obs.dir/metrics.cpp.o.d"
+  "/root/repo/src/spc/obs/metrics_io.cpp" "src/spc/obs/CMakeFiles/spc_obs.dir/metrics_io.cpp.o" "gcc" "src/spc/obs/CMakeFiles/spc_obs.dir/metrics_io.cpp.o.d"
+  "/root/repo/src/spc/obs/perf_counters.cpp" "src/spc/obs/CMakeFiles/spc_obs.dir/perf_counters.cpp.o" "gcc" "src/spc/obs/CMakeFiles/spc_obs.dir/perf_counters.cpp.o.d"
+  "/root/repo/src/spc/obs/trace.cpp" "src/spc/obs/CMakeFiles/spc_obs.dir/trace.cpp.o" "gcc" "src/spc/obs/CMakeFiles/spc_obs.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spc/support/CMakeFiles/spc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spc_obs.dir/json.cpp.o"
+  "CMakeFiles/spc_obs.dir/json.cpp.o.d"
+  "CMakeFiles/spc_obs.dir/metrics.cpp.o"
+  "CMakeFiles/spc_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/spc_obs.dir/metrics_io.cpp.o"
+  "CMakeFiles/spc_obs.dir/metrics_io.cpp.o.d"
+  "CMakeFiles/spc_obs.dir/perf_counters.cpp.o"
+  "CMakeFiles/spc_obs.dir/perf_counters.cpp.o.d"
+  "CMakeFiles/spc_obs.dir/trace.cpp.o"
+  "CMakeFiles/spc_obs.dir/trace.cpp.o.d"
+  "libspc_obs.a"
+  "libspc_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spc_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

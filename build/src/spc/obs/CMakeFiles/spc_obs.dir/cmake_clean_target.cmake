@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspc_obs.a"
+)

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/spc/mm/CMakeFiles/spc_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/spc/obs/CMakeFiles/spc_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/spc/support/CMakeFiles/spc_support.dir/DependInfo.cmake"
   )
 

@@ -236,12 +236,12 @@ src/spc/spmv/CMakeFiles/spc_spmv.dir/spmm.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/spc/parallel/partition.hpp \
- /root/repo/src/spc/parallel/thread_pool.hpp \
+ /root/repo/src/spc/parallel/thread_pool.hpp /usr/include/c++/12/atomic \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -252,4 +252,5 @@ src/spc/spmv/CMakeFiles/spc_spmv.dir/spmm.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread /root/repo/src/spc/support/topology.hpp
+ /usr/include/c++/12/thread /root/repo/src/spc/obs/perf_counters.hpp \
+ /root/repo/src/spc/support/topology.hpp

@@ -331,16 +331,17 @@ tests/CMakeFiles/differential_test.dir/integration/differential_test.cpp.o: \
  /root/repo/src/spc/formats/csr_vi.hpp \
  /root/repo/src/spc/formats/dcsr.hpp /root/repo/src/spc/formats/dia.hpp \
  /root/repo/src/spc/formats/ell.hpp /root/repo/src/spc/formats/jds.hpp \
- /root/repo/src/spc/mm/vector.hpp \
+ /root/repo/src/spc/mm/vector.hpp /root/repo/src/spc/obs/metrics.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/spc/parallel/partition.hpp \
  /root/repo/src/spc/parallel/thread_pool.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread /root/repo/src/spc/support/topology.hpp \
- /root/repo/tests/test_util.hpp
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/thread /root/repo/src/spc/obs/perf_counters.hpp \
+ /root/repo/src/spc/support/topology.hpp /root/repo/tests/test_util.hpp

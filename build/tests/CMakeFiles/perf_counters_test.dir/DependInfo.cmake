@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs/perf_counters_test.cpp" "tests/CMakeFiles/perf_counters_test.dir/obs/perf_counters_test.cpp.o" "gcc" "tests/CMakeFiles/perf_counters_test.dir/obs/perf_counters_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spc/solvers/CMakeFiles/spc_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/spc/bench/CMakeFiles/spc_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/spc/gen/CMakeFiles/spc_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/spc/spmv/CMakeFiles/spc_spmv.dir/DependInfo.cmake"
+  "/root/repo/build/src/spc/formats/CMakeFiles/spc_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/spc/parallel/CMakeFiles/spc_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/spc/obs/CMakeFiles/spc_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/spc/mm/CMakeFiles/spc_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/spc/support/CMakeFiles/spc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -332,5 +332,5 @@ tests/CMakeFiles/sym_csr_test.dir/formats/sym_csr_test.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread /root/repo/src/spc/support/topology.hpp \
- /root/repo/tests/test_util.hpp
+ /usr/include/c++/12/thread /root/repo/src/spc/obs/perf_counters.hpp \
+ /root/repo/src/spc/support/topology.hpp /root/repo/tests/test_util.hpp

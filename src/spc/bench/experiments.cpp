@@ -31,6 +31,12 @@ InstanceOptions instance_opts(const BenchConfig& cfg) {
 std::string f2(double v) { return fmt_fixed(v, 2); }
 std::string f1(double v) { return fmt_fixed(v, 1); }
 
+/// Bench label for JSONL records: the CSV name without its extension.
+std::string bench_label(const std::string& csv_name) {
+  const std::size_t dot = csv_name.rfind('.');
+  return dot == std::string::npos ? csv_name : csv_name.substr(0, dot);
+}
+
 }  // namespace
 
 void run_table2_csr_scaling(const BenchConfig& cfg, std::ostream& os) {
@@ -63,8 +69,11 @@ void run_table2_csr_scaling(const BenchConfig& cfg, std::ostream& os) {
   std::vector<std::vector<std::string>> csv_rows;
   for_each_matrix(cfg, [&](MatrixCase& mc) {
     SpmvInstance serial(mc.mat, Format::kCsr, 1, instance_opts(cfg));
-    const double t1 = time_spmv(serial, cfg.iterations, cfg.warmup);
-    const double mf = mflops(mc.mat.nnz(), cfg.iterations, t1);
+    const RunMetrics m1 =
+        time_spmv_metrics(serial, cfg.iterations, cfg.warmup);
+    emit_metrics_record("table2_csr_scaling", mc, serial, m1);
+    const double t1 = m1.seconds;
+    const double mf = m1.mflops;
     const std::string set = set_name(mc.set_class);
     serial_mflops[set].add(mf);
     serial_mflops["M0"].add(mf);
@@ -74,8 +83,10 @@ void run_table2_csr_scaling(const BenchConfig& cfg, std::ostream& os) {
       InstanceOptions opts = instance_opts(cfg);
       opts.placement = c.placement;
       SpmvInstance mt(mc.mat, Format::kCsr, c.threads, opts);
-      const double tn = time_spmv(mt, cfg.iterations, cfg.warmup);
+      const RunMetrics mn = time_spmv_metrics(mt, cfg.iterations, cfg.warmup);
+      const double tn = mn.seconds;
       const double sp = tn > 0.0 ? t1 / tn : 0.0;
+      emit_metrics_record("table2_csr_scaling", mc, mt, mn, sp);
       speedups[set][c.label].add(sp);
       speedups["M0"][c.label].add(sp);
       row.push_back(f2(sp));
@@ -142,16 +153,31 @@ void run_compare_table(const BenchConfig& cfg, Format compressed,
     const double size_red =
         100.0 * (1.0 - static_cast<double>(comp_ref.matrix_bytes()) /
                            static_cast<double>(csr_ref.matrix_bytes()));
+    const std::string bench = bench_label(csv_name);
     for (const std::size_t n : cfg.threads) {
       double t_csr, t_comp;
       if (n == 1) {
-        t_csr = time_spmv(csr_ref, cfg.iterations, cfg.warmup);
-        t_comp = time_spmv(comp_ref, cfg.iterations, cfg.warmup);
+        const RunMetrics m_csr =
+            time_spmv_metrics(csr_ref, cfg.iterations, cfg.warmup);
+        const RunMetrics m_comp =
+            time_spmv_metrics(comp_ref, cfg.iterations, cfg.warmup);
+        t_csr = m_csr.seconds;
+        t_comp = m_comp.seconds;
+        emit_metrics_record(bench, mc, csr_ref, m_csr, 1.0);
+        emit_metrics_record(bench, mc, comp_ref, m_comp,
+                            t_comp > 0.0 ? t_csr / t_comp : 0.0);
       } else {
         SpmvInstance csr_mt(mc.mat, Format::kCsr, n, instance_opts(cfg));
         SpmvInstance comp_mt(mc.mat, compressed, n, instance_opts(cfg));
-        t_csr = time_spmv(csr_mt, cfg.iterations, cfg.warmup);
-        t_comp = time_spmv(comp_mt, cfg.iterations, cfg.warmup);
+        const RunMetrics m_csr =
+            time_spmv_metrics(csr_mt, cfg.iterations, cfg.warmup);
+        const RunMetrics m_comp =
+            time_spmv_metrics(comp_mt, cfg.iterations, cfg.warmup);
+        t_csr = m_csr.seconds;
+        t_comp = m_comp.seconds;
+        emit_metrics_record(bench, mc, csr_mt, m_csr, 1.0);
+        emit_metrics_record(bench, mc, comp_mt, m_comp,
+                            t_comp > 0.0 ? t_csr / t_comp : 0.0);
       }
       const double sp = t_comp > 0.0 ? t_csr / t_comp : 0.0;
       agg[set][n].add(sp);
@@ -212,8 +238,12 @@ void run_detail_figure(const BenchConfig& cfg, Format compressed,
     Row r;
     r.name = mc.name;
     r.set = set_name(mc.set_class);
+    const std::string bench = bench_label(csv_name);
     SpmvInstance csr_serial(mc.mat, Format::kCsr, 1, instance_opts(cfg));
-    const double t1 = time_spmv(csr_serial, cfg.iterations, cfg.warmup);
+    const RunMetrics m1 =
+        time_spmv_metrics(csr_serial, cfg.iterations, cfg.warmup);
+    emit_metrics_record(bench, mc, csr_serial, m1, 1.0);
+    const double t1 = m1.seconds;
 
     SpmvInstance comp_serial(mc.mat, compressed, 1, instance_opts(cfg));
     r.size_reduction_pct =
@@ -222,16 +252,27 @@ void run_detail_figure(const BenchConfig& cfg, Format compressed,
 
     SpmvInstance csr_mt(mc.mat, Format::kCsr, max_threads,
                         instance_opts(cfg));
-    const double t_mt = time_spmv(csr_mt, cfg.iterations, cfg.warmup);
+    const RunMetrics m_mt =
+        time_spmv_metrics(csr_mt, cfg.iterations, cfg.warmup);
+    const double t_mt = m_mt.seconds;
     r.csr_mt_speedup = t_mt > 0.0 ? t1 / t_mt : 0.0;
+    emit_metrics_record(bench, mc, csr_mt, m_mt, r.csr_mt_speedup);
 
     for (const std::size_t n : cfg.threads) {
       double tn;
       if (n == 1) {
-        tn = time_spmv(comp_serial, cfg.iterations, cfg.warmup);
+        const RunMetrics mn =
+            time_spmv_metrics(comp_serial, cfg.iterations, cfg.warmup);
+        tn = mn.seconds;
+        emit_metrics_record(bench, mc, comp_serial, mn,
+                            tn > 0.0 ? t1 / tn : 0.0);
       } else {
         SpmvInstance comp_mt(mc.mat, compressed, n, instance_opts(cfg));
-        tn = time_spmv(comp_mt, cfg.iterations, cfg.warmup);
+        const RunMetrics mn =
+            time_spmv_metrics(comp_mt, cfg.iterations, cfg.warmup);
+        tn = mn.seconds;
+        emit_metrics_record(bench, mc, comp_mt, mn,
+                            tn > 0.0 ? t1 / tn : 0.0);
       }
       r.comp_speedups.push_back(tn > 0.0 ? t1 / tn : 0.0);
     }

@@ -3,9 +3,13 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "spc/mm/vector.hpp"
+#include "spc/obs/metrics.hpp"
+#include "spc/obs/metrics_io.hpp"
+#include "spc/obs/trace.hpp"
 #include "spc/support/strutil.hpp"
 #include "spc/support/timing.hpp"
 
@@ -136,8 +140,16 @@ void for_each_matrix(const BenchConfig& cfg,
     mc.name = spec.name;
     mc.cls = spec.cls;
     mc.vi_friendly = spec.vi_friendly;
-    mc.mat = spec.build();
-    mc.stats = compute_stats(mc.mat);
+    {
+      obs::TraceSpan span("build:" + spec.name);
+      ScopedTimer timed(
+          obs::Registry::global().histogram("spc.bench.build_ns"));
+      mc.mat = spec.build();
+    }
+    {
+      obs::TraceSpan span("stats:" + spec.name);
+      mc.stats = compute_stats(mc.mat);
+    }
     mc.ws = mc.stats.working_set_bytes();
     mc.set_class = classify_ws(mc.ws, th);
     if (apply_rejection && mc.set_class == SetClass::kRejected) {
@@ -149,17 +161,140 @@ void for_each_matrix(const BenchConfig& cfg,
 }
 
 double time_spmv(SpmvInstance& inst, std::size_t iters, std::size_t warmup) {
+  return time_spmv_metrics(inst, iters, warmup).seconds;
+}
+
+RunMetrics time_spmv_metrics(SpmvInstance& inst, std::size_t iters,
+                             std::size_t warmup) {
+  RunMetrics m;
+  m.threads = inst.nthreads();
+  m.iterations = iters;
+  m.warmup = warmup;
+
   Rng rng(0xbe7cull ^ inst.nnz());
   const Vector x = random_vector(inst.ncols(), rng);
   Vector y(inst.nrows(), 0.0);
-  for (std::size_t i = 0; i < warmup; ++i) {
-    inst.run(x, y);
+  {
+    obs::TraceSpan span("warmup");
+    for (std::size_t i = 0; i < warmup; ++i) {
+      inst.run(x, y);
+    }
   }
-  Timer t;
-  for (std::size_t i = 0; i < iters; ++i) {
-    inst.run(x, y);
+
+  ThreadPool* pool = inst.pool();
+  std::unique_ptr<obs::PerfSession> serial_session;
+  if (pool != nullptr) {
+    pool->busy_reset();
+    pool->counters_start();
+  } else if (inst.nthreads() == 1 && obs::counters_enabled()) {
+    // Serial runs execute on this thread; attach the group here.
+    serial_session = std::make_unique<obs::PerfSession>();
+    serial_session->start();
   }
-  return t.elapsed_s();
+
+  {
+    obs::TraceSpan span("timed");
+    Timer t;
+    for (std::size_t i = 0; i < iters; ++i) {
+      inst.run(x, y);
+    }
+    m.seconds = t.elapsed_s();
+  }
+  m.mflops = mflops(inst.nnz(), iters, m.seconds);
+
+  if (pool != nullptr) {
+    m.counters = pool->counters_stop();
+    m.imbalance = pool->total_imbalance();
+    m.busy_seconds.resize(pool->size());
+    for (std::size_t t = 0; t < pool->size(); ++t) {
+      m.busy_seconds[t] =
+          static_cast<double>(pool->total_busy_ns(t)) * 1e-9;
+    }
+  } else if (serial_session != nullptr) {
+    serial_session->stop();
+    m.counters = serial_session->read();
+    m.imbalance = 1.0;
+  } else if (inst.nthreads() == 1) {
+    m.counters.reason = "disabled (SPC_COUNTERS=0)";
+    m.imbalance = 1.0;
+  } else {
+    // OpenMP backend: no per-thread sessions or busy accounting.
+    m.counters.reason = "openmp backend (no per-thread attach)";
+    m.imbalance = 0.0;
+  }
+  return m;
+}
+
+bool metrics_enabled() { return obs::MetricsSink::global().enabled(); }
+
+void emit_metrics_record(const std::string& bench, const MatrixCase& mc,
+                         const SpmvInstance& inst, const RunMetrics& m,
+                         double speedup_vs_csr) {
+  obs::MetricsSink& sink = obs::MetricsSink::global();
+  if (!sink.enabled()) {
+    return;
+  }
+  const double nnz_total =
+      static_cast<double>(inst.nnz()) *
+      static_cast<double>(m.iterations ? m.iterations : 1);
+
+  obs::Json rec = obs::Json::object();
+  rec.set("bench", bench);
+  rec.set("matrix", mc.name);
+  rec.set("cls", mc.cls);
+  rec.set("set", std::string(mc.set_class == SetClass::kSmall    ? "MS"
+                             : mc.set_class == SetClass::kLarge  ? "ML"
+                                                                 : "rej"));
+  rec.set("format", format_name(inst.format()));
+  rec.set("threads", static_cast<std::uint64_t>(m.threads));
+  rec.set("iters", static_cast<std::uint64_t>(m.iterations));
+  rec.set("warmup", static_cast<std::uint64_t>(m.warmup));
+  rec.set("nrows", static_cast<std::uint64_t>(inst.nrows()));
+  rec.set("ncols", static_cast<std::uint64_t>(inst.ncols()));
+  rec.set("nnz", static_cast<std::uint64_t>(inst.nnz()));
+  rec.set("matrix_bytes", static_cast<std::uint64_t>(inst.matrix_bytes()));
+  rec.set("seconds", m.seconds);
+  rec.set("mflops", m.mflops);
+  rec.set("ns_per_nnz",
+          nnz_total > 0.0 ? m.seconds * 1e9 / nnz_total : 0.0);
+  if (speedup_vs_csr > 0.0) {
+    rec.set("speedup_vs_csr", speedup_vs_csr);
+  }
+  rec.set("imbalance", m.imbalance);
+  if (!m.busy_seconds.empty()) {
+    obs::Json busy = obs::Json::array();
+    for (const double b : m.busy_seconds) {
+      busy.push(b);
+    }
+    rec.set("busy_s", std::move(busy));
+  }
+  if (m.counters.available) {
+    obs::Json c = obs::Json::object();
+    c.set("cycles", m.counters.cycles);
+    c.set("instructions", m.counters.instructions);
+    c.set("ipc", m.counters.ipc());
+    c.set("cycles_per_nnz",
+          nnz_total > 0.0
+              ? static_cast<double>(m.counters.cycles) / nnz_total
+              : 0.0);
+    if (m.counters.has_llc) {
+      c.set("llc_loads", m.counters.llc_loads);
+      c.set("llc_misses", m.counters.llc_misses);
+      c.set("misses_per_knnz",
+            nnz_total > 0.0
+                ? 1e3 * static_cast<double>(m.counters.llc_misses) / nnz_total
+                : 0.0);
+    }
+    if (m.counters.has_stalled) {
+      c.set("stalled_cycles", m.counters.stalled_cycles);
+    }
+    c.set("scale", m.counters.scale);
+    rec.set("counters", std::move(c));
+  } else {
+    rec.set("counters", "unavailable");
+    rec.set("counters_reason", m.counters.reason);
+  }
+  sink.write(rec);
 }
 
 TextTable::TextTable(std::vector<std::string> header)
@@ -198,6 +333,23 @@ void TextTable::print(std::ostream& os) const {
   }
 }
 
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) {
+    return field;
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 void write_csv(const std::string& path,
                const std::vector<std::string>& header,
                const std::vector<std::vector<std::string>>& rows) {
@@ -207,12 +359,12 @@ void write_csv(const std::string& path,
     return;
   }
   for (std::size_t c = 0; c < header.size(); ++c) {
-    f << (c ? "," : "") << header[c];
+    f << (c ? "," : "") << csv_escape(header[c]);
   }
   f << "\n";
   for (const auto& row : rows) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      f << (c ? "," : "") << row[c];
+      f << (c ? "," : "") << csv_escape(row[c]);
     }
     f << "\n";
   }

@@ -15,6 +15,7 @@
 
 #include "spc/gen/corpus.hpp"
 #include "spc/mm/stats.hpp"
+#include "spc/obs/perf_counters.hpp"
 #include "spc/spmv/instance.hpp"
 #include "spc/support/stats.hpp"
 
@@ -85,6 +86,40 @@ void for_each_matrix(const BenchConfig& cfg,
 /// returns the total seconds. Uses a deterministic random x (§VI-A).
 double time_spmv(SpmvInstance& inst, std::size_t iters, std::size_t warmup);
 
+/// Everything one timed run can tell about itself: wall clock, derived
+/// rates, per-thread busy-time balance, and hardware-counter readings
+/// (available=false with a reason when counters could not be used —
+/// the wall-clock fields are always complete).
+struct RunMetrics {
+  std::size_t threads = 1;
+  std::size_t iterations = 0;
+  std::size_t warmup = 0;
+  double seconds = 0.0;  ///< total wall time of the timed loop
+  double mflops = 0.0;
+  /// max/mean worker busy time over the whole timed loop; 1.0 for
+  /// serial runs, 0.0 when unknown (OpenMP backend).
+  double imbalance = 1.0;
+  std::vector<double> busy_seconds;  ///< per-worker busy time (empty serial)
+  obs::CounterReadings counters;
+};
+
+/// time_spmv plus metrics capture: busy-time imbalance from the pool
+/// and a hardware-counter group around the timed loop (per-thread for
+/// pool instances, calling-thread for serial ones). Emits "warmup" and
+/// "timed" trace spans when SPC_TRACE is active.
+RunMetrics time_spmv_metrics(SpmvInstance& inst, std::size_t iters,
+                             std::size_t warmup);
+
+/// True when SPC_METRICS names a JSONL output file.
+bool metrics_enabled();
+
+/// Appends one JSONL record for a (matrix, format, threads) cell to the
+/// SPC_METRICS sink (no-op when disabled). `speedup_vs_csr` <= 0 means
+/// "not applicable" and is omitted from the record.
+void emit_metrics_record(const std::string& bench, const MatrixCase& mc,
+                         const SpmvInstance& inst, const RunMetrics& m,
+                         double speedup_vs_csr = 0.0);
+
 /// MFLOPS for a timed run: 2*nnz flops per SpMV.
 inline double mflops(usize_t nnz, std::size_t iters, double seconds) {
   return seconds > 0.0
@@ -126,7 +161,12 @@ class TextTable {
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// Writes rows as CSV (no quoting needs arise in our outputs).
+/// RFC-4180 CSV field escaping: fields containing commas, quotes, or
+/// newlines are quoted with inner quotes doubled; anything else passes
+/// through untouched.
+std::string csv_escape(const std::string& field);
+
+/// Writes rows as CSV, escaping fields via csv_escape.
 void write_csv(const std::string& path,
                const std::vector<std::string>& header,
                const std::vector<std::vector<std::string>>& rows);

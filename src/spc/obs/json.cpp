@@ -1,0 +1,451 @@
+#include "spc/obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "spc/support/error.hpp"
+
+namespace spc::obs {
+
+void json_append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+Json& Json::set(std::string key, Json v) {
+  SPC_CHECK_MSG(type_ == Type::kObject, "Json::set on non-object");
+  for (auto& [k, val] : obj_) {
+    if (k == key) {
+      val = std::move(v);
+      return *this;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : obj_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+void Json::push(Json v) {
+  SPC_CHECK_MSG(type_ == Type::kArray, "Json::push on non-array");
+  arr_.push_back(std::move(v));
+}
+
+std::size_t Json::size() const {
+  switch (type_) {
+    case Type::kArray:
+      return arr_.size();
+    case Type::kObject:
+      return obj_.size();
+    default:
+      return 0;
+  }
+}
+
+const Json& Json::at(std::size_t i) const {
+  SPC_CHECK_MSG(type_ == Type::kArray && i < arr_.size(),
+                "Json::at out of range");
+  return arr_[i];
+}
+
+double Json::as_double(double dflt) const {
+  switch (type_) {
+    case Type::kInt:
+      return static_cast<double>(i_);
+    case Type::kUint:
+      return static_cast<double>(u_);
+    case Type::kDouble:
+      return d_;
+    default:
+      return dflt;
+  }
+}
+
+std::uint64_t Json::as_u64(std::uint64_t dflt) const {
+  switch (type_) {
+    case Type::kInt:
+      return i_ >= 0 ? static_cast<std::uint64_t>(i_) : dflt;
+    case Type::kUint:
+      return u_;
+    case Type::kDouble:
+      return d_ >= 0.0 ? static_cast<std::uint64_t>(d_) : dflt;
+    default:
+      return dflt;
+  }
+}
+
+void Json::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += b_ ? "true" : "false";
+      break;
+    case Type::kInt: {
+      char buf[24];
+      const auto r = std::to_chars(buf, buf + sizeof(buf), i_);
+      out.append(buf, r.ptr);
+      break;
+    }
+    case Type::kUint: {
+      char buf[24];
+      const auto r = std::to_chars(buf, buf + sizeof(buf), u_);
+      out.append(buf, r.ptr);
+      break;
+    }
+    case Type::kDouble: {
+      if (!std::isfinite(d_)) {
+        out += "null";  // JSON has no inf/nan
+        break;
+      }
+      char buf[32];
+      const auto r = std::to_chars(buf, buf + sizeof(buf), d_);
+      out.append(buf, r.ptr);
+      break;
+    }
+    case Type::kString:
+      out += '"';
+      json_append_escaped(out, str_);
+      out += '"';
+      break;
+    case Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& v : arr_) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        v.dump_to(out);
+      }
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        out += '"';
+        json_append_escaped(out, k);
+        out += "\":";
+        v.dump_to(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) {
+      fail("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError("json: " + why + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) {
+      fail("unexpected end of input");
+    }
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) {
+          return Json(true);
+        }
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) {
+          return Json(false);
+        }
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) {
+          return Json();
+        }
+        fail("bad literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) {
+        fail("unterminated string");
+      }
+      const char c = s_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) {
+        fail("unterminated escape");
+      }
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) {
+            fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // ASCII decodes exactly; anything wider is replaced. Our own
+          // writer only emits \u for control characters.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    bool is_float = false;
+    if (pos_ < s_.size() && s_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_float = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view tok = s_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") {
+      fail("bad number");
+    }
+    if (!is_float) {
+      if (tok[0] == '-') {
+        std::int64_t v = 0;
+        const auto r = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+        if (r.ec == std::errc() && r.ptr == tok.data() + tok.size()) {
+          return Json(v);
+        }
+      } else {
+        std::uint64_t v = 0;
+        const auto r = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+        if (r.ec == std::errc() && r.ptr == tok.data() + tok.size()) {
+          return Json(v);
+        }
+      }
+    }
+    double d = 0.0;
+    const auto r = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (r.ec != std::errc() || r.ptr != tok.data() + tok.size()) {
+      fail("bad number");
+    }
+    return Json(d);
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return arr;
+      }
+      fail("expected ',' or ']'");
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return obj;
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace spc::obs

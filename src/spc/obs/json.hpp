@@ -1,0 +1,96 @@
+// Minimal JSON value: build, serialize, parse.
+//
+// Just enough for the obs subsystem — JSONL metrics records, Chrome
+// trace files, and profile_report's reader. Objects preserve insertion
+// order; integers round-trip exactly; doubles use shortest-round-trip
+// formatting. Not a general-purpose JSON library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace spc::obs {
+
+/// Appends `s` to `out` with JSON string escaping (no surrounding quotes).
+void json_append_escaped(std::string& out, std::string_view s);
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  Json() = default;  // null
+  Json(bool b) : type_(Type::kBool), b_(b) {}
+  Json(int v) : type_(Type::kInt), i_(v) {}
+  Json(std::int64_t v) : type_(Type::kInt), i_(v) {}
+  Json(std::uint64_t v) : type_(Type::kUint), u_(v) {}
+  Json(double v) : type_(Type::kDouble), d_(v) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kUint ||
+           type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Object: appends/overwrites a key. Returns *this for chaining.
+  Json& set(std::string key, Json v);
+  /// Object: member lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+
+  /// Array: appends an element.
+  void push(Json v);
+
+  /// Array/object element count; 0 otherwise.
+  std::size_t size() const;
+  /// Array element access (unchecked type, checked bounds).
+  const Json& at(std::size_t i) const;
+  /// Object members in insertion order.
+  const std::vector<std::pair<std::string, Json>>& items() const {
+    return obj_;
+  }
+
+  bool as_bool(bool dflt = false) const {
+    return type_ == Type::kBool ? b_ : dflt;
+  }
+  double as_double(double dflt = 0.0) const;
+  std::uint64_t as_u64(std::uint64_t dflt = 0) const;
+  const std::string& as_string() const { return str_; }
+
+  /// Compact single-line serialization.
+  std::string dump() const;
+  void dump_to(std::string& out) const;
+
+  /// Parses a complete JSON document; throws spc::ParseError on garbage.
+  static Json parse(std::string_view text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool b_ = false;
+  std::int64_t i_ = 0;
+  std::uint64_t u_ = 0;
+  double d_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace spc::obs

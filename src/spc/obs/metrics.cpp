@@ -1,0 +1,144 @@
+#include "spc/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spc::obs {
+
+namespace detail {
+
+std::size_t shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
+}  // namespace detail
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() {
+  for (auto& s : shards_) {
+    s.v.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t LatencyHisto::count() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t LatencyHisto::sum_ns() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double LatencyHisto::mean_ns() const {
+  const std::uint64_t n = count();
+  return n ? static_cast<double>(sum_ns()) / static_cast<double>(n) : 0.0;
+}
+
+std::uint64_t LatencyHisto::bucket_count(std::size_t b) const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s.bins[b].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t LatencyHisto::quantile_upper_ns(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  auto rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+  rank = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += bucket_count(b);
+    if (seen >= rank) {
+      return b + 1 < kBuckets ? bucket_lower_ns(b + 1)
+                              : ~std::uint64_t{0};
+    }
+  }
+  return ~std::uint64_t{0};
+}
+
+void LatencyHisto::reset() {
+  for (auto& s : shards_) {
+    for (auto& bin : s.bins) {
+      bin.store(0, std::memory_order_relaxed);
+    }
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return gauges_[name];
+}
+
+LatencyHisto& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return histograms_[name];
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters[name] = c.value();
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[name] = g.value();
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistoSummary s;
+    s.count = h.count();
+    s.mean_ns = h.mean_ns();
+    s.p50_upper_ns = h.quantile_upper_ns(0.5);
+    s.p99_upper_ns = h.quantile_upper_ns(0.99);
+    snap.histograms[name] = s;
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, c] : counters_) {
+    (void)name;
+    c.reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    (void)name;
+    h.reset();
+  }
+}
+
+}  // namespace spc::obs

@@ -1,0 +1,154 @@
+// Structured-metrics registry for the SpMV runtime and bench harness.
+//
+// Three instrument kinds, all safe to touch from any thread with no lock
+// on the hot path:
+//  * Counter      — monotonically increasing u64 (events, bytes, runs);
+//  * Gauge        — last-written double (configuration echoes, ratios);
+//  * LatencyHisto — fixed log2-bucket nanosecond histogram (span costs).
+//
+// Counters and histograms are sharded: each thread writes a relaxed
+// atomic in its own cache-line-padded slot, and values are only summed
+// across shards at scrape time (value() / Registry::snapshot()). The
+// paper argues its formats through per-event cost accounting (§VII);
+// this registry is what later PRs hang those accounts on.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "spc/support/types.hpp"
+
+namespace spc::obs {
+
+namespace detail {
+
+/// Number of per-thread shards. Threads hash onto shards, so two threads
+/// may share one — correctness is unaffected (slots stay atomic), only
+/// contention grows past this many concurrent writers.
+inline constexpr std::size_t kShards = 16;
+
+/// Stable shard slot for the calling thread.
+std::size_t shard_index();
+
+struct alignas(kCacheLineBytes) PaddedAtomicU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+
+}  // namespace detail
+
+/// Monotonically increasing event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    shards_[detail::shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards (scrape-time aggregation).
+  std::uint64_t value() const;
+
+  void reset();
+
+ private:
+  std::array<detail::PaddedAtomicU64, detail::kShards> shards_;
+};
+
+/// Last-writer-wins double value.
+class Gauge {
+ public:
+  void set(double v) {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+  double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket latency histogram over nanoseconds. Bucket b collects
+/// samples whose bit width is b, i.e. [2^(b-1), 2^b); bucket 0 holds
+/// exact zeros. 48 buckets cover ~1.6 days, far beyond any span here.
+class LatencyHisto {
+ public:
+  static constexpr std::size_t kBuckets = 48;
+
+  void record(std::uint64_t ns) {
+    const std::size_t b =
+        std::min<std::size_t>(std::bit_width(ns), kBuckets - 1);
+    Shard& s = shards_[detail::shard_index()];
+    s.bins[b].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const;
+  std::uint64_t sum_ns() const;
+  double mean_ns() const;
+  std::uint64_t bucket_count(std::size_t b) const;
+
+  /// Upper edge of the bucket containing quantile q (q in [0,1]);
+  /// 0 when the histogram is empty.
+  std::uint64_t quantile_upper_ns(double q) const;
+
+  /// Inclusive lower edge of bucket b.
+  static std::uint64_t bucket_lower_ns(std::size_t b) {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+
+  void reset();
+
+ private:
+  struct alignas(kCacheLineBytes) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> bins{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::array<Shard, detail::kShards> shards_;
+};
+
+/// Process-wide named-instrument registry. Lookup takes a mutex — cache
+/// the returned reference (it stays valid for the registry's lifetime)
+/// and do the hot-path work through it.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LatencyHisto& histogram(const std::string& name);
+
+  struct HistoSummary {
+    std::uint64_t count = 0;
+    double mean_ns = 0.0;
+    std::uint64_t p50_upper_ns = 0;
+    std::uint64_t p99_upper_ns = 0;
+  };
+
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistoSummary> histograms;
+  };
+
+  /// Aggregates every shard of every instrument (the scrape).
+  Snapshot snapshot() const;
+
+  /// Zeroes counters and histograms (gauges keep their last value).
+  /// Intended for tests and between-experiment resets.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  // node-based maps: references stay valid across later insertions.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LatencyHisto> histograms_;
+};
+
+}  // namespace spc::obs

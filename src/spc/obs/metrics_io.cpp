@@ -1,0 +1,58 @@
+#include "spc/obs/metrics_io.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace spc::obs {
+
+MetricsSink& MetricsSink::global() {
+  static MetricsSink s;
+  return s;
+}
+
+MetricsSink::MetricsSink() {
+  const char* path = std::getenv("SPC_METRICS");
+  if (path == nullptr || *path == '\0') {
+    return;
+  }
+  path_ = path;
+  // Append: several bench binaries may contribute to one corpus file.
+  out_.open(path_, std::ios::app);
+  if (!out_) {
+    std::cerr << "warning: cannot open SPC_METRICS file " << path_ << "\n";
+    return;
+  }
+  enabled_ = true;
+}
+
+void MetricsSink::write(const Json& record) {
+  if (!enabled_) {
+    return;
+  }
+  std::string line = record.dump();
+  line += '\n';
+  std::lock_guard<std::mutex> lk(mu_);
+  out_ << line;
+  out_.flush();
+}
+
+void MetricsSink::open_for_testing(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (out_.is_open()) {
+    out_.close();
+  }
+  path_ = path;
+  out_.open(path_, std::ios::trunc);
+  enabled_ = static_cast<bool>(out_);
+}
+
+void MetricsSink::close_for_testing() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (out_.is_open()) {
+    out_.close();
+  }
+  path_.clear();
+  enabled_ = false;
+}
+
+}  // namespace spc::obs

@@ -1,0 +1,39 @@
+// JSONL metrics sink: one JSON object per line, appended to the file
+// named by SPC_METRICS. The bench harness emits one record per
+// (matrix, format, thread-count) cell; profile_report reads them back.
+#pragma once
+
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "spc/obs/json.hpp"
+
+namespace spc::obs {
+
+class MetricsSink {
+ public:
+  /// Process sink; enabled iff SPC_METRICS was set at first use.
+  static MetricsSink& global();
+
+  bool enabled() const { return enabled_; }
+  const std::string& path() const { return path_; }
+
+  /// Serializes `record` as one line and flushes. Thread-safe. No-op
+  /// when disabled.
+  void write(const Json& record);
+
+  /// Test hooks: route output to `path` (truncating) / stop writing.
+  void open_for_testing(const std::string& path);
+  void close_for_testing();
+
+ private:
+  MetricsSink();
+
+  std::mutex mu_;
+  std::ofstream out_;
+  std::string path_;
+  bool enabled_ = false;
+};
+
+}  // namespace spc::obs

@@ -1,0 +1,253 @@
+#include "spc/obs/perf_counters.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace spc::obs {
+
+CounterReadings& CounterReadings::operator+=(const CounterReadings& o) {
+  if (!o.available) {
+    available = false;
+    if (reason.empty()) {
+      reason = o.reason;
+    }
+  }
+  cycles += o.cycles;
+  instructions += o.instructions;
+  llc_loads += o.llc_loads;
+  llc_misses += o.llc_misses;
+  stalled_cycles += o.stalled_cycles;
+  has_llc = has_llc && o.has_llc;
+  has_stalled = has_stalled && o.has_stalled;
+  scale = scale > o.scale ? scale : o.scale;
+  return *this;
+}
+
+bool counters_enabled() {
+  const char* v = std::getenv("SPC_COUNTERS");
+  return v == nullptr || std::string(v) != "0";
+}
+
+namespace {
+
+std::atomic<PerfOpenFn> g_open_hook{nullptr};
+
+}  // namespace
+
+void set_perf_open_for_testing(PerfOpenFn fn) {
+  g_open_hook.store(fn, std::memory_order_release);
+}
+
+#ifdef __linux__
+
+namespace {
+
+long real_perf_open(void* attr, int pid, int cpu, int group_fd,
+                    unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+long perf_open(perf_event_attr* attr, int pid, int cpu, int group_fd,
+               unsigned long flags) {
+  const PerfOpenFn hook = g_open_hook.load(std::memory_order_acquire);
+  return (hook != nullptr ? hook : real_perf_open)(attr, pid, cpu, group_fd,
+                                                   flags);
+}
+
+int paranoid_level() {
+  std::FILE* f = std::fopen("/proc/sys/kernel/perf_event_paranoid", "r");
+  if (f == nullptr) {
+    return -100;  // unknown
+  }
+  int v = -100;
+  if (std::fscanf(f, "%d", &v) != 1) {
+    v = -100;
+  }
+  std::fclose(f);
+  return v;
+}
+
+struct EventSpec {
+  const char* name;
+  std::uint32_t type;
+  std::uint64_t config;
+  bool required;  ///< session is unavailable without it
+};
+
+constexpr std::uint64_t cache_cfg(std::uint64_t cache, std::uint64_t op,
+                                  std::uint64_t result) {
+  return cache | (op << 8) | (result << 16);
+}
+
+// Logical event order; fields of CounterReadings map 1:1.
+const EventSpec kEvents[] = {
+    {"cycles", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, true},
+    {"instructions", PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, true},
+    {"llc-loads", PERF_TYPE_HW_CACHE,
+     cache_cfg(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+               PERF_COUNT_HW_CACHE_RESULT_ACCESS),
+     false},
+    {"llc-load-misses", PERF_TYPE_HW_CACHE,
+     cache_cfg(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+               PERF_COUNT_HW_CACHE_RESULT_MISS),
+     false},
+    {"stalled-cycles-backend", PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_STALLED_CYCLES_BACKEND, false},
+};
+constexpr int kNumEvents = static_cast<int>(std::size(kEvents));
+static_assert(kNumEvents <= PerfSession::kMaxEvents);
+
+}  // namespace
+
+PerfSession::PerfSession() {
+  for (int i = 0; i < kMaxEvents; ++i) {
+    fds_[i] = -1;
+    open_order_[i] = -1;
+  }
+  int leader = -1;
+  for (int i = 0; i < kNumEvents; ++i) {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = kEvents[i].type;
+    attr.size = sizeof(attr);
+    attr.config = kEvents[i].config;
+    attr.disabled = leader == -1 ? 1 : 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+    const long fd =
+        perf_open(&attr, /*pid=*/0, /*cpu=*/-1, leader, /*flags=*/0);
+    if (fd < 0) {
+      if (kEvents[i].required) {
+        reason_ = std::string("perf_event_open(") + kEvents[i].name +
+                  "): " + std::strerror(errno) +
+                  " (perf_event_paranoid=" +
+                  std::to_string(paranoid_level()) + ")";
+        for (int j = 0; j < nopen_; ++j) {
+          ::close(fds_[j]);
+          fds_[j] = -1;
+        }
+        nopen_ = 0;
+        return;
+      }
+      continue;  // optional event: run without it
+    }
+    fds_[nopen_] = static_cast<int>(fd);
+    open_order_[nopen_] = i;
+    ++nopen_;
+    if (leader == -1) {
+      leader = static_cast<int>(fd);
+    }
+  }
+  available_ = nopen_ > 0;
+}
+
+PerfSession::~PerfSession() {
+  for (int i = 0; i < nopen_; ++i) {
+    ::close(fds_[i]);
+  }
+}
+
+void PerfSession::start() {
+  if (!available_) {
+    return;
+  }
+  ioctl(fds_[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fds_[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+void PerfSession::stop() {
+  if (!available_) {
+    return;
+  }
+  ioctl(fds_[0], PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+}
+
+CounterReadings PerfSession::read() const {
+  CounterReadings r;
+  if (!available_) {
+    r.reason = reason_.empty() ? "perf counters unavailable" : reason_;
+    return r;
+  }
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, values[nr].
+  std::uint64_t buf[3 + kMaxEvents] = {0};
+  const ssize_t want =
+      static_cast<ssize_t>((3 + static_cast<std::size_t>(nopen_)) *
+                           sizeof(std::uint64_t));
+  const ssize_t got = ::read(fds_[0], buf, static_cast<std::size_t>(want));
+  if (got < want) {
+    r.reason = "perf group read failed";
+    return r;
+  }
+  const std::uint64_t nr = buf[0];
+  const std::uint64_t enabled = buf[1];
+  const std::uint64_t running = buf[2];
+  const double scale =
+      running > 0 ? static_cast<double>(enabled) / static_cast<double>(running)
+                  : 1.0;
+  r.available = true;
+  r.scale = scale;
+  for (std::uint64_t slot = 0;
+       slot < nr && slot < static_cast<std::uint64_t>(nopen_); ++slot) {
+    const auto value = static_cast<std::uint64_t>(
+        static_cast<double>(buf[3 + slot]) * scale);
+    switch (open_order_[slot]) {
+      case 0:
+        r.cycles = value;
+        break;
+      case 1:
+        r.instructions = value;
+        break;
+      case 2:
+        r.llc_loads = value;
+        break;
+      case 3:
+        r.llc_misses = value;
+        r.has_llc = true;
+        break;
+      case 4:
+        r.stalled_cycles = value;
+        r.has_stalled = true;
+        break;
+      default:
+        break;
+    }
+  }
+  return r;
+}
+
+#else  // !__linux__
+
+PerfSession::PerfSession() {
+  for (int i = 0; i < kMaxEvents; ++i) {
+    fds_[i] = -1;
+    open_order_[i] = -1;
+  }
+  reason_ = "perf_event_open unsupported on this platform";
+}
+
+PerfSession::~PerfSession() = default;
+
+void PerfSession::start() {}
+void PerfSession::stop() {}
+
+CounterReadings PerfSession::read() const {
+  CounterReadings r;
+  r.reason = reason_;
+  return r;
+}
+
+#endif  // __linux__
+
+}  // namespace spc::obs

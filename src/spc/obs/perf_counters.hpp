@@ -1,0 +1,89 @@
+// Hardware performance counters via perf_event_open.
+//
+// The paper's argument (§VII, Figs. 7-8) rests on per-kernel cycle,
+// instruction, and cache-miss accounting; this wraps one counter group
+// per thread — cycles, instructions, LLC loads, LLC misses, stalled
+// backend cycles — so the harness can derive IPC, cycles/nnz, and
+// misses/nnz for every (matrix, format, threads) cell.
+//
+// Counters are best-effort: when /proc/sys/kernel/perf_event_paranoid,
+// a container seccomp policy, or the platform forbids them, a session
+// simply reports available() == false with a reason string, and the
+// harness downgrades to wall-clock-only metrics — never an error.
+// SPC_COUNTERS=0 disables them outright.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spc::obs {
+
+/// Counter totals for one measured region (or a sum over threads).
+/// The multiplexing scale (time_enabled / time_running) is already
+/// applied to the raw values.
+struct CounterReadings {
+  bool available = false;
+  std::string reason;  ///< why unavailable (empty when available)
+
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_loads = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t stalled_cycles = 0;
+  bool has_llc = false;      ///< LLC load/miss events opened
+  bool has_stalled = false;  ///< stalled-cycles event opened
+  double scale = 1.0;        ///< worst multiplex scale seen (1 = never off-PMU)
+
+  double ipc() const {
+    return cycles > 0
+               ? static_cast<double>(instructions) / static_cast<double>(cycles)
+               : 0.0;
+  }
+
+  /// Sums values; the result is available only if both sides were.
+  CounterReadings& operator+=(const CounterReadings& o);
+};
+
+/// True unless SPC_COUNTERS=0. Gates session creation (ThreadPool
+/// workers and the harness's serial path check this).
+bool counters_enabled();
+
+/// Test hook: replaces the perf_event_open syscall. The replacement
+/// receives (struct perf_event_attr*, pid, cpu, group_fd, flags) and
+/// returns an fd or -1 with errno set. Pass nullptr to restore the real
+/// syscall. Affects sessions created after the call.
+using PerfOpenFn = long (*)(void* attr, int pid, int cpu, int group_fd,
+                            unsigned long flags);
+void set_perf_open_for_testing(PerfOpenFn fn);
+
+/// One counter group attached to the calling thread. Create on the
+/// thread to be measured; start/stop/read may be driven from any thread
+/// (they act on the fds, not the caller).
+class PerfSession {
+ public:
+  PerfSession();
+  ~PerfSession();
+  PerfSession(const PerfSession&) = delete;
+  PerfSession& operator=(const PerfSession&) = delete;
+
+  bool available() const { return available_; }
+  const std::string& reason() const { return reason_; }
+
+  /// Zeroes and enables the group.
+  void start();
+  /// Freezes the group (call before read for stable values).
+  void stop();
+  /// Reads and scales the group counts since the last start().
+  CounterReadings read() const;
+
+  static constexpr int kMaxEvents = 5;
+
+ private:
+  int fds_[kMaxEvents];        ///< -1 when the event failed to open
+  int nopen_ = 0;              ///< events actually in the group
+  int open_order_[kMaxEvents];  ///< logical event index per group slot
+  bool available_ = false;
+  std::string reason_;
+};
+
+}  // namespace spc::obs

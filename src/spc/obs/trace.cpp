@@ -1,0 +1,155 @@
+#include "spc/obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "spc/obs/json.hpp"
+#include "spc/support/timing.hpp"
+
+namespace spc::obs {
+
+Tracer& Tracer::global() {
+  static Tracer t;
+  return t;
+}
+
+Tracer::Tracer() {
+  const char* path = std::getenv("SPC_TRACE");
+  if (path != nullptr && *path != '\0') {
+    path_ = path;
+    origin_ns_ = now_ns();
+    enabled_.store(true, std::memory_order_relaxed);
+  }
+}
+
+Tracer::~Tracer() {
+  if (enabled()) {
+    flush();
+  }
+}
+
+Tracer::ThreadBuf& Tracer::local() {
+  thread_local ThreadBuf* buf = nullptr;
+  thread_local std::uint64_t seen_epoch = ~std::uint64_t{0};
+  const std::uint64_t ep = epoch_.load(std::memory_order_acquire);
+  if (buf == nullptr || seen_epoch != ep) {
+    auto owned = std::make_unique<ThreadBuf>();
+    std::lock_guard<std::mutex> lk(mu_);
+    owned->tid = next_tid_++;
+    buf = owned.get();
+    bufs_.push_back(std::move(owned));
+    seen_epoch = ep;
+  }
+  return *buf;
+}
+
+void Tracer::begin(std::string_view name) {
+  if (!enabled()) {
+    return;
+  }
+  local().stack.push_back({std::string(name), now_ns()});
+}
+
+void Tracer::end() {
+  if (!enabled()) {
+    return;
+  }
+  ThreadBuf& b = local();
+  if (b.stack.empty()) {
+    return;  // unmatched end: drop rather than crash the harness
+  }
+  Open span = std::move(b.stack.back());
+  b.stack.pop_back();
+  const std::uint64_t now = now_ns();
+  b.events.push_back({std::move(span.name), span.start_ns,
+                      now - std::min(now, span.start_ns), b.tid, 'X'});
+}
+
+void Tracer::instant(std::string_view name) {
+  if (!enabled()) {
+    return;
+  }
+  ThreadBuf& b = local();
+  b.events.push_back({std::string(name), now_ns(), 0, b.tid, 'i'});
+}
+
+void Tracer::flush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (path_.empty()) {
+    return;
+  }
+  // Gather events, materializing still-open spans with a duration up to
+  // now (they stay on their stacks; the file is rewritten wholesale, so
+  // nothing duplicates across repeated flushes).
+  const std::uint64_t now = now_ns();
+  std::vector<Event> events;
+  for (const auto& b : bufs_) {
+    events.insert(events.end(), b->events.begin(), b->events.end());
+    for (const Open& open : b->stack) {
+      events.push_back({open.name, open.start_ns,
+                        now - std::min(now, open.start_ns), b->tid, 'X'});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) {
+              return a.start_ns < b.start_ns;
+            });
+
+  std::ofstream f(path_);
+  if (!f) {
+    std::cerr << "warning: cannot write trace file " << path_ << "\n";
+    return;
+  }
+  f << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  std::string buf;
+  bool first = true;
+  for (const Event& e : events) {
+    buf.clear();
+    if (!first) {
+      buf += ',';
+    }
+    first = false;
+    buf += "\n{\"name\":\"";
+    json_append_escaped(buf, e.name);
+    buf += "\",\"ph\":\"";
+    buf += e.ph;
+    buf += "\",\"ts\":";
+    buf += std::to_string(
+        static_cast<double>(e.start_ns - std::min(e.start_ns, origin_ns_)) /
+        1e3);
+    if (e.ph == 'X') {
+      buf += ",\"dur\":";
+      buf += std::to_string(static_cast<double>(e.dur_ns) / 1e3);
+    } else {
+      buf += ",\"s\":\"t\"";
+    }
+    buf += ",\"pid\":0,\"tid\":";
+    buf += std::to_string(e.tid);
+    buf += '}';
+    f << buf;
+  }
+  f << "\n]}\n";
+}
+
+void Tracer::enable_for_testing(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  bufs_.clear();
+  next_tid_ = 0;
+  path_ = path;
+  origin_ns_ = now_ns();
+  epoch_.fetch_add(1, std::memory_order_release);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable_for_testing() {
+  std::lock_guard<std::mutex> lk(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  bufs_.clear();
+  next_tid_ = 0;
+  path_.clear();
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
+}  // namespace spc::obs

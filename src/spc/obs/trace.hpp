@@ -1,0 +1,104 @@
+// Phase tracer: nested spans serialized as Chrome trace_event JSON.
+//
+// Spans mark the harness phases (read -> encode -> partition -> warmup ->
+// timed iterations) and nest per thread. Enabled by SPC_TRACE=<path>;
+// when disabled, a span costs one relaxed load and nothing else, so
+// instrumentation can stay in place permanently.
+//
+// Each thread appends completed spans to its own buffer (no lock, no
+// cross-thread sharing); flush() — called explicitly or by the global
+// tracer's destructor at process exit — merges the buffers and writes
+// one {"traceEvents":[...]} document loadable by chrome://tracing and
+// https://ui.perfetto.dev.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spc::obs {
+
+class Tracer {
+ public:
+  /// Process tracer; enabled iff SPC_TRACE was set at first use.
+  static Tracer& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Opens a span on the calling thread. `name` is copied.
+  void begin(std::string_view name);
+  /// Closes the innermost open span on the calling thread.
+  void end();
+  /// Zero-duration marker event.
+  void instant(std::string_view name);
+
+  /// Merges all thread buffers and (re)writes the output file. Safe to
+  /// call repeatedly; callers must ensure no thread is inside begin/end
+  /// concurrently (the harness flushes at phase boundaries / exit).
+  void flush();
+
+  /// Test hooks: route output to `path` / drop buffered events.
+  void enable_for_testing(const std::string& path);
+  void disable_for_testing();
+
+  ~Tracer();
+
+ private:
+  struct Event {
+    std::string name;
+    std::uint64_t start_ns;
+    std::uint64_t dur_ns;
+    std::uint32_t tid;
+    char ph;  ///< 'X' complete span, 'i' instant
+  };
+  struct Open {
+    std::string name;
+    std::uint64_t start_ns;
+  };
+  struct ThreadBuf {
+    std::uint32_t tid = 0;
+    std::vector<Open> stack;
+    std::vector<Event> events;
+  };
+
+  Tracer();
+  ThreadBuf& local();
+
+  std::atomic<bool> enabled_{false};
+  /// Bumped whenever buffers are discarded (test hooks); threads holding
+  /// a stale thread-local buffer pointer re-register on next use.
+  std::atomic<std::uint64_t> epoch_{0};
+  std::uint64_t origin_ns_ = 0;
+  std::string path_;
+  std::mutex mu_;  ///< guards bufs_ registration, path_, and flush
+  std::uint32_t next_tid_ = 0;
+  std::vector<std::unique_ptr<ThreadBuf>> bufs_;
+};
+
+/// RAII span. The enabled check is hoisted into the constructor so a
+/// disabled tracer costs a single branch per scope.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name)
+      : active_(Tracer::global().enabled()) {
+    if (active_) {
+      Tracer::global().begin(name);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (active_) {
+      Tracer::global().end();
+    }
+  }
+
+ private:
+  bool active_;
+};
+
+}  // namespace spc::obs

@@ -5,15 +5,27 @@
 // "as close as possible" (§VI-A). This pool reproduces that: workers are
 // created once, optionally pinned according to a placement plan, and the
 // timed region only pays a dispatch/join handshake — no thread creation.
+//
+// Observability: every run() records each worker's busy nanoseconds
+// (last value and a resettable running total) in a cache-line-padded
+// per-worker slot, and each worker attaches an obs::PerfSession
+// (perf_event_open group) to itself at startup unless SPC_COUNTERS=0 or
+// the platform forbids it. The harness drives counters_start()/
+// counters_stop() around timed loops and reads last/total imbalance.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "spc/obs/perf_counters.hpp"
 #include "spc/support/topology.hpp"
+#include "spc/support/types.hpp"
 
 namespace spc {
 
@@ -21,7 +33,9 @@ class ThreadPool {
  public:
   /// Spawns `nthreads` workers. When `cpu_plan` is non-empty, worker i is
   /// pinned to cpu_plan[i % plan.size()]. An empty plan leaves scheduling
-  /// to the OS.
+  /// to the OS. The constructor returns only after every worker has
+  /// finished its startup (pinning + counter attach), so fully_pinned()
+  /// and counters_available() are immediately meaningful.
   explicit ThreadPool(std::size_t nthreads,
                       const std::vector<int>& cpu_plan = {});
 
@@ -39,9 +53,49 @@ class ThreadPool {
   /// all have finished. Exceptions thrown by fn propagate (first wins).
   void run(const std::function<void(std::size_t)>& fn);
 
+  /// Busy nanoseconds worker `tid` spent inside the most recent run().
+  std::uint64_t last_busy_ns(std::size_t tid) const;
+
+  /// Load-imbalance factor of the most recent run(): max/mean worker
+  /// busy time. 1.0 = perfectly balanced; 0.0 before any run.
+  double last_imbalance() const;
+
+  /// Accumulated busy nanoseconds since the last busy_reset().
+  std::uint64_t total_busy_ns(std::size_t tid) const;
+
+  /// Imbalance factor over the accumulated totals (a whole timed loop).
+  double total_imbalance() const;
+
+  /// Zeroes the accumulated busy totals (call before a timed loop).
+  void busy_reset();
+
+  /// True when every worker holds a usable perf-counter session.
+  bool counters_available() const;
+
+  /// Why counters are unavailable ("" when they are available).
+  std::string counters_reason() const;
+
+  /// Zeroes and enables every worker's counter group. No-op fallback
+  /// when counters are unavailable.
+  void counters_start();
+
+  /// Disables the groups and returns the summed readings across
+  /// workers. When unavailable, the result carries available=false and
+  /// the reason — never an error.
+  obs::CounterReadings counters_stop();
+
  private:
   void worker_main(std::size_t tid, int cpu);
 
+  /// Per-worker observability slot; padded so worker writes never share
+  /// a cache line.
+  struct alignas(kCacheLineBytes) WorkerSlot {
+    std::atomic<std::uint64_t> last_busy_ns{0};
+    std::atomic<std::uint64_t> total_busy_ns{0};
+    std::unique_ptr<obs::PerfSession> perf;  ///< set by the worker at startup
+  };
+
+  std::vector<WorkerSlot> slots_;
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_start_;
@@ -49,6 +103,7 @@ class ThreadPool {
   const std::function<void(std::size_t)>* job_ = nullptr;
   std::uint64_t generation_ = 0;
   std::size_t remaining_ = 0;
+  std::size_t ready_ = 0;  ///< workers that completed startup
   bool stop_ = false;
   bool fully_pinned_ = true;
   std::exception_ptr first_error_;

@@ -6,8 +6,11 @@
 #include <omp.h>
 #endif
 
+#include "spc/obs/metrics_io.hpp"
+#include "spc/obs/trace.hpp"
 #include "spc/spmv/kernels.hpp"
 #include "spc/support/strutil.hpp"
+#include "spc/support/timing.hpp"
 
 namespace spc {
 
@@ -97,6 +100,11 @@ SpmvInstance::SpmvInstance(const Triplets& t, Format format,
   nrows_ = t.nrows();
   ncols_ = t.ncols();
   nnz_ = t.nnz();
+  runs_counter_ = &obs::Registry::global().counter("spc.spmv.runs");
+  run_histo_ = &obs::Registry::global().histogram("spc.spmv.run_ns");
+
+  // Covers encoding plus partitioning/slicing below.
+  obs::TraceSpan prepare_span("prepare:" + format_name(format));
 
   // Encode the matrix.
   switch (format) {
@@ -153,6 +161,7 @@ SpmvInstance::SpmvInstance(const Triplets& t, Format format,
 
   // Partition work. CSC partitions columns (§II-C); everything else rows.
   if (nthreads > 1) {
+    obs::TraceSpan partition_span("partition");
     if (format == Format::kCsc) {
       aligned_vector<index_t> col_ptr(t.ncols() + 1, 0);
       for (const Entry& e : t.entries()) {
@@ -232,10 +241,21 @@ usize_t SpmvInstance::matrix_bytes() const {
 void SpmvInstance::run(const Vector& x, Vector& y) {
   SPC_CHECK_MSG(x.size() == ncols_, "x has wrong dimension");
   SPC_CHECK_MSG(y.size() == nrows_, "y has wrong dimension");
+  // The always-on cost is one relaxed shard add (~10 ns). The per-run
+  // latency sample needs two clock reads — noticeable on sub-µs tiny
+  // kernels — so it only runs while an observability sink is active.
+  const bool sample =
+      obs::Tracer::global().enabled() || obs::MetricsSink::global().enabled();
+  const std::uint64_t t0 = sample ? now_ns() : 0;
   if (nthreads_ == 1) {
     run_serial(x.data(), y.data());
   } else {
     run_parallel(x, y);
+  }
+  runs_counter_->add();
+  if (sample) {
+    const std::uint64_t t1 = now_ns();
+    run_histo_->record(t1 >= t0 ? t1 - t0 : 0);
   }
 }
 

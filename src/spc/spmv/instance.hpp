@@ -27,6 +27,7 @@
 #include "spc/formats/jds.hpp"
 #include "spc/mm/triplets.hpp"
 #include "spc/mm/vector.hpp"
+#include "spc/obs/metrics.hpp"
 #include "spc/parallel/partition.hpp"
 #include "spc/parallel/thread_pool.hpp"
 
@@ -110,6 +111,11 @@ class SpmvInstance {
   /// The partition in use (empty bounds for serial-only formats).
   const RowPartition& partition() const { return partition_; }
 
+  /// The worker pool, when the pool backend is active (nullptr for
+  /// serial instances and the OpenMP backend). The bench harness uses
+  /// it to read busy-time imbalance and drive hardware counters.
+  ThreadPool* pool() const { return pool_.get(); }
+
  private:
   void run_serial(const value_t* x, value_t* y);
   void run_parallel(const Vector& x, Vector& y);
@@ -131,6 +137,9 @@ class SpmvInstance {
   std::vector<Dcsr::Slice> dcsr_slices_;
   std::vector<Vector> csc_scratch_;      ///< per-thread private y for CSC
   std::unique_ptr<ThreadPool> pool_;
+  // Cached metrics-registry handles (lookup once here, lock-free in run).
+  obs::Counter* runs_counter_ = nullptr;
+  obs::LatencyHisto* run_histo_ = nullptr;
 };
 
 /// One-shot convenience: y = A*x via CSR on the calling thread.

@@ -15,18 +15,57 @@ inline std::uint64_t now_ns() {
 }
 
 /// Simple start/elapsed stopwatch.
+///
+/// restart()/elapsed_ns() pairs are monotonic-safe: elapsed_ns()
+/// saturates at zero instead of wrapping to ~2^64 ns if the sampled
+/// clock ever reads below the recorded start (e.g. a Timer captured on
+/// one CPU and read on another under a broken TSC, or a test-injected
+/// future start via started_at()).
 class Timer {
  public:
   Timer() : start_(now_ns()) {}
 
+  /// Test seam: a timer whose epoch is an arbitrary (possibly future)
+  /// timestamp, for exercising the underflow clamp.
+  static Timer started_at(std::uint64_t start_ns) {
+    Timer t;
+    t.start_ = start_ns;
+    return t;
+  }
+
   void restart() { start_ = now_ns(); }
 
-  std::uint64_t elapsed_ns() const { return now_ns() - start_; }
+  std::uint64_t elapsed_ns() const {
+    const std::uint64_t now = now_ns();
+    return now >= start_ ? now - start_ : 0;
+  }
   double elapsed_s() const { return static_cast<double>(elapsed_ns()) * 1e-9; }
   double elapsed_ms() const { return static_cast<double>(elapsed_ns()) * 1e-6; }
 
  private:
   std::uint64_t start_;
+};
+
+/// RAII timer: on destruction, records the elapsed nanoseconds into any
+/// sink with a `record(std::uint64_t)` member — designed to pair with
+/// obs::LatencyHisto from the metrics registry (kept as a template so
+/// this support header does not depend on the obs layer).
+///
+///   auto& h = obs::Registry::global().histogram("spc.bench.build_ns");
+///   { ScopedTimer timed(h); build(); }   // feeds h on scope exit
+template <class Sink>
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Sink& sink) : sink_(&sink) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { sink_->record(timer_.elapsed_ns()); }
+
+  const Timer& timer() const { return timer_; }
+
+ private:
+  Sink* sink_;
+  Timer timer_;
 };
 
 }  // namespace spc

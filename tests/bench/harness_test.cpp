@@ -164,5 +164,34 @@ TEST(WriteCsv, WritesHeaderAndRows) {
   EXPECT_EQ(line, "3,4");
 }
 
+TEST(CsvEscape, PlainFieldsPassThrough) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("1.25"), "1.25");
+  EXPECT_EQ(csv_escape("with space"), "with space");
+}
+
+TEST(CsvEscape, SpecialFieldsAreQuoted) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape("cr\rhere"), "\"cr\rhere\"");
+  EXPECT_EQ(csv_escape("\""), "\"\"\"\"");
+}
+
+TEST(WriteCsv, EscapesHeaderAndCells) {
+  const std::string path = ::testing::TempDir() + "/spc_harness_escape.csv";
+  write_csv(path, {"name", "notes, units"},
+            {{"mat,1", "says \"fast\""}, {"plain", "ok"}});
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "name,\"notes, units\"");
+  std::getline(f, line);
+  EXPECT_EQ(line, "\"mat,1\",\"says \"\"fast\"\"\"");
+  std::getline(f, line);
+  EXPECT_EQ(line, "plain,ok");
+}
+
 }  // namespace
 }  // namespace spc

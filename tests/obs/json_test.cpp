@@ -1,0 +1,130 @@
+#include "spc/obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "spc/support/error.hpp"
+
+namespace spc::obs {
+namespace {
+
+TEST(Json, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.dump(), "null");
+}
+
+TEST(Json, ScalarsSerialize) {
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(std::int64_t{-7}).dump(), "-7");
+  EXPECT_EQ(Json(std::uint64_t{18446744073709551615ull}).dump(),
+            "18446744073709551615");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c").dump(), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(Json("line\nbreak\ttab").dump(), "\"line\\nbreak\\ttab\"");
+  std::string out;
+  json_append_escaped(out, std::string_view("\x01", 1));
+  EXPECT_EQ(out, "\\u0001");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j.set("z", 1).set("a", 2).set("m", 3);
+  EXPECT_EQ(j.dump(), "{\"z\":1,\"a\":2,\"m\":3}");
+  ASSERT_EQ(j.items().size(), 3u);
+  EXPECT_EQ(j.items()[0].first, "z");
+}
+
+TEST(Json, SetOverwritesExistingKey) {
+  Json j = Json::object();
+  j.set("k", 1);
+  j.set("k", 2);
+  EXPECT_EQ(j.size(), 1u);
+  EXPECT_EQ(j.find("k")->as_u64(), 2u);
+}
+
+TEST(Json, FindOnMissingOrNonObject) {
+  Json j = Json::object();
+  EXPECT_EQ(j.find("nope"), nullptr);
+  EXPECT_EQ(Json(1).find("k"), nullptr);
+}
+
+TEST(Json, ArrayPushAndAt) {
+  Json a = Json::array();
+  a.push(1);
+  a.push("two");
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.at(0).as_u64(), 1u);
+  EXPECT_EQ(a.at(1).as_string(), "two");
+}
+
+TEST(Json, ParseRoundTripsARecord) {
+  Json rec = Json::object();
+  rec.set("name", "lap2d-s");
+  rec.set("threads", std::uint64_t{4});
+  rec.set("seconds", 0.125);
+  rec.set("neg", std::int64_t{-3});
+  Json arr = Json::array();
+  arr.push(1.5);
+  arr.push(2.5);
+  rec.set("busy", std::move(arr));
+
+  const Json back = Json::parse(rec.dump());
+  ASSERT_TRUE(back.is_object());
+  EXPECT_EQ(back.find("name")->as_string(), "lap2d-s");
+  EXPECT_EQ(back.find("threads")->as_u64(), 4u);
+  EXPECT_DOUBLE_EQ(back.find("seconds")->as_double(), 0.125);
+  EXPECT_DOUBLE_EQ(back.find("neg")->as_double(), -3.0);
+  ASSERT_EQ(back.find("busy")->size(), 2u);
+  EXPECT_DOUBLE_EQ(back.find("busy")->at(1).as_double(), 2.5);
+}
+
+TEST(Json, DoublesRoundTripExactly) {
+  for (const double v : {0.1, 1e-9, 6.095e-06, 1040.8531583264971, 1e300}) {
+    const Json back = Json::parse(Json(v).dump());
+    EXPECT_DOUBLE_EQ(back.as_double(), v);
+  }
+}
+
+TEST(Json, ParseHandlesWhitespaceAndNesting) {
+  const Json j = Json::parse(
+      "  { \"a\" : [ 1 , { \"b\" : null } , true ] , \"c\" : \"x\" } ");
+  ASSERT_TRUE(j.is_object());
+  const Json* a = j.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size(), 3u);
+  EXPECT_TRUE(a->at(1).find("b")->is_null());
+  EXPECT_TRUE(a->at(2).as_bool());
+}
+
+TEST(Json, ParseUnescapesStrings) {
+  const Json j = Json::parse("\"a\\\"b\\\\c\\n\\t\\u0041\"");
+  EXPECT_EQ(j.as_string(), "a\"b\\c\n\tA");
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  EXPECT_THROW(Json::parse(""), ParseError);
+  EXPECT_THROW(Json::parse("{"), ParseError);
+  EXPECT_THROW(Json::parse("{\"a\":}"), ParseError);
+  EXPECT_THROW(Json::parse("[1,]"), ParseError);
+  EXPECT_THROW(Json::parse("tru"), ParseError);
+  EXPECT_THROW(Json::parse("{} trailing"), ParseError);
+  EXPECT_THROW(Json::parse("\"unterminated"), ParseError);
+}
+
+TEST(Json, NumericCoercions) {
+  EXPECT_DOUBLE_EQ(Json(std::uint64_t{5}).as_double(), 5.0);
+  EXPECT_EQ(Json(5.0).as_u64(), 5u);
+  EXPECT_EQ(Json("nan").as_double(7.0), 7.0);  // non-number -> default
+  EXPECT_EQ(Json().as_u64(9), 9u);
+}
+
+}  // namespace
+}  // namespace spc::obs

@@ -1,0 +1,142 @@
+#include "spc/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace spc::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, SumsAcrossConcurrentWriters) {
+  // More threads than shards, so slots are shared; the relaxed
+  // fetch_adds must still account for every increment.
+  Counter c;
+  constexpr int kThreads = 24;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&c] {
+      for (int j = 0; j < kPerThread; ++j) {
+        c.add();
+      }
+    });
+  }
+  for (auto& t : ts) {
+    t.join();
+  }
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.25);
+  EXPECT_DOUBLE_EQ(g.value(), 3.25);
+  g.set(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), -1.5);
+}
+
+TEST(LatencyHisto, BucketsByBitWidth) {
+  LatencyHisto h;
+  h.record(0);    // bucket 0
+  h.record(1);    // bit_width 1
+  h.record(7);    // bit_width 3: [4, 8)
+  h.record(8);    // bit_width 4: [8, 16)
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum_ns(), 16u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 4.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.bucket_count(4), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+}
+
+TEST(LatencyHisto, BucketLowerEdges) {
+  EXPECT_EQ(LatencyHisto::bucket_lower_ns(0), 0u);
+  EXPECT_EQ(LatencyHisto::bucket_lower_ns(1), 1u);
+  EXPECT_EQ(LatencyHisto::bucket_lower_ns(4), 8u);
+}
+
+TEST(LatencyHisto, HugeSamplesClampToLastBucket) {
+  LatencyHisto h;
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.bucket_count(LatencyHisto::kBuckets - 1), 1u);
+}
+
+TEST(LatencyHisto, QuantilesWalkTheBuckets) {
+  LatencyHisto h;
+  EXPECT_EQ(h.quantile_upper_ns(0.5), 0u);  // empty
+  for (int i = 0; i < 99; ++i) {
+    h.record(3);  // bucket 2, upper edge 4
+  }
+  h.record(1000);  // bucket 10, upper edge 1024
+  EXPECT_EQ(h.quantile_upper_ns(0.5), 4u);
+  EXPECT_EQ(h.quantile_upper_ns(0.99), 4u);
+  EXPECT_EQ(h.quantile_upper_ns(1.0), 1024u);
+}
+
+TEST(LatencyHisto, ResetClearsEverything) {
+  LatencyHisto h;
+  h.record(100);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum_ns(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 0.0);
+}
+
+TEST(Registry, ReturnsStableReferences) {
+  Registry& reg = Registry::global();
+  Counter& a = reg.counter("spc.test.metrics.stable");
+  // Force rebalancing-ish churn: many other instruments.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("spc.test.metrics.churn." + std::to_string(i));
+  }
+  Counter& b = reg.counter("spc.test.metrics.stable");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Registry, SnapshotSeesAllInstrumentKinds) {
+  Registry& reg = Registry::global();
+  reg.counter("spc.test.metrics.snap.c").add(5);
+  reg.gauge("spc.test.metrics.snap.g").set(2.5);
+  LatencyHisto& h = reg.histogram("spc.test.metrics.snap.h");
+  h.record(10);
+  h.record(30);
+
+  const Registry::Snapshot snap = reg.snapshot();
+  ASSERT_TRUE(snap.counters.count("spc.test.metrics.snap.c"));
+  EXPECT_GE(snap.counters.at("spc.test.metrics.snap.c"), 5u);
+  ASSERT_TRUE(snap.gauges.count("spc.test.metrics.snap.g"));
+  EXPECT_DOUBLE_EQ(snap.gauges.at("spc.test.metrics.snap.g"), 2.5);
+  ASSERT_TRUE(snap.histograms.count("spc.test.metrics.snap.h"));
+  const auto& hs = snap.histograms.at("spc.test.metrics.snap.h");
+  EXPECT_GE(hs.count, 2u);
+  EXPECT_GT(hs.mean_ns, 0.0);
+  EXPECT_GE(hs.p99_upper_ns, hs.p50_upper_ns);
+}
+
+TEST(Registry, ResetZeroesCountersAndHistosButKeepsGauges) {
+  Registry& reg = Registry::global();
+  reg.counter("spc.test.metrics.reset.c").add(3);
+  reg.gauge("spc.test.metrics.reset.g").set(9.0);
+  reg.histogram("spc.test.metrics.reset.h").record(7);
+  reg.reset();
+  EXPECT_EQ(reg.counter("spc.test.metrics.reset.c").value(), 0u);
+  EXPECT_EQ(reg.histogram("spc.test.metrics.reset.h").count(), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("spc.test.metrics.reset.g").value(), 9.0);
+}
+
+}  // namespace
+}  // namespace spc::obs

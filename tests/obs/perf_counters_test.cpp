@@ -1,0 +1,207 @@
+// The counters are best-effort by design: this suite forces
+// perf_event_open to fail and asserts the whole stack — PerfSession,
+// ThreadPool, time_spmv_metrics, and the emitted JSONL record — degrades
+// to complete wall-clock metrics with counters marked unavailable,
+// never an error.
+#include "spc/obs/perf_counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "spc/bench/harness.hpp"
+#include "spc/obs/json.hpp"
+#include "spc/obs/metrics_io.hpp"
+#include "spc/parallel/thread_pool.hpp"
+
+namespace spc {
+namespace {
+
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      saved_ = old;
+      had_ = true;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+long failing_perf_open(void*, int, int, int, unsigned long) {
+  errno = EACCES;
+  return -1;
+}
+
+/// Installs the failing perf_event_open for one scope.
+class ForcePerfFailure {
+ public:
+  ForcePerfFailure() { obs::set_perf_open_for_testing(&failing_perf_open); }
+  ~ForcePerfFailure() { obs::set_perf_open_for_testing(nullptr); }
+};
+
+TEST(CounterReadings, IpcAndAccumulation) {
+  obs::CounterReadings a;
+  a.available = true;
+  a.cycles = 100;
+  a.instructions = 150;
+  a.llc_loads = 10;
+  a.llc_misses = 4;
+  a.has_llc = true;
+  a.scale = 1.0;
+  EXPECT_DOUBLE_EQ(a.ipc(), 1.5);
+
+  obs::CounterReadings b = a;
+  b.scale = 1.5;
+  obs::CounterReadings sum = a;
+  sum += b;
+  EXPECT_TRUE(sum.available);
+  EXPECT_EQ(sum.cycles, 200u);
+  EXPECT_EQ(sum.llc_misses, 8u);
+  EXPECT_TRUE(sum.has_llc);
+  EXPECT_DOUBLE_EQ(sum.scale, 1.5);  // worst scale wins
+
+  obs::CounterReadings bad;
+  bad.available = false;
+  bad.reason = "nope";
+  sum += bad;
+  EXPECT_FALSE(sum.available);
+}
+
+TEST(CounterReadings, ZeroCyclesGivesZeroIpc) {
+  obs::CounterReadings r;
+  EXPECT_DOUBLE_EQ(r.ipc(), 0.0);
+}
+
+TEST(CountersEnabled, HonorsEnvironmentSwitch) {
+  {
+    EnvGuard off("SPC_COUNTERS", "0");
+    EXPECT_FALSE(obs::counters_enabled());
+  }
+  {
+    EnvGuard on("SPC_COUNTERS", "1");
+    EXPECT_TRUE(obs::counters_enabled());
+  }
+}
+
+TEST(PerfSession, OpenFailureIsReportedNotFatal) {
+  ForcePerfFailure force;
+  obs::PerfSession s;
+  EXPECT_FALSE(s.available());
+  EXPECT_NE(s.reason().find("perf_event_open"), std::string::npos);
+  // The whole lifecycle must stay safe on an unavailable session.
+  s.start();
+  s.stop();
+  const obs::CounterReadings r = s.read();
+  EXPECT_FALSE(r.available);
+  EXPECT_FALSE(r.reason.empty());
+  EXPECT_EQ(r.cycles, 0u);
+}
+
+TEST(ThreadPool, CountersUnavailableWhenOpenFails) {
+  ForcePerfFailure force;
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.counters_available());
+  EXPECT_FALSE(pool.counters_reason().empty());
+  pool.counters_start();  // must be a harmless no-op
+  const obs::CounterReadings r = pool.counters_stop();
+  EXPECT_FALSE(r.available);
+  EXPECT_FALSE(r.reason.empty());
+}
+
+TEST(TimeSpmvMetrics, WallClockSurvivesCounterFailure) {
+  ForcePerfFailure force;
+  const auto spec = corpus_spec("lap2d-s", CorpusScale::kTiny);
+  const Triplets t = spec.build();
+  SpmvInstance inst(t, Format::kCsr, 2);
+  const RunMetrics m = time_spmv_metrics(inst, 4, 1);
+
+  // Wall-clock metrics are complete...
+  EXPECT_GT(m.seconds, 0.0);
+  EXPECT_GT(m.mflops, 0.0);
+  EXPECT_EQ(m.threads, 2u);
+  EXPECT_EQ(m.iterations, 4u);
+  EXPECT_GE(m.imbalance, 1.0);
+  ASSERT_EQ(m.busy_seconds.size(), 2u);
+  EXPECT_GT(m.busy_seconds[0] + m.busy_seconds[1], 0.0);
+  // ...and the counters explain themselves.
+  EXPECT_FALSE(m.counters.available);
+  EXPECT_FALSE(m.counters.reason.empty());
+}
+
+TEST(TimeSpmvMetrics, SerialDisabledPathReportsReason) {
+  EnvGuard off("SPC_COUNTERS", "0");
+  const auto spec = corpus_spec("lap2d-s", CorpusScale::kTiny);
+  const Triplets t = spec.build();
+  SpmvInstance inst(t, Format::kCsr, 1);
+  const RunMetrics m = time_spmv_metrics(inst, 2, 0);
+  EXPECT_GT(m.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(m.imbalance, 1.0);
+  EXPECT_FALSE(m.counters.available);
+  EXPECT_NE(m.counters.reason.find("SPC_COUNTERS=0"), std::string::npos);
+}
+
+TEST(EmitMetricsRecord, UnavailableCountersProduceValidJsonl) {
+  ForcePerfFailure force;
+  const std::string path =
+      ::testing::TempDir() + "/spc_perf_fallback_metrics.jsonl";
+  obs::MetricsSink::global().open_for_testing(path);
+
+  BenchConfig cfg;
+  cfg.scale = CorpusScale::kTiny;
+  cfg.max_matrices = 1;
+  std::size_t emitted = 0;
+  for_each_matrix(
+      cfg,
+      [&](MatrixCase& mc) {
+        SpmvInstance inst(mc.mat, Format::kCsrDu, 2);
+        const RunMetrics m = time_spmv_metrics(inst, 2, 1);
+        emit_metrics_record("perf_fallback_test", mc, inst, m, 1.0);
+        ++emitted;
+      },
+      /*apply_rejection=*/false);
+  obs::MetricsSink::global().close_for_testing();
+  ASSERT_EQ(emitted, 1u);
+
+  std::ifstream f(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(f, line));
+  const obs::Json rec = obs::Json::parse(line);
+  ASSERT_TRUE(rec.is_object());
+  // Wall-clock fields are all present and sane.
+  EXPECT_EQ(rec.find("bench")->as_string(), "perf_fallback_test");
+  EXPECT_EQ(rec.find("format")->as_string(), "csr-du");
+  EXPECT_EQ(rec.find("threads")->as_u64(), 2u);
+  EXPECT_GT(rec.find("seconds")->as_double(), 0.0);
+  EXPECT_GT(rec.find("mflops")->as_double(), 0.0);
+  EXPECT_GT(rec.find("nnz")->as_u64(), 0u);
+  EXPECT_GE(rec.find("imbalance")->as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(rec.find("speedup_vs_csr")->as_double(), 1.0);
+  ASSERT_NE(rec.find("busy_s"), nullptr);
+  EXPECT_EQ(rec.find("busy_s")->size(), 2u);
+  // Counters are explicitly marked unavailable with a reason.
+  ASSERT_NE(rec.find("counters"), nullptr);
+  EXPECT_EQ(rec.find("counters")->as_string(), "unavailable");
+  EXPECT_FALSE(rec.find("counters_reason")->as_string().empty());
+  // No second record.
+  EXPECT_FALSE(std::getline(f, line));
+}
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,143 @@
+#include "spc/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "spc/obs/json.hpp"
+
+namespace spc::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+/// Routes the global tracer to a temp file for one test, then disables
+/// it again so tests cannot leak state into each other.
+class TracerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/spc_trace_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".json";
+    Tracer::global().enable_for_testing(path_);
+  }
+  void TearDown() override { Tracer::global().disable_for_testing(); }
+
+  Json flush_and_parse() {
+    Tracer::global().flush();
+    return Json::parse(slurp(path_));
+  }
+
+  std::string path_;
+};
+
+TEST_F(TracerFixture, CompleteSpansAreRecorded) {
+  Tracer& t = Tracer::global();
+  ASSERT_TRUE(t.enabled());
+  t.begin("outer");
+  t.begin("inner");
+  t.end();
+  t.end();
+
+  const Json doc = flush_and_parse();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("displayTimeUnit")->as_string(), "ms");
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 2u);
+  // Sorted by start time: outer opened first.
+  EXPECT_EQ(events->at(0).find("name")->as_string(), "outer");
+  EXPECT_EQ(events->at(0).find("ph")->as_string(), "X");
+  EXPECT_EQ(events->at(1).find("name")->as_string(), "inner");
+  // The outer span contains the inner one.
+  const double o_ts = events->at(0).find("ts")->as_double();
+  const double o_dur = events->at(0).find("dur")->as_double();
+  const double i_ts = events->at(1).find("ts")->as_double();
+  const double i_dur = events->at(1).find("dur")->as_double();
+  EXPECT_LE(o_ts, i_ts);
+  EXPECT_GE(o_ts + o_dur, i_ts + i_dur);
+}
+
+TEST_F(TracerFixture, InstantEventsUsePhI) {
+  Tracer::global().instant("marker");
+  const Json doc = flush_and_parse();
+  const Json* events = doc.find("traceEvents");
+  ASSERT_EQ(events->size(), 1u);
+  EXPECT_EQ(events->at(0).find("name")->as_string(), "marker");
+  EXPECT_EQ(events->at(0).find("ph")->as_string(), "i");
+}
+
+TEST_F(TracerFixture, TraceSpanIsRaii) {
+  {
+    TraceSpan outer("raii-span");
+    TraceSpan inner("raii-nested");
+  }
+  const Json doc = flush_and_parse();
+  EXPECT_EQ(doc.find("traceEvents")->size(), 2u);
+}
+
+TEST_F(TracerFixture, ThreadsGetDistinctTids) {
+  Tracer& t = Tracer::global();
+  t.begin("main-span");
+  t.end();
+  std::thread worker([&t] {
+    t.begin("worker-span");
+    t.end();
+  });
+  worker.join();
+
+  const Json doc = flush_and_parse();
+  const Json* events = doc.find("traceEvents");
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_NE(events->at(0).find("tid")->as_u64(),
+            events->at(1).find("tid")->as_u64());
+}
+
+TEST_F(TracerFixture, StillOpenSpansAreMaterializedWithoutPopping) {
+  Tracer& t = Tracer::global();
+  t.begin("open-span");
+  Json doc = flush_and_parse();
+  EXPECT_EQ(doc.find("traceEvents")->size(), 1u);
+  t.end();  // still balanced: flush must not have popped the span
+  doc = flush_and_parse();
+  ASSERT_EQ(doc.find("traceEvents")->size(), 1u);
+  EXPECT_EQ(doc.find("traceEvents")->at(0).find("name")->as_string(),
+            "open-span");
+}
+
+TEST_F(TracerFixture, RepeatedFlushRewritesNotAppends) {
+  Tracer& t = Tracer::global();
+  t.begin("span-a");
+  t.end();
+  t.flush();
+  t.flush();
+  const Json doc = Json::parse(slurp(path_));
+  EXPECT_EQ(doc.find("traceEvents")->size(), 1u);
+}
+
+TEST(Tracer, DisabledSpansCostNothingAndRecordNothing) {
+  Tracer& t = Tracer::global();
+  t.disable_for_testing();
+  EXPECT_FALSE(t.enabled());
+  {
+    TraceSpan span("ignored");
+    t.instant("also-ignored");
+  }
+  // Re-enable and flush: the disabled-period events must not appear.
+  const std::string path = ::testing::TempDir() + "/spc_trace_disabled.json";
+  t.enable_for_testing(path);
+  t.flush();
+  const Json doc = Json::parse(slurp(path));
+  EXPECT_EQ(doc.find("traceEvents")->size(), 0u);
+  t.disable_for_testing();
+}
+
+}  // namespace
+}  // namespace spc::obs

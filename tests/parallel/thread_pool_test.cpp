@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "spc/support/error.hpp"
@@ -104,6 +106,81 @@ TEST(ThreadPool, OversizedPlanWraps) {
 TEST(ThreadPool, DestructionWithoutRunIsClean) {
   ThreadPool pool(8);
   SUCCEED();
+}
+
+TEST(ThreadPool, RepeatedExceptionsNeitherDeadlockNorPoisonThePool) {
+  // Regression: every worker throws, many times in a row. Each run()
+  // must propagate one exception ("first wins") and leave the pool in a
+  // dispatchable state — a lost notify or a stuck generation would hang
+  // this loop long before 50 iterations.
+  ThreadPool pool(4);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_THROW(
+        pool.run([&](std::size_t tid) {
+          throw Error("boom " + std::to_string(tid));
+        }),
+        Error);
+    std::atomic<int> counter{0};
+    pool.run([&](std::size_t) { counter++; });
+    EXPECT_EQ(counter.load(), 4);
+  }
+}
+
+TEST(ThreadPool, BusyTimeIsAccountedPerWorker) {
+  ThreadPool pool(2);
+  pool.busy_reset();
+  EXPECT_DOUBLE_EQ(pool.last_imbalance(), 0.0);  // no run yet
+  pool.run([](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  });
+  for (std::size_t t = 0; t < pool.size(); ++t) {
+    EXPECT_GT(pool.last_busy_ns(t), 0u);
+    EXPECT_EQ(pool.total_busy_ns(t), pool.last_busy_ns(t));
+  }
+  EXPECT_GE(pool.last_imbalance(), 1.0);
+
+  // Totals accumulate across runs; last_busy_ns tracks only the latest.
+  pool.run([](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  });
+  for (std::size_t t = 0; t < pool.size(); ++t) {
+    EXPECT_GT(pool.total_busy_ns(t), pool.last_busy_ns(t));
+  }
+  EXPECT_GE(pool.total_imbalance(), 1.0);
+
+  pool.busy_reset();
+  EXPECT_EQ(pool.total_busy_ns(0), 0u);
+  EXPECT_DOUBLE_EQ(pool.total_imbalance(), 0.0);
+}
+
+TEST(ThreadPool, ImbalanceReflectsSkewedWork) {
+  // Worker 0 does ~20x the work of worker 1: max/mean must land well
+  // above 1 (perfectly balanced) even with scheduler slack.
+  ThreadPool pool(2);
+  pool.busy_reset();
+  pool.run([](std::size_t tid) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(tid == 0 ? 40 : 2));
+  });
+  EXPECT_GT(pool.last_imbalance(), 1.2);
+  EXPECT_LE(pool.last_imbalance(), 2.0);  // max/mean with 2 workers caps at 2
+}
+
+TEST(ThreadPool, CounterControlIsSafeWhateverThePlatformAllows) {
+  // On locked-down machines (perf_event_paranoid, seccomp) counters are
+  // unavailable; either way the control surface must be callable and
+  // self-consistent.
+  ThreadPool pool(2);
+  pool.counters_start();
+  pool.run([](std::size_t) {});
+  const obs::CounterReadings r = pool.counters_stop();
+  EXPECT_EQ(r.available, pool.counters_available());
+  if (!r.available) {
+    EXPECT_FALSE(r.reason.empty());
+    EXPECT_EQ(pool.counters_reason(), r.reason);
+  } else {
+    EXPECT_GT(r.cycles, 0u);
+  }
 }
 
 }  // namespace

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <thread>
+#include <vector>
+
+#include "spc/obs/metrics.hpp"
 
 namespace spc {
 namespace {
@@ -35,6 +39,51 @@ TEST(Timing, UnitConversionsAgree) {
   const double ms = t.elapsed_ms();
   // elapsed_ms read slightly later; they must agree to within a few ms.
   EXPECT_NEAR(ms, s * 1e3, 5.0);
+}
+
+TEST(Timing, ElapsedSaturatesInsteadOfWrapping) {
+  // A start stamp in the far future must clamp to zero, not wrap the
+  // unsigned subtraction to ~2^64 ns.
+  const Timer t = Timer::started_at(~std::uint64_t{0});
+  EXPECT_EQ(t.elapsed_ns(), 0u);
+  EXPECT_DOUBLE_EQ(t.elapsed_s(), 0.0);
+
+  const Timer near_future = Timer::started_at(now_ns() + 3'600'000'000'000ull);
+  EXPECT_EQ(near_future.elapsed_ns(), 0u);
+}
+
+TEST(Timing, RestartAfterInjectedFutureStartRecovers) {
+  Timer t = Timer::started_at(~std::uint64_t{0});
+  t.restart();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_GT(t.elapsed_ns(), 0u);
+}
+
+TEST(Timing, ScopedTimerFeedsAnyRecordSink) {
+  struct VecSink {
+    std::vector<std::uint64_t> samples;
+    void record(std::uint64_t ns) { samples.push_back(ns); }
+  };
+  VecSink sink;
+  {
+    ScopedTimer timed(sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_TRUE(sink.samples.empty());  // records on scope exit only
+  }
+  ASSERT_EQ(sink.samples.size(), 1u);
+  EXPECT_GE(sink.samples[0], 1'000'000u);  // >= ~1 ms despite slack
+}
+
+TEST(Timing, ScopedTimerFeedsRegistryHistogram) {
+  obs::LatencyHisto& h =
+      obs::Registry::global().histogram("spc.test.timing.scoped_ns");
+  const std::uint64_t before = h.count();
+  {
+    ScopedTimer timed(h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(h.count(), before + 1);
+  EXPECT_GT(h.sum_ns(), 0u);
 }
 
 }  // namespace
