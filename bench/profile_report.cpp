@@ -19,6 +19,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "spc/bench/harness.hpp"
@@ -32,6 +33,7 @@ struct Record {
   std::string matrix;
   std::string set;
   std::string format;
+  std::string isa;
   std::size_t threads = 1;
   double mflops = 0.0;
   double speedup = 0.0;  ///< 0 when absent
@@ -68,6 +70,12 @@ bool parse_record(const std::string& line, Record& r) {
   r.matrix = str(j, "matrix");
   r.set = str(j, "set");
   r.format = str(j, "format");
+  // Records predating the dispatch layer carry no "isa" field; they were
+  // produced by the scalar kernels.
+  r.isa = str(j, "isa");
+  if (r.isa.empty()) {
+    r.isa = "scalar";
+  }
   r.threads = static_cast<std::size_t>(num(j, "threads", 1));
   r.mflops = num(j, "mflops");
   r.speedup = num(j, "speedup_vs_csr");
@@ -161,9 +169,9 @@ int main(int argc, char** argv) {
         imbalance;
     std::size_t runs = 0;
   };
-  std::map<std::pair<std::string, std::size_t>, Agg> by_cell;
+  std::map<std::tuple<std::string, std::string, std::size_t>, Agg> by_cell;
   for (const Record& r : records) {
-    Agg& a = by_cell[{r.format, r.threads}];
+    Agg& a = by_cell[{r.format, r.isa, r.threads}];
     ++a.runs;
     a.mflops.add(r.mflops);
     if (r.speedup > 0.0) {
@@ -180,17 +188,18 @@ int main(int argc, char** argv) {
       }
     }
   }
-  spc::TextTable summary({"format", "threads", "runs", "MFLOPS",
+  spc::TextTable summary({"format", "isa", "threads", "runs", "MFLOPS",
                           "speedup", "IPC", "cyc/nnz", "miss/knnz",
                           "imbalance"});
   for (const auto& [key, a] : by_cell) {
-    summary.add_row({key.first, std::to_string(key.second),
+    summary.add_row({std::get<0>(key), std::get<1>(key),
+                     std::to_string(std::get<2>(key)),
                      std::to_string(a.runs), a.mflops.fmt(1),
                      a.speedup.fmt(2), a.ipc.fmt(2),
                      a.cycles_per_nnz.fmt(1), a.misses_per_knnz.fmt(2),
                      a.imbalance.fmt(2)});
   }
-  std::cout << "per-(format, threads) aggregate:\n";
+  std::cout << "per-(format, isa, threads) aggregate:\n";
   summary.print(std::cout);
 
   // 2. Per-matrix detail at the highest thread count, sorted by speedup
@@ -208,12 +217,12 @@ int main(int argc, char** argv) {
               }
               return a->matrix < b->matrix;
             });
-  spc::TextTable per_matrix({"matrix", "set", "format", "speedup",
+  spc::TextTable per_matrix({"matrix", "set", "format", "isa", "speedup",
                              "MFLOPS", "IPC", "cyc/nnz", "miss/knnz",
                              "imbalance"});
   for (const Record* r : detail) {
     per_matrix.add_row(
-        {r->matrix, r->set, r->format,
+        {r->matrix, r->set, r->format, r->isa,
          r->speedup > 0.0 ? f2(r->speedup) : "-", f1(r->mflops),
          r->has_counters ? f2(r->ipc) : "-",
          r->has_counters ? f1(r->cycles_per_nnz) : "-",

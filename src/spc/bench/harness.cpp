@@ -246,6 +246,7 @@ void emit_metrics_record(const std::string& bench, const MatrixCase& mc,
                              : mc.set_class == SetClass::kLarge  ? "ML"
                                                                  : "rej"));
   rec.set("format", format_name(inst.format()));
+  rec.set("isa", isa_tier_name(inst.isa_tier()));
   rec.set("threads", static_cast<std::uint64_t>(m.threads));
   rec.set("iters", static_cast<std::uint64_t>(m.iterations));
   rec.set("warmup", static_cast<std::uint64_t>(m.warmup));

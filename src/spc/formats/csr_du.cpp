@@ -362,6 +362,41 @@ CsrDu::Slice CsrDu::slice(index_t row_begin, index_t row_end) const {
   return s;
 }
 
+CsrDu::UnitHistogram CsrDu::unit_histogram() const {
+  UnitHistogram h;
+  const std::uint8_t* p = ctl_.data();
+  const std::uint8_t* const end = ctl_.data() + ctl_.size();
+  while (p < end) {
+    const std::uint8_t uflags = *p++;
+    const std::uint32_t usize = *p++;
+    if ((uflags & kDuNewRow) && (uflags & kDuRJmp)) {
+      varint_decode_checked(p, end);  // rskip
+    }
+    varint_decode_checked(p, end);  // ujmp
+    ++h.units;
+    h.nnz += usize;
+    if (uflags & kDuRle) {
+      const std::uint64_t stride = varint_decode_checked(p, end);
+      ++h.rle_units;
+      h.rle_elems += usize;
+      if (stride == 1) {
+        ++h.seq_units;
+        h.seq_elems += usize;
+      }
+    } else {
+      const auto cls = static_cast<DeltaClass>(uflags & kDuClassMask);
+      const auto ci = static_cast<std::uint8_t>(cls);
+      ++h.units_per_class[ci];
+      h.elems_per_class[ci] += usize;
+      const usize_t payload =
+          static_cast<usize_t>(usize - 1) * delta_class_bytes(cls);
+      SPC_CHECK_MSG(p + payload <= end, "ctl stream truncated inside ucis");
+      p += payload;
+    }
+  }
+  return h;
+}
+
 std::vector<CsrDu::DecodedUnit> CsrDu::decode_units() const {
   std::vector<DecodedUnit> units;
   const std::uint8_t* p = ctl_.data();

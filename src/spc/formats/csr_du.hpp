@@ -111,6 +111,33 @@ class CsrDu {
   }
   usize_t rle_unit_count() const { return rle_units_; }
 
+  /// Per-unit-class structure of the ctl stream, computed by a
+  /// payload-skipping O(units) scan — valid for any construction path
+  /// (from_triplets or from_raw). The dispatch layer uses it to pick a
+  /// decode strategy per matrix (SpmvInstance::prepare()): e.g. streams
+  /// of mostly sub-vector-width units stay on the scalar decoder.
+  struct UnitHistogram {
+    usize_t units = 0;
+    usize_t units_per_class[4] = {0, 0, 0, 0};  ///< indexed by DeltaClass
+    usize_t elems_per_class[4] = {0, 0, 0, 0};
+    usize_t rle_units = 0;          ///< all constant-stride units
+    usize_t rle_elems = 0;
+    usize_t seq_units = 0;          ///< the stride-1 (dense run) subset
+    usize_t seq_elems = 0;
+    usize_t nnz = 0;                ///< total elements across units
+
+    /// Mean elements per unit; 0 for an empty stream.
+    double avg_unit_elems() const {
+      return units != 0
+                 ? static_cast<double>(nnz) / static_cast<double>(units)
+                 : 0.0;
+    }
+  };
+
+  /// Scans the ctl stream and histograms its units (delta classes, RLE
+  /// and stride-1 runs, element counts).
+  UnitHistogram unit_histogram() const;
+
   /// A thread's view: a row range plus the ctl/value offsets where it
   /// starts — exactly the per-thread state the paper describes (§IV).
   struct Slice {

@@ -17,11 +17,27 @@ RowPartition partition_rows_by_nnz(const aligned_vector<index_t>& row_ptr,
   p.bounds.resize(nthreads + 1);
   p.bounds[0] = 0;
   for (std::size_t t = 1; t < nthreads; ++t) {
-    // First row whose prefix nnz reaches t's ideal share.
+    // First row whose prefix nnz reaches t's ideal share. Compare in the
+    // wide type: casting the target down to index_t would wrap for large
+    // thread counts on near-2^32-nnz matrices.
     const usize_t target = nnz * t / nthreads;
-    const auto it = std::lower_bound(row_ptr.begin(), row_ptr.end(),
-                                     static_cast<index_t>(target));
+    const auto it = std::lower_bound(
+        row_ptr.begin(), row_ptr.end(), target,
+        [](index_t prefix, usize_t tg) {
+          return static_cast<usize_t>(prefix) < tg;
+        });
     index_t row = static_cast<index_t>(it - row_ptr.begin());
+    // lower_bound rounds the boundary up; when a long row straddles the
+    // target, the previous boundary can be much closer to the ideal
+    // split (and rounding up would leave the right-hand thread empty).
+    // Pick whichever side is nearer; ties keep the upper boundary.
+    if (row > 0 && row <= nrows) {
+      const usize_t above = static_cast<usize_t>(row_ptr[row]) - target;
+      const usize_t below = target - static_cast<usize_t>(row_ptr[row - 1]);
+      if (below < above) {
+        --row;
+      }
+    }
     row = std::min(row, nrows);
     // Keep bounds monotone even for degenerate matrices.
     p.bounds[t] = std::max(row, p.bounds[t - 1]);

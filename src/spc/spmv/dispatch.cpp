@@ -1,0 +1,128 @@
+#include "spc/spmv/dispatch.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "spc/spmv/dispatch_tables.hpp"
+#include "spc/support/strutil.hpp"
+
+namespace spc {
+
+std::string isa_tier_name(IsaTier t) {
+  switch (t) {
+    case IsaTier::kScalar:
+      return "scalar";
+    case IsaTier::kSse42:
+      return "sse42";
+    case IsaTier::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool parse_isa_tier(const std::string& name, IsaTier* out) {
+  const std::string n = to_lower(name);
+  if (n == "scalar") {
+    *out = IsaTier::kScalar;
+  } else if (n == "sse42" || n == "sse4.2") {
+    *out = IsaTier::kSse42;
+  } else if (n == "avx2") {
+    *out = IsaTier::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+IsaTier max_compiled_tier() {
+#if SPC_HAVE_AVX2_TU
+  return IsaTier::kAvx2;
+#elif SPC_HAVE_SSE42_TU
+  return IsaTier::kSse42;
+#else
+  return IsaTier::kScalar;
+#endif
+}
+
+IsaTier detect_isa_tier() {
+  static const IsaTier detected = [] {
+    IsaTier t = IsaTier::kScalar;
+#if defined(__x86_64__) || defined(__i386__)
+    // __builtin_cpu_supports consults libgcc's CPUID model, which also
+    // checks XCR0, so AVX2 only reports true when the OS saves the ymm
+    // state — a single binary degrades cleanly on any host.
+#if SPC_HAVE_SSE42_TU
+    if (__builtin_cpu_supports("sse4.2")) {
+      t = IsaTier::kSse42;
+    }
+#endif
+#if SPC_HAVE_AVX2_TU
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      t = IsaTier::kAvx2;
+    }
+#endif
+#endif
+    return t;
+  }();
+  return detected;
+}
+
+IsaTier active_isa_tier() {
+  const IsaTier detected = detect_isa_tier();
+  const char* env = std::getenv("SPC_ISA");
+  if (env == nullptr || *env == '\0') {
+    return detected;
+  }
+  IsaTier requested;
+  if (!parse_isa_tier(env, &requested)) {
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "spc: ignoring unknown SPC_ISA value '%s' "
+                   "(expected scalar, sse42, or avx2)\n",
+                   env);
+    }
+    return detected;
+  }
+  // The override can only narrow: asking for a wider ISA than the host
+  // supports clamps to what actually runs.
+  return requested < detected ? requested : detected;
+}
+
+std::vector<IsaTier> available_isa_tiers() {
+  std::vector<IsaTier> tiers = {IsaTier::kScalar};
+  const IsaTier top = detect_isa_tier();
+  if (top >= IsaTier::kSse42) {
+    tiers.push_back(IsaTier::kSse42);
+  }
+  if (top >= IsaTier::kAvx2) {
+    tiers.push_back(IsaTier::kAvx2);
+  }
+  return tiers;
+}
+
+const KernelTable& kernel_table(IsaTier tier) {
+  if (tier > detect_isa_tier()) {
+    tier = detect_isa_tier();
+  }
+  switch (tier) {
+    case IsaTier::kAvx2:
+#if SPC_HAVE_AVX2_TU
+      return detail::avx2_table();
+#else
+      break;
+#endif
+    case IsaTier::kSse42:
+#if SPC_HAVE_SSE42_TU
+      return detail::sse42_table();
+#else
+      break;
+#endif
+    case IsaTier::kScalar:
+      break;
+  }
+  return detail::scalar_table();
+}
+
+}  // namespace spc

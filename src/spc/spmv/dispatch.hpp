@@ -1,0 +1,123 @@
+// Runtime ISA dispatch for the SpMV hot-path kernels.
+//
+// The paper's compressed formats shrink the working set; what remains is
+// compute on the decode/multiply loops. This layer provides vectorized
+// implementations of those loops in per-ISA translation units (compiled
+// with per-file -march flags, see src/spc/spmv/CMakeLists.txt) and picks
+// the widest one the *running* CPU supports, so a single binary runs
+// everywhere and uses AVX2+FMA where it exists.
+//
+// Tiers:
+//   scalar — the portable kernels from kernels.hpp, compiled with the
+//            project's base flags. Always available; forcing this tier
+//            (SPC_ISA=scalar) reproduces pre-dispatch results bit-for-bit
+//            because the arithmetic order is untouched.
+//   sse42  — 128-bit (2-wide) mul/add kernels for CSR / CSR-16 / CSR-VI.
+//            The DU entries fall through to scalar (SSE has no gather;
+//            the scalar DU loop's 4-deep index-chain unroll is already
+//            near its port limit).
+//   avx2   — 256-bit (4-wide) FMA kernels with vgatherdpd x-gathers for
+//            CSR / CSR-16 / CSR-VI, and specialized CSR-DU / CSR-DU-VI
+//            decoders: stride-1 RLE units become contiguous vector
+//            loads, strided RLE units 64-bit gathers, delta units
+//            resolve four indices ahead and gather; the varint header
+//            path stays scalar. Vector accumulation reassociates the
+//            per-row sum (one vector lane partial each), so results can
+//            differ from scalar by normal FP reassociation error.
+//
+// Selection: active_isa_tier() = min(detected tier, SPC_ISA override).
+// The override can only lower the tier — requesting a wider ISA than the
+// host supports clamps down, never faults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spc/formats/csr_du.hpp"
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+/// Instruction-set tiers, ordered: a higher tier strictly implies the
+/// lower ones.
+enum class IsaTier : std::uint8_t { kScalar = 0, kSse42 = 1, kAvx2 = 2 };
+
+/// Canonical lower-case name ("scalar", "sse42", "avx2").
+std::string isa_tier_name(IsaTier t);
+
+/// Parses a tier name (also accepts "sse4.2"); returns false on unknown
+/// names, leaving *out untouched.
+bool parse_isa_tier(const std::string& name, IsaTier* out);
+
+/// The widest tier whose translation unit was compiled into this binary
+/// (build-machine property: non-x86 targets compile only scalar).
+IsaTier max_compiled_tier();
+
+/// The widest compiled tier the running CPU (and OS) supports. Detected
+/// once via CPUID; never changes during the process lifetime.
+IsaTier detect_isa_tier();
+
+/// detect_isa_tier() clamped by the SPC_ISA environment override. Reads
+/// the environment on every call so tests can rebind after setenv(); an
+/// unparseable value is diagnosed once to stderr and ignored.
+IsaTier active_isa_tier();
+
+/// All tiers usable on this host, ascending (always starts with scalar).
+/// The dispatch fuzz test runs every format through every entry.
+std::vector<IsaTier> available_isa_tiers();
+
+// ------------------------------------------------------------------------
+// The kernel table: one function pointer per dispatch-routed kernel.
+// Raw-pointer signatures so per-ISA TUs need no format-object plumbing.
+// ------------------------------------------------------------------------
+
+/// CSR row-range kernel over raw arrays (ColT = uint32_t or uint16_t).
+using CsrKernelFn = void (*)(const index_t* row_ptr,
+                             const std::uint32_t* col_ind,
+                             const value_t* values, const value_t* x,
+                             value_t* y, index_t row_begin, index_t row_end);
+using Csr16KernelFn = void (*)(const index_t* row_ptr,
+                               const std::uint16_t* col_ind,
+                               const value_t* values, const value_t* x,
+                               value_t* y, index_t row_begin,
+                               index_t row_end);
+
+/// CSR-VI row-range kernel, one per value-index width.
+template <typename IndT>
+using CsrViKernelFn = void (*)(const index_t* row_ptr,
+                               const std::uint32_t* col_ind,
+                               const IndT* val_ind,
+                               const value_t* vals_unique, const value_t* x,
+                               value_t* y, index_t row_begin,
+                               index_t row_end);
+
+/// CSR-DU slice decode.
+using DuKernelFn = void (*)(const CsrDu::Slice& s, const value_t* x,
+                            value_t* y);
+
+/// CSR-DU-VI slice decode, one per value-index width. The slice's
+/// val_offset selects the start position in val_ind.
+template <typename IndT>
+using DuViKernelFn = void (*)(const CsrDu::Slice& s, const IndT* val_ind,
+                              const value_t* vals_unique, const value_t* x,
+                              value_t* y);
+
+struct KernelTable {
+  IsaTier tier = IsaTier::kScalar;
+  CsrKernelFn csr = nullptr;
+  Csr16KernelFn csr16 = nullptr;
+  CsrViKernelFn<std::uint8_t> csr_vi_u8 = nullptr;
+  CsrViKernelFn<std::uint16_t> csr_vi_u16 = nullptr;
+  CsrViKernelFn<std::uint32_t> csr_vi_u32 = nullptr;
+  DuKernelFn du = nullptr;
+  DuViKernelFn<std::uint8_t> du_vi_u8 = nullptr;
+  DuViKernelFn<std::uint16_t> du_vi_u16 = nullptr;
+  DuViKernelFn<std::uint32_t> du_vi_u32 = nullptr;
+};
+
+/// The kernel table for a tier, clamped to what this binary compiled and
+/// this CPU supports. Every entry is non-null.
+const KernelTable& kernel_table(IsaTier tier);
+
+}  // namespace spc

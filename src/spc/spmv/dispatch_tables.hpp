@@ -1,0 +1,23 @@
+// Internal: per-tier kernel-table constructors, one per translation unit
+// (kernels_scalar.cpp / kernels_sse42.cpp / kernels_avx2.cpp). Only the
+// scalar TU is unconditionally compiled; the others exist when the
+// SPC_HAVE_*_TU definitions say the build produced them (x86 target and
+// the compiler accepted the -march flags). dispatch.cpp is the only
+// consumer; user code goes through spc::kernel_table().
+#pragma once
+
+#include "spc/spmv/dispatch.hpp"
+
+namespace spc::detail {
+
+const KernelTable& scalar_table();
+
+#if SPC_HAVE_SSE42_TU
+const KernelTable& sse42_table();
+#endif
+
+#if SPC_HAVE_AVX2_TU
+const KernelTable& avx2_table();
+#endif
+
+}  // namespace spc::detail

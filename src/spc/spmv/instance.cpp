@@ -232,6 +232,194 @@ SpmvInstance::SpmvInstance(const Triplets& t, Format format,
       pool_ = std::make_unique<ThreadPool>(nthreads, plan);
     }
   }
+
+  prepare();
+}
+
+namespace {
+
+// DU streams with short units (avg elements/unit below this) stay on the
+// scalar decoder even at vector tiers. The vector decode pays per 4-block
+// for serial delta resolution plus a gather; the scalar decoder's 4-deep
+// unrolled index chain beats it until units run well past vector width
+// (measured crossover ~12 on the small corpus: 9-elem stencil units lose
+// up to 25%, 18+-elem FEM-block units win 10–25%).
+constexpr double kDuVectorMinAvgUnitElems = 12.0;
+
+}  // namespace
+
+void SpmvInstance::prepare() {
+  obs::TraceSpan prepare_span("bind:" + format_name(format_));
+  tier_ = active_isa_tier();
+  // Vector tiers gather through *signed* 32-bit index lanes; a matrix
+  // whose columns (or value-index table) could exceed 2^31 must stay on
+  // the scalar kernels.
+  if (ncols_ >= (index_t{1} << 31)) {
+    tier_ = IsaTier::kScalar;
+  }
+  const KernelTable& kt = kernel_table(tier_);
+  tier_ = kt.tier;  // reflect host/build clamping
+  binding_.clear();
+  has_du_hist_ = false;
+
+  const index_t nrows = nrows_;
+  // Binds serial + per-thread closures over one row-range kernel `fn`
+  // and its leading array arguments. Closures capture heap data pointers
+  // and PODs only (see kernel_binding.hpp for the move-safety rule).
+  const auto bind_rows = [&](auto fn, auto... arrays) {
+    binding_.serial = [=](const value_t* x, value_t* y) {
+      fn(arrays..., x, y, 0, nrows);
+    };
+    for (std::size_t th = 0; th < partition_.nthreads(); ++th) {
+      const index_t b = partition_.row_begin(th);
+      const index_t e = partition_.row_end(th);
+      binding_.per_thread.push_back([=](const value_t* x, value_t* y) {
+        fn(arrays..., x, y, b, e);
+      });
+    }
+  };
+
+  switch (format_) {
+    case Format::kCsr: {
+      const auto& m = std::get<Csr>(matrix_);
+      bind_rows(kt.csr, m.row_ptr().data(), m.col_ind().data(),
+                m.values().data());
+      break;
+    }
+    case Format::kCsr16: {
+      const auto& m = std::get<Csr16>(matrix_);
+      bind_rows(kt.csr16, m.row_ptr().data(), m.col_ind().data(),
+                m.values().data());
+      break;
+    }
+    case Format::kCsrVi: {
+      const auto& m = std::get<CsrVi>(matrix_);
+      const index_t* rp = m.row_ptr().data();
+      const std::uint32_t* ci = m.col_ind().data();
+      const value_t* uq = m.vals_unique().data();
+      switch (m.width()) {
+        case ViWidth::kU8:
+          bind_rows(kt.csr_vi_u8, rp, ci, m.val_ind_raw().data(), uq);
+          break;
+        case ViWidth::kU16:
+          bind_rows(kt.csr_vi_u16, rp, ci,
+                    m.val_ind_as<std::uint16_t>(), uq);
+          break;
+        case ViWidth::kU32:
+          bind_rows(kt.csr_vi_u32, rp, ci,
+                    m.val_ind_as<std::uint32_t>(), uq);
+          break;
+      }
+      break;
+    }
+    case Format::kCsrDu:
+    case Format::kCsrDuRle: {
+      const auto& m = std::get<CsrDu>(matrix_);
+      du_hist_ = m.unit_histogram();
+      has_du_hist_ = true;
+      DuKernelFn fn = kt.du;
+      if (du_hist_.avg_unit_elems() < kDuVectorMinAvgUnitElems) {
+        fn = kernel_table(IsaTier::kScalar).du;
+      }
+      const CsrDu::Slice full = m.full();
+      binding_.serial = [=](const value_t* x, value_t* y) {
+        fn(full, x, y);
+      };
+      for (const CsrDu::Slice& s : du_slices_) {
+        binding_.per_thread.push_back(
+            [=](const value_t* x, value_t* y) { fn(s, x, y); });
+      }
+      break;
+    }
+    case Format::kCsrDuVi: {
+      const auto& m = std::get<CsrDuVi>(matrix_);
+      du_hist_ = m.du().unit_histogram();
+      has_du_hist_ = true;
+      const bool vec =
+          du_hist_.avg_unit_elems() >= kDuVectorMinAvgUnitElems;
+      const KernelTable& dt = vec ? kt : kernel_table(IsaTier::kScalar);
+      const value_t* uq = m.vals_unique().data();
+      const auto bind_slices = [&](auto fn, const auto* vi) {
+        const CsrDu::Slice full = m.du().full();
+        binding_.serial = [=](const value_t* x, value_t* y) {
+          fn(full, vi, uq, x, y);
+        };
+        for (const CsrDu::Slice& s : du_slices_) {
+          binding_.per_thread.push_back(
+              [=](const value_t* x, value_t* y) { fn(s, vi, uq, x, y); });
+        }
+      };
+      switch (m.width()) {
+        case ViWidth::kU8:
+          bind_slices(dt.du_vi_u8, m.val_ind_raw().data());
+          break;
+        case ViWidth::kU16:
+          bind_slices(dt.du_vi_u16, m.val_ind_as<std::uint16_t>());
+          break;
+        case ViWidth::kU32:
+          bind_slices(dt.du_vi_u32, m.val_ind_as<std::uint32_t>());
+          break;
+      }
+      break;
+    }
+    case Format::kCoo: {
+      // Not a dispatch-table format, but binding still pays: the
+      // per-thread entry ranges (binary searches over the row array)
+      // move from every run to here.
+      const auto& m = std::get<Coo>(matrix_);
+      const index_t* rr = m.rows().data();
+      const index_t* cc = m.cols().data();
+      const value_t* vv = m.values().data();
+      const usize_t nnz = m.nnz();
+      binding_.serial = [=](const value_t* x, value_t* y) {
+        std::fill(y, y + nrows, 0.0);
+        for (usize_t k = 0; k < nnz; ++k) {
+          y[rr[k]] += vv[k] * x[cc[k]];
+        }
+      };
+      for (std::size_t th = 0; th < partition_.nthreads(); ++th) {
+        const index_t r0 = partition_.row_begin(th);
+        const index_t r1 = partition_.row_end(th);
+        const auto& rows = m.rows();
+        const usize_t lo = static_cast<usize_t>(
+            std::lower_bound(rows.begin(), rows.end(), r0) - rows.begin());
+        const usize_t hi = static_cast<usize_t>(
+            std::lower_bound(rows.begin(), rows.end(), r1) - rows.begin());
+        binding_.per_thread.push_back([=](const value_t* x, value_t* y) {
+          std::fill(y + r0, y + r1, 0.0);
+          for (usize_t k = lo; k < hi; ++k) {
+            y[rr[k]] += vv[k] * x[cc[k]];
+          }
+        });
+      }
+      break;
+    }
+    case Format::kDcsr: {
+      const auto& m = std::get<Dcsr>(matrix_);
+      const Dcsr::Slice full = m.full();
+      binding_.serial = [=](const value_t* x, value_t* y) {
+        spmv(full, x, y);
+      };
+      for (const Dcsr::Slice& s : dcsr_slices_) {
+        binding_.per_thread.push_back(
+            [=](const value_t* x, value_t* y) { spmv(s, x, y); });
+      }
+      break;
+    }
+    case Format::kCsc:
+      // Two-phase execution keeps its own path; precompute the
+      // reduce-phase row split here instead of every run.
+      if (nthreads_ > 1) {
+        csc_reduce_rows_ = partition_rows_even(nrows_, nthreads_);
+      }
+      break;
+    case Format::kBcsr:
+    case Format::kEll:
+    case Format::kDia:
+    case Format::kJds:
+      // Format-object kernels; executed via the run_parallel switch.
+      break;
+  }
 }
 
 usize_t SpmvInstance::matrix_bytes() const {
@@ -260,6 +448,10 @@ void SpmvInstance::run(const Vector& x, Vector& y) {
 }
 
 void SpmvInstance::run_serial(const value_t* x, value_t* y) {
+  if (binding_.bound()) {
+    binding_.serial(x, y);
+    return;
+  }
   std::visit([&](const auto& m) { spmv(m, x, y); }, matrix_);
 }
 
@@ -267,44 +459,14 @@ void SpmvInstance::run_parallel(const Vector& x, Vector& y) {
   const value_t* const xp = x.data();
   value_t* const yp = y.data();
 
+  // Dispatch-bound formats: one indirect call per worker, everything
+  // else was fixed by prepare().
+  if (!binding_.per_thread.empty()) {
+    dispatch([&](std::size_t th) { binding_.per_thread[th](xp, yp); });
+    return;
+  }
+
   switch (format_) {
-    case Format::kCsr: {
-      const auto& m = std::get<Csr>(matrix_);
-      dispatch([&](std::size_t th) {
-        spmv_csr_range(m, xp, yp, partition_.row_begin(th),
-                       partition_.row_end(th));
-      });
-      break;
-    }
-    case Format::kCsr16: {
-      const auto& m = std::get<Csr16>(matrix_);
-      dispatch([&](std::size_t th) {
-        spmv_csr_range(m, xp, yp, partition_.row_begin(th),
-                       partition_.row_end(th));
-      });
-      break;
-    }
-    case Format::kCoo: {
-      // Row-partitioned COO: each thread binary-searches its entry range.
-      const auto& m = std::get<Coo>(matrix_);
-      dispatch([&](std::size_t th) {
-        const index_t r0 = partition_.row_begin(th);
-        const index_t r1 = partition_.row_end(th);
-        const auto& rows = m.rows();
-        const auto lo = std::lower_bound(rows.begin(), rows.end(), r0) -
-                        rows.begin();
-        const auto hi = std::lower_bound(rows.begin(), rows.end(), r1) -
-                        rows.begin();
-        std::fill(yp + r0, yp + r1, 0.0);
-        const index_t* const rr = m.rows().data();
-        const index_t* const cc = m.cols().data();
-        const value_t* const vv = m.values().data();
-        for (auto k = lo; k < hi; ++k) {
-          yp[rr[k]] += vv[k] * xp[cc[k]];
-        }
-      });
-      break;
-    }
     case Format::kCsc: {
       // Column partitioning with private y copies and a reduction (§II-C).
       const auto& m = std::get<Csc>(matrix_);
@@ -314,11 +476,10 @@ void SpmvInstance::run_parallel(const Vector& x, Vector& y) {
         spmv_csc_cols(m, xp, scratch.data(), partition_.row_begin(th),
                       partition_.row_end(th));
       });
-      // Reduce: rows split evenly across threads.
-      const RowPartition rows = partition_rows_even(nrows_, nthreads_);
+      // Reduce: rows split evenly across threads (precomputed).
       dispatch([&](std::size_t th) {
-        const index_t r0 = rows.row_begin(th);
-        const index_t r1 = rows.row_end(th);
+        const index_t r0 = csc_reduce_rows_.row_begin(th);
+        const index_t r1 = csc_reduce_rows_.row_end(th);
         std::fill(yp + r0, yp + r1, 0.0);
         for (const Vector& scratch : csc_scratch_) {
           const value_t* const sp = scratch.data();
@@ -361,29 +522,17 @@ void SpmvInstance::run_parallel(const Vector& x, Vector& y) {
       });
       break;
     }
+    case Format::kCsr:
+    case Format::kCsr16:
+    case Format::kCoo:
     case Format::kCsrDu:
-    case Format::kCsrDuRle: {
-      dispatch([&](std::size_t th) { spmv(du_slices_[th], xp, yp); });
+    case Format::kCsrDuRle:
+    case Format::kCsrVi:
+    case Format::kCsrDuVi:
+    case Format::kDcsr:
+      // Always bound by prepare(); handled above.
+      SPC_CHECK_MSG(false, "dispatch-bound format reached the switch");
       break;
-    }
-    case Format::kCsrVi: {
-      const auto& m = std::get<CsrVi>(matrix_);
-      dispatch([&](std::size_t th) {
-        spmv_csr_vi_range(m, xp, yp, partition_.row_begin(th),
-                          partition_.row_end(th));
-      });
-      break;
-    }
-    case Format::kCsrDuVi: {
-      const auto& m = std::get<CsrDuVi>(matrix_);
-      dispatch(
-          [&](std::size_t th) { spmv(m, du_slices_[th], xp, yp); });
-      break;
-    }
-    case Format::kDcsr: {
-      dispatch([&](std::size_t th) { spmv(dcsr_slices_[th], xp, yp); });
-      break;
-    }
   }
 }
 

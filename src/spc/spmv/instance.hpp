@@ -28,8 +28,10 @@
 #include "spc/mm/triplets.hpp"
 #include "spc/mm/vector.hpp"
 #include "spc/obs/metrics.hpp"
+#include "spc/parallel/kernel_binding.hpp"
 #include "spc/parallel/partition.hpp"
 #include "spc/parallel/thread_pool.hpp"
+#include "spc/spmv/dispatch.hpp"
 
 namespace spc {
 
@@ -108,6 +110,23 @@ class SpmvInstance {
   /// Computes y = A*x. x must have ncols elements, y nrows elements.
   void run(const Vector& x, Vector& y);
 
+  /// One-time per-tier setup, called by the constructor: resolves the
+  /// active ISA tier (CPUID + SPC_ISA override), scans the DU unit-class
+  /// histogram to choose the decode strategy, and binds the per-thread
+  /// kernels — everything that must stay off the timed path. Idempotent;
+  /// call again to rebind after changing SPC_ISA.
+  void prepare();
+
+  /// The ISA tier the bound kernels execute at (recorded into the JSONL
+  /// metrics as "isa").
+  IsaTier isa_tier() const { return tier_; }
+
+  /// Unit-class histogram of the ctl stream for DU-based formats;
+  /// nullptr for every other format.
+  const CsrDu::UnitHistogram* du_histogram() const {
+    return has_du_hist_ ? &du_hist_ : nullptr;
+  }
+
   /// The partition in use (empty bounds for serial-only formats).
   const RowPartition& partition() const { return partition_; }
 
@@ -137,6 +156,13 @@ class SpmvInstance {
   std::vector<Dcsr::Slice> dcsr_slices_;
   std::vector<Vector> csc_scratch_;      ///< per-thread private y for CSC
   std::unique_ptr<ThreadPool> pool_;
+  // Prepared by prepare(): dispatch tier, bound kernels, and per-format
+  // precomputation that would otherwise sit on the timed path.
+  IsaTier tier_ = IsaTier::kScalar;
+  KernelBinding binding_;
+  CsrDu::UnitHistogram du_hist_;
+  bool has_du_hist_ = false;
+  RowPartition csc_reduce_rows_;  ///< reduce-phase row split for CSC
   // Cached metrics-registry handles (lookup once here, lock-free in run).
   obs::Counter* runs_counter_ = nullptr;
   obs::LatencyHisto* run_histo_ = nullptr;

@@ -400,20 +400,38 @@ void spmv_du_vi_impl(const CsrDu::Slice& s,
 
 }  // namespace
 
+void spmv_du_vi_slice(const CsrDu::Slice& s, const std::uint8_t* val_ind,
+                      const value_t* vals_unique, const value_t* x,
+                      value_t* y) {
+  spmv_du_vi_impl(s, val_ind, vals_unique, x, y);
+}
+
+void spmv_du_vi_slice(const CsrDu::Slice& s, const std::uint16_t* val_ind,
+                      const value_t* vals_unique, const value_t* x,
+                      value_t* y) {
+  spmv_du_vi_impl(s, val_ind, vals_unique, x, y);
+}
+
+void spmv_du_vi_slice(const CsrDu::Slice& s, const std::uint32_t* val_ind,
+                      const value_t* vals_unique, const value_t* x,
+                      value_t* y) {
+  spmv_du_vi_impl(s, val_ind, vals_unique, x, y);
+}
+
 void spmv(const CsrDuVi& m, const CsrDu::Slice& s, const value_t* x,
           value_t* y) {
   switch (m.width()) {
     case ViWidth::kU8:
-      spmv_du_vi_impl(s, m.val_ind_raw().data(), m.vals_unique().data(), x,
-                      y);
+      spmv_du_vi_slice(s, m.val_ind_raw().data(), m.vals_unique().data(),
+                       x, y);
       break;
     case ViWidth::kU16:
-      spmv_du_vi_impl(s, m.val_ind_as<std::uint16_t>(),
-                      m.vals_unique().data(), x, y);
+      spmv_du_vi_slice(s, m.val_ind_as<std::uint16_t>(),
+                       m.vals_unique().data(), x, y);
       break;
     case ViWidth::kU32:
-      spmv_du_vi_impl(s, m.val_ind_as<std::uint32_t>(),
-                      m.vals_unique().data(), x, y);
+      spmv_du_vi_slice(s, m.val_ind_as<std::uint32_t>(),
+                       m.vals_unique().data(), x, y);
       break;
   }
 }

@@ -30,13 +30,13 @@ namespace spc {
 // ---------------------------------------------------------------- CSR ---
 
 /// The paper's baseline kernel (§II-B) with the register-accumulator
-/// optimization (§VI-A).
+/// optimization (§VI-A), over raw arrays. This is the scalar-dispatch
+/// entry and the oracle the vectorized tiers are fuzzed against.
 template <typename ColIndexT>
-void spmv_csr_range(const BasicCsr<ColIndexT>& m, const value_t* x,
-                    value_t* y, index_t row_begin, index_t row_end) {
-  const index_t* const __restrict row_ptr = m.row_ptr().data();
-  const ColIndexT* const __restrict col_ind = m.col_ind().data();
-  const value_t* const __restrict values = m.values().data();
+void spmv_csr_raw(const index_t* __restrict row_ptr,
+                  const ColIndexT* __restrict col_ind,
+                  const value_t* __restrict values, const value_t* x,
+                  value_t* y, index_t row_begin, index_t row_end) {
   for (index_t i = row_begin; i < row_end; ++i) {
     value_t acc = 0.0;
     const index_t end = row_ptr[i + 1];
@@ -45,6 +45,13 @@ void spmv_csr_range(const BasicCsr<ColIndexT>& m, const value_t* x,
     }
     y[i] = acc;
   }
+}
+
+template <typename ColIndexT>
+void spmv_csr_range(const BasicCsr<ColIndexT>& m, const value_t* x,
+                    value_t* y, index_t row_begin, index_t row_end) {
+  spmv_csr_raw(m.row_ptr().data(), m.col_ind().data(), m.values().data(),
+               x, y, row_begin, row_end);
 }
 
 template <typename ColIndexT>
@@ -169,6 +176,22 @@ inline void spmv(const CsrVi& m, const value_t* x, value_t* y) {
 }
 
 // ---------------------------------------------------------- CSR-DU-VI ---
+
+/// DU slice decode with value indirection over raw arrays (the
+/// scalar-dispatch entries); `s.val_offset` selects the starting position
+/// in the val_ind stream.
+void spmv_du_vi_slice(const CsrDu::Slice& s,
+                      const std::uint8_t* val_ind,
+                      const value_t* vals_unique, const value_t* x,
+                      value_t* y);
+void spmv_du_vi_slice(const CsrDu::Slice& s,
+                      const std::uint16_t* val_ind,
+                      const value_t* vals_unique, const value_t* x,
+                      value_t* y);
+void spmv_du_vi_slice(const CsrDu::Slice& s,
+                      const std::uint32_t* val_ind,
+                      const value_t* vals_unique, const value_t* x,
+                      value_t* y);
 
 /// DU slice decode with value indirection. `slice.val_offset` selects the
 /// starting position in the val_ind stream.

@@ -1,0 +1,43 @@
+// Scalar dispatch tier: the portable kernels from kernels.hpp, compiled
+// with the project's base flags. This table is the floor every other tier
+// falls back to, and the oracle for the dispatch fuzz test — its entries
+// keep the exact arithmetic order of the pre-dispatch code, so forcing
+// SPC_ISA=scalar reproduces those results bit-for-bit.
+#include "spc/spmv/dispatch_tables.hpp"
+#include "spc/spmv/kernels.hpp"
+
+namespace spc::detail {
+
+namespace {
+
+void du_scalar(const CsrDu::Slice& s, const value_t* x, value_t* y) {
+  spmv(s, x, y);
+}
+
+template <typename IndT>
+void du_vi_scalar(const CsrDu::Slice& s, const IndT* val_ind,
+                  const value_t* vals_unique, const value_t* x, value_t* y) {
+  spmv_du_vi_slice(s, val_ind, vals_unique, x, y);
+}
+
+}  // namespace
+
+const KernelTable& scalar_table() {
+  static const KernelTable table = [] {
+    KernelTable t;
+    t.tier = IsaTier::kScalar;
+    t.csr = &spmv_csr_raw<std::uint32_t>;
+    t.csr16 = &spmv_csr_raw<std::uint16_t>;
+    t.csr_vi_u8 = &spmv_csr_vi_range<std::uint8_t>;
+    t.csr_vi_u16 = &spmv_csr_vi_range<std::uint16_t>;
+    t.csr_vi_u32 = &spmv_csr_vi_range<std::uint32_t>;
+    t.du = &du_scalar;
+    t.du_vi_u8 = &du_vi_scalar<std::uint8_t>;
+    t.du_vi_u16 = &du_vi_scalar<std::uint16_t>;
+    t.du_vi_u32 = &du_vi_scalar<std::uint32_t>;
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace spc::detail

@@ -1,0 +1,103 @@
+// SSE4.2 dispatch tier — 128-bit (2-wide) kernels.
+//
+// Compiled with -msse4.2 (see CMakeLists.txt); only ever *called* after
+// runtime detection confirms the CPU supports it. SSE has no gather, so
+// the x loads are assembled with _mm_set_pd from scalar-resolved column
+// indices; the win over scalar comes from pairing the value loads and
+// multiplies and from the two independent accumulator chains. The DU
+// entries fall through to scalar: the DU inner loop is dominated by the
+// serial delta chain and the scalar kernel's 4-deep unroll already
+// saturates it without vector registers.
+//
+// Accumulation order: lane partials reassociate the per-row sum, so
+// results may differ from the scalar tier by normal FP reassociation
+// error (the dispatch fuzz test bounds it).
+#include <nmmintrin.h>
+
+#include "spc/spmv/dispatch_tables.hpp"
+#include "spc/spmv/kernels.hpp"
+
+namespace spc::detail {
+
+namespace {
+
+inline double hsum128(__m128d v) {
+  const __m128d hi = _mm_unpackhi_pd(v, v);
+  return _mm_cvtsd_f64(_mm_add_sd(v, hi));
+}
+
+template <typename ColT>
+void csr_sse42(const index_t* __restrict row_ptr,
+               const ColT* __restrict col_ind,
+               const value_t* __restrict values, const value_t* x,
+               value_t* y, index_t row_begin, index_t row_end) {
+  for (index_t i = row_begin; i < row_end; ++i) {
+    index_t j = row_ptr[i];
+    const index_t end = row_ptr[i + 1];
+    __m128d acc0 = _mm_setzero_pd();
+    __m128d acc1 = _mm_setzero_pd();
+    for (; j + 4 <= end; j += 4) {
+      __builtin_prefetch(col_ind + j + 64, 0, 1);
+      __builtin_prefetch(values + j + 32, 0, 1);
+      const __m128d x0 = _mm_set_pd(x[col_ind[j + 1]], x[col_ind[j]]);
+      const __m128d x1 = _mm_set_pd(x[col_ind[j + 3]], x[col_ind[j + 2]]);
+      acc0 = _mm_add_pd(acc0, _mm_mul_pd(_mm_loadu_pd(values + j), x0));
+      acc1 = _mm_add_pd(acc1, _mm_mul_pd(_mm_loadu_pd(values + j + 2), x1));
+    }
+    value_t acc = hsum128(_mm_add_pd(acc0, acc1));
+    for (; j < end; ++j) {
+      acc += values[j] * x[col_ind[j]];
+    }
+    y[i] = acc;
+  }
+}
+
+template <typename IndT>
+void csr_vi_sse42(const index_t* __restrict row_ptr,
+                  const std::uint32_t* __restrict col_ind,
+                  const IndT* __restrict val_ind,
+                  const value_t* __restrict vals_unique, const value_t* x,
+                  value_t* y, index_t row_begin, index_t row_end) {
+  for (index_t i = row_begin; i < row_end; ++i) {
+    index_t j = row_ptr[i];
+    const index_t end = row_ptr[i + 1];
+    __m128d acc0 = _mm_setzero_pd();
+    __m128d acc1 = _mm_setzero_pd();
+    for (; j + 4 <= end; j += 4) {
+      __builtin_prefetch(col_ind + j + 64, 0, 1);
+      __builtin_prefetch(val_ind + j + 64, 0, 1);
+      const __m128d v0 = _mm_set_pd(vals_unique[val_ind[j + 1]],
+                                    vals_unique[val_ind[j]]);
+      const __m128d v1 = _mm_set_pd(vals_unique[val_ind[j + 3]],
+                                    vals_unique[val_ind[j + 2]]);
+      const __m128d x0 = _mm_set_pd(x[col_ind[j + 1]], x[col_ind[j]]);
+      const __m128d x1 = _mm_set_pd(x[col_ind[j + 3]], x[col_ind[j + 2]]);
+      acc0 = _mm_add_pd(acc0, _mm_mul_pd(v0, x0));
+      acc1 = _mm_add_pd(acc1, _mm_mul_pd(v1, x1));
+    }
+    value_t acc = hsum128(_mm_add_pd(acc0, acc1));
+    for (; j < end; ++j) {
+      acc += vals_unique[val_ind[j]] * x[col_ind[j]];
+    }
+    y[i] = acc;
+  }
+}
+
+}  // namespace
+
+const KernelTable& sse42_table() {
+  static const KernelTable table = [] {
+    // DU entries fall through to the scalar tier (see file comment).
+    KernelTable t = scalar_table();
+    t.tier = IsaTier::kSse42;
+    t.csr = &csr_sse42<std::uint32_t>;
+    t.csr16 = &csr_sse42<std::uint16_t>;
+    t.csr_vi_u8 = &csr_vi_sse42<std::uint8_t>;
+    t.csr_vi_u16 = &csr_vi_sse42<std::uint16_t>;
+    t.csr_vi_u32 = &csr_vi_sse42<std::uint32_t>;
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace spc::detail

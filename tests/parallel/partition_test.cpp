@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "spc/formats/csr.hpp"
 #include "spc/gen/generators.hpp"
 #include "test_util.hpp"
@@ -120,6 +122,79 @@ TEST(Partition, RejectsZeroThreads) {
   aligned_vector<index_t> rp = {0, 1};
   EXPECT_THROW(partition_rows_by_nnz(rp, 0), Error);
   EXPECT_THROW(partition_rows_even(5, 0), Error);
+}
+
+TEST(Partition, StraddlingRowPicksNearerBoundary) {
+  // Row layout [1, 9]: the ideal split (5) falls inside the long second
+  // row. Rounding the boundary up would hand thread 0 all ten non-zeros
+  // and leave thread 1 empty; the nearer boundary is the 1/9 split.
+  aligned_vector<index_t> rp = {0, 1, 10};
+  const RowPartition p = partition_rows_by_nnz(rp, 2);
+  EXPECT_EQ(p.bounds, (std::vector<index_t>{0, 1, 2}));
+  EXPECT_EQ(p.nnz_of(0, rp), 1u);
+  EXPECT_EQ(p.nnz_of(1, rp), 9u);
+}
+
+TEST(Partition, SingleGiantRowStaysOnOneThread) {
+  // All non-zeros in one row: exactly one thread owns it, the rest get
+  // (possibly empty) remainder ranges, and imbalance is nthreads — the
+  // best any row-aligned partition can do — not inf/NaN.
+  Triplets t(64, 4096);
+  for (index_t c = 0; c < 4096; ++c) {
+    t.add(20, c, 1.0);
+  }
+  t.sort_and_combine();
+  const auto rp = row_ptr_of(t);
+  const RowPartition p = partition_rows_by_nnz(rp, 8);
+  EXPECT_EQ(p.bounds.front(), 0u);
+  EXPECT_EQ(p.bounds.back(), 64u);
+  std::size_t owners = 0;
+  usize_t total = 0;
+  for (std::size_t th = 0; th < 8; ++th) {
+    EXPECT_LE(p.row_begin(th), p.row_end(th));
+    total += p.nnz_of(th, rp);
+    if (p.nnz_of(th, rp) > 0) {
+      ++owners;
+    }
+  }
+  EXPECT_EQ(owners, 1u);
+  EXPECT_EQ(total, 4096u);
+  EXPECT_DOUBLE_EQ(partition_imbalance(p, rp), 8.0);
+}
+
+TEST(Partition, MoreThreadsThanNonemptyRows) {
+  // 10 rows but only two carry non-zeros; 8 threads must still cover all
+  // rows monotonically, preserve the nnz total, and keep the imbalance
+  // finite (empty threads are allowed, lost rows are not).
+  Triplets t(10, 10);
+  t.add(2, 1, 1.0);
+  t.add(2, 3, 1.0);
+  t.add(7, 0, 1.0);
+  t.sort_and_combine();
+  const auto rp = row_ptr_of(t);
+  const RowPartition p = partition_rows_by_nnz(rp, 8);
+  EXPECT_EQ(p.bounds.front(), 0u);
+  EXPECT_EQ(p.bounds.back(), 10u);
+  usize_t total = 0;
+  for (std::size_t th = 0; th < 8; ++th) {
+    EXPECT_LE(p.row_begin(th), p.row_end(th));
+    total += p.nnz_of(th, rp);
+  }
+  EXPECT_EQ(total, 3u);
+  const double imb = partition_imbalance(p, rp);
+  EXPECT_TRUE(std::isfinite(imb));
+  EXPECT_GE(imb, 1.0);
+}
+
+TEST(Partition, EmptyMatrixImbalanceIsOne) {
+  // nnz == 0 is the 0/0 case: define it as perfectly balanced rather
+  // than NaN, for both partitioners.
+  aligned_vector<index_t> rp(11, 0);  // 10 rows, all empty
+  const RowPartition by_nnz = partition_rows_by_nnz(rp, 4);
+  const RowPartition even = partition_rows_even(10, 4);
+  EXPECT_DOUBLE_EQ(partition_imbalance(by_nnz, rp), 1.0);
+  EXPECT_DOUBLE_EQ(partition_imbalance(even, rp), 1.0);
+  EXPECT_EQ(by_nnz.bounds.back(), 10u);
 }
 
 class PartitionPropertySweep

@@ -1,0 +1,142 @@
+// Kernel-vs-reference fuzzing across the dispatch matrix: every
+// dispatch-routed format × every ISA tier available on this host ×
+// serial and multithreaded execution, against the scalar CSR oracle,
+// over a swarm of deterministically-seeded random matrices.
+//
+// The scalar tier must match the oracle bit-for-bit for the row-order
+// formats (same accumulation order); vector tiers reassociate per-row
+// sums into lane partials, so they are held to a relative-error bound
+// instead (a few ulps — the reassociation of ~row_length addends).
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "spc/gen/generators.hpp"
+#include "spc/spmv/dispatch.hpp"
+#include "spc/spmv/instance.hpp"
+#include "test_util.hpp"
+
+namespace spc {
+namespace {
+
+// Reassociating a length-k sum perturbs it by at most ~k ulps; the
+// matrices below stay under ~4k nnz per row, so 1e-12 is generous while
+// still catching any indexing bug (which produces O(1) errors).
+constexpr double kVectorTol = 1e-12;
+
+// ~20 deterministic draws spanning the structures the kernels
+// specialize on: dense-ish rows (contiguous AVX loads), banded
+// (RLE-friendly strides), ragged (unit-length tails), rmat (irregular
+// gathers), pooled values (small VI tables), plus degenerate shapes.
+Triplets fuzz_matrix(int seed) {
+  Rng rng(7000 + seed);
+  switch (seed % 7) {
+    case 0:
+      return test::random_triplets(
+          1 + static_cast<index_t>(rng.next_below(300)),
+          1 + static_cast<index_t>(rng.next_below(300)),
+          rng.next_below(5000), rng,
+          static_cast<std::uint32_t>(rng.next_below(200)));
+    case 1:
+      return gen_ragged(1 + static_cast<index_t>(rng.next_below(250)),
+                        1 + static_cast<index_t>(rng.next_below(250)),
+                        1 + static_cast<index_t>(rng.next_below(30)),
+                        0.4 * rng.next_double(), rng,
+                        ValueModel::pooled(12));
+    case 2:
+      return gen_banded(32 + static_cast<index_t>(rng.next_below(300)),
+                        1 + static_cast<index_t>(rng.next_below(50)),
+                        1 + static_cast<index_t>(rng.next_below(10)), rng,
+                        ValueModel::random());
+    case 3:
+      return gen_rmat(6 + static_cast<std::uint32_t>(rng.next_below(4)),
+                      400 + rng.next_below(3000), rng,
+                      ValueModel::pooled(6));
+    case 4:
+      return gen_fem_blocks(
+          4 + static_cast<index_t>(rng.next_below(30)),
+          1 + static_cast<index_t>(rng.next_below(4)),
+          1 + static_cast<index_t>(rng.next_below(5)), rng,
+          ValueModel::random());
+    case 5: {
+      // Long dense rows: exercises the vector kernels' main loops for
+      // many iterations and the stride-1 RLE decode.
+      const index_t n = 4 + static_cast<index_t>(rng.next_below(8));
+      Triplets t(n, 512);
+      for (index_t r = 0; r < n; ++r) {
+        for (index_t c = 0; c < 512; ++c) {
+          t.add(r, c, rng.next_double(-2.0, 2.0));
+        }
+      }
+      t.sort_and_combine();
+      return t;
+    }
+    default: {
+      // Tiny/degenerate shapes: single row, single column, 1x1 — all
+      // tail-path, no main-loop iterations.
+      switch (seed % 3) {
+        case 0:
+          return test::random_triplets(1, 97, 60, rng);
+        case 1:
+          return test::random_triplets(97, 1, 60, rng);
+        default:
+          return test::random_triplets(1, 1, 1, rng);
+      }
+    }
+  }
+}
+
+const std::vector<Format>& dispatch_formats() {
+  static const std::vector<Format> kFormats = {
+      Format::kCsr,      Format::kCsr16,   Format::kCsrVi,
+      Format::kCsrDu,    Format::kCsrDuRle, Format::kCsrDuVi,
+      Format::kDcsr,     Format::kCoo,
+  };
+  return kFormats;
+}
+
+class DispatchFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DispatchFuzz, EveryFormatEveryTierMatchesScalarCsrOracle) {
+  const Triplets t = fuzz_matrix(GetParam());
+  if (t.nnz() == 0) {
+    GTEST_SKIP() << "degenerate draw";
+  }
+  Rng xr(9000 + GetParam());
+  const Vector x = random_vector(t.ncols(), xr);
+  const Vector y_ref = test::reference_spmv(t, x);
+
+  InstanceOptions opts;
+  opts.pin_threads = false;
+  for (const IsaTier tier : available_isa_tiers()) {
+    test::ScopedEnv isa("SPC_ISA", isa_tier_name(tier).c_str());
+    for (const Format f : dispatch_formats()) {
+      if (f == Format::kCsr16 && !csr16_applicable(t)) {
+        continue;
+      }
+      for (const std::size_t threads : {1u, 4u}) {
+        SpmvInstance inst(t, f, threads, opts);
+        ASSERT_LE(static_cast<int>(inst.isa_tier()),
+                  static_cast<int>(tier));
+        Vector y(t.nrows(), std::numeric_limits<double>::quiet_NaN());
+        inst.run(x, y);
+        const std::string what = format_name(f) + " @" +
+                                 isa_tier_name(tier) + " x" +
+                                 std::to_string(threads) + " seed " +
+                                 std::to_string(GetParam());
+        // Row-order formats at the scalar tier share the oracle's exact
+        // accumulation order; COO scatters, so tolerance there.
+        if (tier == IsaTier::kScalar && f != Format::kCoo) {
+          EXPECT_EQ(max_abs_diff(y_ref, y), 0.0) << what;
+        } else {
+          EXPECT_LT(rel_error(y_ref, y), kVectorTol) << what;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Swarm, DispatchFuzz, ::testing::Range(0, 21));
+
+}  // namespace
+}  // namespace spc

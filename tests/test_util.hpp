@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "spc/mm/triplets.hpp"
@@ -10,6 +12,35 @@
 #include "spc/support/rng.hpp"
 
 namespace spc::test {
+
+/// RAII environment-variable override (restores the prior value). Tests
+/// that assert bit-exact cross-format equality pin SPC_ISA=scalar with
+/// this: the scalar tier keeps the shared per-row accumulation order,
+/// while vector tiers reassociate lane sums.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
 
 /// The paper's 6×6 example matrix (Fig 1). Golden data for CSR, CSR-DU
 /// (Table I) and CSR-VI (Fig 4) layouts.
