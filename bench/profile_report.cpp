@@ -34,6 +34,7 @@ struct Record {
   std::string set;
   std::string format;
   std::string isa;
+  std::string numa;
   std::size_t threads = 1;
   double mflops = 0.0;
   double speedup = 0.0;  ///< 0 when absent
@@ -75,6 +76,12 @@ bool parse_record(const std::string& line, Record& r) {
   r.isa = str(j, "isa");
   if (r.isa.empty()) {
     r.isa = "scalar";
+  }
+  // Records predating the NUMA placement engine carry no "numa" field;
+  // they ran with master-touched shared arrays.
+  r.numa = str(j, "numa");
+  if (r.numa.empty()) {
+    r.numa = "off";
   }
   r.threads = static_cast<std::size_t>(num(j, "threads", 1));
   r.mflops = num(j, "mflops");
@@ -169,9 +176,11 @@ int main(int argc, char** argv) {
         imbalance;
     std::size_t runs = 0;
   };
-  std::map<std::tuple<std::string, std::string, std::size_t>, Agg> by_cell;
+  std::map<std::tuple<std::string, std::string, std::string, std::size_t>,
+           Agg>
+      by_cell;
   for (const Record& r : records) {
-    Agg& a = by_cell[{r.format, r.isa, r.threads}];
+    Agg& a = by_cell[{r.format, r.isa, r.numa, r.threads}];
     ++a.runs;
     a.mflops.add(r.mflops);
     if (r.speedup > 0.0) {
@@ -188,18 +197,18 @@ int main(int argc, char** argv) {
       }
     }
   }
-  spc::TextTable summary({"format", "isa", "threads", "runs", "MFLOPS",
-                          "speedup", "IPC", "cyc/nnz", "miss/knnz",
-                          "imbalance"});
+  spc::TextTable summary({"format", "isa", "numa", "threads", "runs",
+                          "MFLOPS", "speedup", "IPC", "cyc/nnz",
+                          "miss/knnz", "imbalance"});
   for (const auto& [key, a] : by_cell) {
-    summary.add_row({std::get<0>(key), std::get<1>(key),
-                     std::to_string(std::get<2>(key)),
+    summary.add_row({std::get<0>(key), std::get<1>(key), std::get<2>(key),
+                     std::to_string(std::get<3>(key)),
                      std::to_string(a.runs), a.mflops.fmt(1),
                      a.speedup.fmt(2), a.ipc.fmt(2),
                      a.cycles_per_nnz.fmt(1), a.misses_per_knnz.fmt(2),
                      a.imbalance.fmt(2)});
   }
-  std::cout << "per-(format, isa, threads) aggregate:\n";
+  std::cout << "per-(format, isa, numa, threads) aggregate:\n";
   summary.print(std::cout);
 
   // 2. Per-matrix detail at the highest thread count, sorted by speedup

@@ -227,9 +227,10 @@ RunMetrics time_spmv_metrics(SpmvInstance& inst, std::size_t iters,
 
 bool metrics_enabled() { return obs::MetricsSink::global().enabled(); }
 
-void emit_metrics_record(const std::string& bench, const MatrixCase& mc,
-                         const SpmvInstance& inst, const RunMetrics& m,
-                         double speedup_vs_csr) {
+void emit_metrics_record(
+    const std::string& bench, const MatrixCase& mc,
+    const SpmvInstance& inst, const RunMetrics& m, double speedup_vs_csr,
+    const std::vector<std::pair<std::string, std::string>>& extras) {
   obs::MetricsSink& sink = obs::MetricsSink::global();
   if (!sink.enabled()) {
     return;
@@ -247,7 +248,15 @@ void emit_metrics_record(const std::string& bench, const MatrixCase& mc,
                                                                  : "rej"));
   rec.set("format", format_name(inst.format()));
   rec.set("isa", isa_tier_name(inst.isa_tier()));
+  rec.set("numa", numa_policy_name(inst.numa_policy()));
   rec.set("threads", static_cast<std::uint64_t>(m.threads));
+  const SpmvInstance::NumaResidency res = inst.matrix_residency();
+  if (res.available) {
+    rec.set("numa_pages_sampled",
+            static_cast<std::uint64_t>(res.pages_sampled));
+    rec.set("numa_pages_local",
+            static_cast<std::uint64_t>(res.pages_local));
+  }
   rec.set("iters", static_cast<std::uint64_t>(m.iterations));
   rec.set("warmup", static_cast<std::uint64_t>(m.warmup));
   rec.set("nrows", static_cast<std::uint64_t>(inst.nrows()));
@@ -294,6 +303,9 @@ void emit_metrics_record(const std::string& bench, const MatrixCase& mc,
   } else {
     rec.set("counters", "unavailable");
     rec.set("counters_reason", m.counters.reason);
+  }
+  for (const auto& [key, value] : extras) {
+    rec.set(key, value);
   }
   sink.write(rec);
 }

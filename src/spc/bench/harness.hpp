@@ -11,6 +11,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "spc/gen/corpus.hpp"
@@ -115,10 +116,13 @@ bool metrics_enabled();
 
 /// Appends one JSONL record for a (matrix, format, threads) cell to the
 /// SPC_METRICS sink (no-op when disabled). `speedup_vs_csr` <= 0 means
-/// "not applicable" and is omitted from the record.
-void emit_metrics_record(const std::string& bench, const MatrixCase& mc,
-                         const SpmvInstance& inst, const RunMetrics& m,
-                         double speedup_vs_csr = 0.0);
+/// "not applicable" and is omitted from the record. `extras` adds
+/// bench-specific string fields (e.g. ablation_numa's "placement").
+void emit_metrics_record(
+    const std::string& bench, const MatrixCase& mc,
+    const SpmvInstance& inst, const RunMetrics& m,
+    double speedup_vs_csr = 0.0,
+    const std::vector<std::pair<std::string, std::string>>& extras = {});
 
 /// MFLOPS for a timed run: 2*nnz flops per SpMV.
 inline double mflops(usize_t nnz, std::size_t iters, double seconds) {

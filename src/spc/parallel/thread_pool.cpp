@@ -1,7 +1,9 @@
 #include "spc/parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <set>
 
+#include "spc/obs/metrics.hpp"
 #include "spc/support/error.hpp"
 #include "spc/support/timing.hpp"
 
@@ -12,11 +14,20 @@ ThreadPool::ThreadPool(std::size_t nthreads,
     : slots_(nthreads) {
   SPC_CHECK_MSG(nthreads >= 1, "thread pool needs at least one worker");
   workers_.reserve(nthreads);
+  worker_cpus_.reserve(nthreads);
+  std::set<int> used_cpus;
   for (std::size_t t = 0; t < nthreads; ++t) {
     const int cpu =
         cpu_plan.empty() ? -1 : cpu_plan[t % cpu_plan.size()];
+    worker_cpus_.push_back(cpu);
+    if (cpu >= 0 && !used_cpus.insert(cpu).second) {
+      ++shared_cpu_workers_;
+    }
     workers_.emplace_back([this, t, cpu] { worker_main(t, cpu); });
   }
+  obs::Registry::global()
+      .gauge("spc.pool.shared_cpu_workers")
+      .set(static_cast<double>(shared_cpu_workers_));
   // Wait for every worker's startup (pinning result, counter attach) so
   // fully_pinned() / counters_available() don't race worker creation.
   // The predicate counts against slots_ — never workers_, which is still

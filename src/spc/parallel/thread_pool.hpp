@@ -49,6 +49,17 @@ class ThreadPool {
   /// True when every pin request was honoured by the kernel.
   bool fully_pinned() const { return fully_pinned_; }
 
+  /// The cpu each worker was asked to pin to, after the modulo wrap
+  /// (-1 per worker when no plan was given). Size == size().
+  const std::vector<int>& worker_cpus() const { return worker_cpus_; }
+
+  /// Number of workers whose pin target is already used by an earlier
+  /// worker — nonzero when `cpu_plan` wrapped modulo its size and two
+  /// workers share a CPU (oversubscription). Also exported as the
+  /// `spc.pool.shared_cpu_workers` gauge so double-pinning is never
+  /// silent in metrics.
+  std::size_t shared_cpu_workers() const { return shared_cpu_workers_; }
+
   /// Runs fn(tid) on every worker (tid in [0, size())) and blocks until
   /// all have finished. Exceptions thrown by fn propagate (first wins).
   void run(const std::function<void(std::size_t)>& fn);
@@ -97,6 +108,8 @@ class ThreadPool {
 
   std::vector<WorkerSlot> slots_;
   std::vector<std::thread> workers_;
+  std::vector<int> worker_cpus_;
+  std::size_t shared_cpu_workers_ = 0;
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

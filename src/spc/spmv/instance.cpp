@@ -1,6 +1,8 @@
 #include "spc/spmv/instance.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <tuple>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -224,16 +226,447 @@ SpmvInstance::SpmvInstance(const Triplets& t, Format format,
       opts_.pin_threads = false;
     } else {
       opts_.backend = Backend::kPool;
+      Topology topo;
       std::vector<int> plan;
       if (opts.pin_threads) {
-        const Topology topo = discover_topology();
+        topo = discover_topology();
         plan = plan_placement(topo, nthreads, opts.placement);
       }
       pool_ = std::make_unique<ThreadPool>(nthreads, plan);
+      // NUMA placement needs pinned workers: without a plan a worker's
+      // node is unknowable, so the policy silently resolves to off.
+      if (!plan.empty()) {
+        setup_numa(topo);
+      }
     }
   }
 
   prepare();
+}
+
+void SpmvInstance::setup_numa(const Topology& topo) {
+  // Only formats whose per-thread work is a contiguous row-partitioned
+  // slice of plain arrays can be repacked. The rest (CSC's column
+  // partition + reduction, DIA/JDS diagonal layouts, COO, DCSR) keep the
+  // shared arrays.
+  switch (format_) {
+    case Format::kCsr:
+    case Format::kCsr16:
+    case Format::kCsrVi:
+    case Format::kCsrDu:
+    case Format::kCsrDuRle:
+    case Format::kCsrDuVi:
+    case Format::kBcsr:
+    case Format::kEll:
+      break;
+    default:
+      return;
+  }
+  const NumaPolicy requested = numa_policy_from_env(opts_.numa);
+  const NumaPolicy policy =
+      resolve_numa_policy(requested, topo.num_nodes());
+  if (policy == NumaPolicy::kOff) {
+    return;
+  }
+  obs::TraceSpan numa_span("numa:" + numa_policy_name(policy));
+
+  // Each worker's node, from its resolved pin target.
+  const std::vector<int>& cpus = pool_->worker_cpus();
+  thread_node_.resize(nthreads_);
+  for (std::size_t t = 0; t < nthreads_; ++t) {
+    thread_node_[t] = std::max(0, topo.node_of_cpu(cpus[t]));
+  }
+  std::vector<int> nodes_used;  // sorted distinct nodes with a worker
+  for (const int nd : thread_node_) {
+    if (std::find(nodes_used.begin(), nodes_used.end(), nd) ==
+        nodes_used.end()) {
+      nodes_used.push_back(nd);
+    }
+  }
+  std::sort(nodes_used.begin(), nodes_used.end());
+
+  // ---- Reserve: one block per worker, plus the x-mirror blocks. ----
+  std::size_t x_blocks = 0;
+  if (policy == NumaPolicy::kReplicate) {
+    x_blocks = nodes_used.size();
+  } else if (policy == NumaPolicy::kInterleave) {
+    x_blocks = 1;
+  }
+  arena_ = std::make_unique<FirstTouchArena>(nthreads_ + x_blocks);
+
+  struct ThreadPlan {
+    FirstTouchArena::Handle rp, ci, val, vi;
+    index_t b = 0, e = 0;  ///< row (or block-row) range
+    usize_t n0 = 0;        ///< first absolute value/ctl position
+    usize_t n = 0;         ///< value (or ctl-byte) count
+  };
+  std::vector<ThreadPlan> plan(nthreads_);
+  for (std::size_t t = 0; t < nthreads_; ++t) {
+    plan[t].b = partition_.row_begin(t);
+    plan[t].e = partition_.row_end(t);
+  }
+
+  // Plans the CSR-shaped formats: a rebased row_ptr slice plus nnz-sized
+  // col/val/val-ind slices with the given element widths (0 = absent).
+  const auto plan_csr_like = [&](const index_t* rp, std::size_t ci_elem,
+                                 std::size_t val_elem,
+                                 std::size_t vi_elem) {
+    for (std::size_t t = 0; t < nthreads_; ++t) {
+      ThreadPlan& p = plan[t];
+      p.n0 = rp[p.b];
+      p.n = rp[p.e] - rp[p.b];
+      p.rp = arena_->reserve<index_t>(t, p.e - p.b + 1);
+      if (ci_elem) {
+        p.ci = arena_->reserve<std::uint8_t>(t, p.n * ci_elem);
+      }
+      if (val_elem) {
+        p.val = arena_->reserve<std::uint8_t>(t, p.n * val_elem);
+      }
+      if (vi_elem) {
+        p.vi = arena_->reserve<std::uint8_t>(t, p.n * vi_elem);
+      }
+    }
+  };
+
+  switch (format_) {
+    case Format::kCsr:
+      plan_csr_like(std::get<Csr>(matrix_).row_ptr().data(),
+                    sizeof(std::uint32_t), sizeof(value_t), 0);
+      break;
+    case Format::kCsr16:
+      plan_csr_like(std::get<Csr16>(matrix_).row_ptr().data(),
+                    sizeof(std::uint16_t), sizeof(value_t), 0);
+      break;
+    case Format::kCsrVi: {
+      const auto& m = std::get<CsrVi>(matrix_);
+      plan_csr_like(m.row_ptr().data(), sizeof(std::uint32_t), 0,
+                    static_cast<std::size_t>(m.width()));
+      break;
+    }
+    case Format::kCsrDu:
+    case Format::kCsrDuRle:
+    case Format::kCsrDuVi: {
+      const std::size_t vi_elem =
+          format_ == Format::kCsrDuVi
+              ? static_cast<std::size_t>(
+                    std::get<CsrDuVi>(matrix_).width())
+              : 0;
+      for (std::size_t t = 0; t < nthreads_; ++t) {
+        ThreadPlan& p = plan[t];
+        const CsrDu::Slice& s = du_slices_[t];
+        p.n0 = s.val_offset;
+        p.n = static_cast<usize_t>(s.ctl_end - s.ctl);
+        p.ci = arena_->reserve<std::uint8_t>(t, p.n);
+        if (s.values) {
+          p.val = arena_->reserve<value_t>(t, s.nnz);
+        }
+        if (vi_elem) {
+          p.vi = arena_->reserve<std::uint8_t>(t, s.nnz * vi_elem);
+        }
+      }
+      break;
+    }
+    case Format::kBcsr: {
+      const auto& m = std::get<Bcsr>(matrix_);
+      const index_t* brp = m.block_row_ptr().data();
+      const usize_t belems = static_cast<usize_t>(m.block_rows()) *
+                             static_cast<usize_t>(m.block_cols());
+      for (std::size_t t = 0; t < nthreads_; ++t) {
+        ThreadPlan& p = plan[t];  // b/e are block-row bounds here
+        p.n0 = brp[p.b];
+        p.n = brp[p.e] - brp[p.b];
+        p.rp = arena_->reserve<index_t>(t, p.e - p.b + 1);
+        p.ci = arena_->reserve<index_t>(t, p.n);
+        p.val = arena_->reserve<value_t>(t, p.n * belems);
+      }
+      break;
+    }
+    case Format::kEll: {
+      const usize_t w = std::get<Ell>(matrix_).width();
+      for (std::size_t t = 0; t < nthreads_; ++t) {
+        ThreadPlan& p = plan[t];
+        p.n0 = static_cast<usize_t>(p.b) * w;
+        p.n = static_cast<usize_t>(p.e - p.b) * w;
+        p.ci = arena_->reserve<index_t>(t, p.n);
+        p.val = arena_->reserve<value_t>(t, p.n);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+
+  std::vector<FirstTouchArena::Handle> xh(x_blocks);
+  for (std::size_t i = 0; i < x_blocks; ++i) {
+    xh[i] = arena_->reserve<value_t>(nthreads_ + i, ncols_);
+  }
+
+  // ---- Allocate and first-touch: each worker zero-touches its own
+  // block (pinning its pages to its node); one representative worker per
+  // node touches that node's x mirror (all pages for replicate, every
+  // nparts-th page for interleave). ----
+  arena_->allocate();
+  std::vector<int> rep(nodes_used.size(), -1);
+  for (std::size_t i = 0; i < nodes_used.size(); ++i) {
+    for (std::size_t t = 0; t < nthreads_; ++t) {
+      if (thread_node_[t] == nodes_used[i]) {
+        rep[i] = static_cast<int>(t);
+        break;
+      }
+    }
+  }
+  pool_->run([&](std::size_t t) {
+    arena_->first_touch(t);
+    for (std::size_t i = 0; i < nodes_used.size(); ++i) {
+      if (rep[i] != static_cast<int>(t)) {
+        continue;
+      }
+      if (policy == NumaPolicy::kReplicate) {
+        arena_->first_touch(nthreads_ + i);
+      } else if (policy == NumaPolicy::kInterleave) {
+        arena_->first_touch_interleaved(nthreads_, i, nodes_used.size());
+      }
+    }
+  });
+
+  // ---- Copy the slices in (placement is already fixed, so the master
+  // can do all copies) and record the pointers prepare() rebinds to. The
+  // copies preserve values and order exactly: results are bit-identical
+  // to the shared-array binding. ----
+  numa_slices_.assign(nthreads_, NumaSlice{});
+  // Copies for the CSR-shaped formats. The local row_ptr holds *rebased*
+  // values (rp[i] - rp[b]) so col/val/vi slices index from 0, and the
+  // returned row_ptr pointer is rebased so kernels keep absolute rows.
+  const auto copy_csr_like = [&](const index_t* rp, const void* ci_src,
+                                 std::size_t ci_elem,
+                                 const value_t* val_src,
+                                 const void* vi_src, std::size_t vi_elem) {
+    for (std::size_t t = 0; t < nthreads_; ++t) {
+      const ThreadPlan& p = plan[t];
+      NumaSlice& ns = numa_slices_[t];
+      index_t* lrp = arena_->data<index_t>(p.rp);
+      for (index_t i = p.b; i <= p.e; ++i) {
+        lrp[i - p.b] = rp[i] - rp[p.b];
+      }
+      ns.row_ptr = rebase_ptr<const index_t>(lrp, p.b);
+      if (ci_elem) {
+        std::uint8_t* lci = arena_->data<std::uint8_t>(p.ci);
+        std::memcpy(lci,
+                    static_cast<const std::uint8_t*>(ci_src) +
+                        p.n0 * ci_elem,
+                    p.n * ci_elem);
+        ns.col_ind = lci;
+      }
+      if (val_src) {
+        value_t* lv = arena_->data<value_t>(p.val);
+        std::memcpy(lv, val_src + p.n0, p.n * sizeof(value_t));
+        ns.values = lv;
+      }
+      if (vi_elem) {
+        std::uint8_t* lvi = arena_->data<std::uint8_t>(p.vi);
+        std::memcpy(lvi,
+                    static_cast<const std::uint8_t*>(vi_src) +
+                        p.n0 * vi_elem,
+                    p.n * vi_elem);
+        ns.val_ind = lvi;
+      }
+    }
+  };
+
+  switch (format_) {
+    case Format::kCsr: {
+      const auto& m = std::get<Csr>(matrix_);
+      copy_csr_like(m.row_ptr().data(), m.col_ind().data(),
+                    sizeof(std::uint32_t), m.values().data(), nullptr, 0);
+      break;
+    }
+    case Format::kCsr16: {
+      const auto& m = std::get<Csr16>(matrix_);
+      copy_csr_like(m.row_ptr().data(), m.col_ind().data(),
+                    sizeof(std::uint16_t), m.values().data(), nullptr, 0);
+      break;
+    }
+    case Format::kCsrVi: {
+      const auto& m = std::get<CsrVi>(matrix_);
+      copy_csr_like(m.row_ptr().data(), m.col_ind().data(),
+                    sizeof(std::uint32_t), nullptr,
+                    m.val_ind_raw().data(),
+                    static_cast<std::size_t>(m.width()));
+      break;
+    }
+    case Format::kCsrDu:
+    case Format::kCsrDuRle:
+    case Format::kCsrDuVi: {
+      // The ctl stream and (pre-offset) values move into the owner's
+      // block; the slice is then redirected at the copies. For DU-VI the
+      // per-slice val_ind span moves too and the slice's val_offset
+      // becomes 0, with prepare() binding the local pointer.
+      const std::uint8_t* vi_raw = nullptr;
+      std::size_t vi_elem = 0;
+      if (format_ == Format::kCsrDuVi) {
+        const auto& m = std::get<CsrDuVi>(matrix_);
+        vi_raw = m.val_ind_raw().data();
+        vi_elem = static_cast<std::size_t>(m.width());
+      }
+      for (std::size_t t = 0; t < nthreads_; ++t) {
+        const ThreadPlan& p = plan[t];
+        CsrDu::Slice& s = du_slices_[t];
+        if (arena_->block_bytes(t) == 0) {
+          continue;  // empty slice — nothing reserved, nothing to move
+        }
+        std::uint8_t* lctl = arena_->data<std::uint8_t>(p.ci);
+        std::memcpy(lctl, s.ctl, p.n);
+        s.ctl = lctl;
+        s.ctl_end = lctl + p.n;
+        if (s.values) {
+          value_t* lv = arena_->data<value_t>(p.val);
+          std::memcpy(lv, s.values, s.nnz * sizeof(value_t));
+          s.values = lv;
+        }
+        if (vi_elem) {
+          std::uint8_t* lvi = arena_->data<std::uint8_t>(p.vi);
+          std::memcpy(lvi, vi_raw + p.n0 * vi_elem, s.nnz * vi_elem);
+          numa_slices_[t].val_ind = lvi;
+          s.val_offset = 0;
+        }
+      }
+      break;
+    }
+    case Format::kBcsr: {
+      const auto& m = std::get<Bcsr>(matrix_);
+      const index_t* brp = m.block_row_ptr().data();
+      const usize_t belems = static_cast<usize_t>(m.block_rows()) *
+                             static_cast<usize_t>(m.block_cols());
+      for (std::size_t t = 0; t < nthreads_; ++t) {
+        const ThreadPlan& p = plan[t];
+        NumaSlice& ns = numa_slices_[t];
+        index_t* lrp = arena_->data<index_t>(p.rp);
+        for (index_t i = p.b; i <= p.e; ++i) {
+          lrp[i - p.b] = brp[i] - brp[p.b];
+        }
+        ns.row_ptr = rebase_ptr<const index_t>(lrp, p.b);
+        index_t* lbc = arena_->data<index_t>(p.ci);
+        std::memcpy(lbc, m.block_col().data() + p.n0,
+                    p.n * sizeof(index_t));
+        ns.col_ind = lbc;
+        value_t* lv = arena_->data<value_t>(p.val);
+        std::memcpy(lv, m.values().data() + p.n0 * belems,
+                    p.n * belems * sizeof(value_t));
+        ns.values = lv;
+      }
+      break;
+    }
+    case Format::kEll: {
+      // Row-major fixed-width layout: a row range is one contiguous
+      // span; the kernels index with absolute r*width+k, so the local
+      // copies are handed out rebased.
+      const auto& m = std::get<Ell>(matrix_);
+      for (std::size_t t = 0; t < nthreads_; ++t) {
+        const ThreadPlan& p = plan[t];
+        NumaSlice& ns = numa_slices_[t];
+        if (arena_->block_bytes(t) == 0) {
+          continue;  // empty row range — null pointers, never dereferenced
+        }
+        index_t* lci = arena_->data<index_t>(p.ci);
+        std::memcpy(lci, m.col_ind().data() + p.n0,
+                    p.n * sizeof(index_t));
+        ns.col_ind = rebase_ptr<const index_t>(
+            lci, static_cast<std::ptrdiff_t>(p.n0));
+        value_t* lv = arena_->data<value_t>(p.val);
+        std::memcpy(lv, m.values().data() + p.n0,
+                    p.n * sizeof(value_t));
+        ns.values = rebase_ptr<const value_t>(
+            lv, static_cast<std::ptrdiff_t>(p.n0));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+
+  // ---- x mirrors: per-thread pointer selection plus the refresh jobs
+  // run_parallel dispatches before the kernels. ----
+  if (policy == NumaPolicy::kReplicate) {
+    numa_x_ptr_.resize(nthreads_);
+    numa_x_copy_.resize(nthreads_);
+    for (std::size_t i = 0; i < nodes_used.size(); ++i) {
+      value_t* const dst = arena_->data<value_t>(xh[i]);
+      std::vector<std::size_t> members;
+      for (std::size_t t = 0; t < nthreads_; ++t) {
+        if (thread_node_[t] == nodes_used[i]) {
+          members.push_back(t);
+        }
+      }
+      for (std::size_t r = 0; r < members.size(); ++r) {
+        const std::size_t t = members[r];
+        const index_t lo = static_cast<index_t>(
+            static_cast<usize_t>(ncols_) * r / members.size());
+        const index_t hi = static_cast<index_t>(
+            static_cast<usize_t>(ncols_) * (r + 1) / members.size());
+        numa_x_ptr_[t] = dst;
+        numa_x_copy_[t] = [dst, lo, hi](const value_t* x) {
+          std::copy(x + lo, x + hi, dst + lo);
+        };
+      }
+    }
+  } else if (policy == NumaPolicy::kInterleave) {
+    value_t* const dst = arena_->data<value_t>(xh[0]);
+    numa_x_ptr_.assign(nthreads_, dst);
+    numa_x_copy_.resize(nthreads_);
+    for (std::size_t t = 0; t < nthreads_; ++t) {
+      const index_t lo = static_cast<index_t>(
+          static_cast<usize_t>(ncols_) * t / nthreads_);
+      const index_t hi = static_cast<index_t>(
+          static_cast<usize_t>(ncols_) * (t + 1) / nthreads_);
+      numa_x_copy_[t] = [dst, lo, hi](const value_t* x) {
+        std::copy(x + lo, x + hi, dst + lo);
+      };
+    }
+  }
+
+  numa_policy_ = policy;
+  auto& reg = obs::Registry::global();
+  reg.gauge("spc.numa.nodes").set(static_cast<double>(topo.num_nodes()));
+  reg.counter("spc.numa.instances").add();
+  reg.counter("spc.numa.repacked_bytes").add(arena_->total_bytes());
+  usize_t mirror = 0;
+  for (std::size_t i = 0; i < x_blocks; ++i) {
+    mirror += arena_->block_bytes(nthreads_ + i);
+  }
+  if (mirror) {
+    reg.counter("spc.numa.x_mirror_bytes").add(mirror);
+  }
+}
+
+SpmvInstance::NumaResidency SpmvInstance::matrix_residency() const {
+  NumaResidency r;
+  if (!arena_) {
+    r.reason = "numa placement off";
+    return r;
+  }
+  std::string reason;
+  for (std::size_t t = 0; t < nthreads_; ++t) {
+    std::vector<int> nodes;
+    if (!query_page_nodes(arena_->block_base(t), arena_->block_bytes(t),
+                          64, &nodes, &reason)) {
+      continue;
+    }
+    for (const int nd : nodes) {
+      ++r.pages_sampled;
+      if (nd == thread_node_[t]) {
+        ++r.pages_local;
+      }
+    }
+  }
+  r.available = r.pages_sampled > 0;
+  if (!r.available) {
+    r.reason = reason.empty() ? "no pages sampled" : reason;
+  } else {
+    auto& reg = obs::Registry::global();
+    reg.counter("spc.numa.residency_pages_sampled").add(r.pages_sampled);
+    reg.counter("spc.numa.residency_pages_local").add(r.pages_local);
+  }
+  return r;
 }
 
 namespace {
@@ -278,18 +711,42 @@ void SpmvInstance::prepare() {
       });
     }
   };
+  // When setup_numa() repacked the slices, swap each per-thread closure
+  // to the same kernel over the first-touched copies. `arrays_of` maps a
+  // NumaSlice to the kernel's leading-array tuple; ranges and values are
+  // unchanged, so results stay bit-identical — only the pages move.
+  const auto rebind_numa = [&](auto fn, auto arrays_of) {
+    for (std::size_t th = 0; th < numa_slices_.size(); ++th) {
+      const index_t b = partition_.row_begin(th);
+      const index_t e = partition_.row_end(th);
+      const auto arrs = arrays_of(numa_slices_[th]);
+      binding_.per_thread[th] = [=](const value_t* x, value_t* y) {
+        std::apply([&](const auto*... a) { fn(a..., x, y, b, e); }, arrs);
+      };
+    }
+  };
 
   switch (format_) {
     case Format::kCsr: {
       const auto& m = std::get<Csr>(matrix_);
       bind_rows(kt.csr, m.row_ptr().data(), m.col_ind().data(),
                 m.values().data());
+      rebind_numa(kt.csr, [](const NumaSlice& s) {
+        return std::make_tuple(
+            s.row_ptr, static_cast<const std::uint32_t*>(s.col_ind),
+            s.values);
+      });
       break;
     }
     case Format::kCsr16: {
       const auto& m = std::get<Csr16>(matrix_);
       bind_rows(kt.csr16, m.row_ptr().data(), m.col_ind().data(),
                 m.values().data());
+      rebind_numa(kt.csr16, [](const NumaSlice& s) {
+        return std::make_tuple(
+            s.row_ptr, static_cast<const std::uint16_t*>(s.col_ind),
+            s.values);
+      });
       break;
     }
     case Format::kCsrVi: {
@@ -297,17 +754,25 @@ void SpmvInstance::prepare() {
       const index_t* rp = m.row_ptr().data();
       const std::uint32_t* ci = m.col_ind().data();
       const value_t* uq = m.vals_unique().data();
+      // The unique-value table is tiny and read-shared; only row_ptr,
+      // col_ind, and val_ind repack under NUMA placement.
+      const auto bind_vi = [&](auto fn, const auto* vi) {
+        bind_rows(fn, rp, ci, vi, uq);
+        rebind_numa(fn, [uq, vi](const NumaSlice& s) {
+          return std::make_tuple(
+              s.row_ptr, static_cast<const std::uint32_t*>(s.col_ind),
+              static_cast<decltype(vi)>(s.val_ind), uq);
+        });
+      };
       switch (m.width()) {
         case ViWidth::kU8:
-          bind_rows(kt.csr_vi_u8, rp, ci, m.val_ind_raw().data(), uq);
+          bind_vi(kt.csr_vi_u8, m.val_ind_raw().data());
           break;
         case ViWidth::kU16:
-          bind_rows(kt.csr_vi_u16, rp, ci,
-                    m.val_ind_as<std::uint16_t>(), uq);
+          bind_vi(kt.csr_vi_u16, m.val_ind_as<std::uint16_t>());
           break;
         case ViWidth::kU32:
-          bind_rows(kt.csr_vi_u32, rp, ci,
-                    m.val_ind_as<std::uint32_t>(), uq);
+          bind_vi(kt.csr_vi_u32, m.val_ind_as<std::uint32_t>());
           break;
       }
       break;
@@ -344,9 +809,18 @@ void SpmvInstance::prepare() {
         binding_.serial = [=](const value_t* x, value_t* y) {
           fn(full, vi, uq, x, y);
         };
-        for (const CsrDu::Slice& s : du_slices_) {
-          binding_.per_thread.push_back(
-              [=](const value_t* x, value_t* y) { fn(s, vi, uq, x, y); });
+        for (std::size_t th = 0; th < du_slices_.size(); ++th) {
+          const CsrDu::Slice& s = du_slices_[th];
+          // Repacked slices carry val_offset == 0 and a thread-local
+          // val_ind span (see setup_numa); bind that instead of the
+          // shared stream.
+          auto vi_t = vi;
+          if (!numa_slices_.empty() && numa_slices_[th].val_ind) {
+            vi_t = static_cast<decltype(vi)>(numa_slices_[th].val_ind);
+          }
+          binding_.per_thread.push_back([=](const value_t* x, value_t* y) {
+            fn(s, vi_t, uq, x, y);
+          });
         }
       };
       switch (m.width()) {
@@ -413,8 +887,56 @@ void SpmvInstance::prepare() {
         csc_reduce_rows_ = partition_rows_even(nrows_, nthreads_);
       }
       break;
-    case Format::kBcsr:
-    case Format::kEll:
+    case Format::kBcsr: {
+      // Bound over raw arrays (not via bind_rows: the partition and the
+      // serial range are in *block* rows) so the NUMA repack can swap in
+      // per-thread copies.
+      const auto& m = std::get<Bcsr>(matrix_);
+      const index_t br = m.block_rows();
+      const index_t bc = m.block_cols();
+      const index_t nbr = m.nblock_rows();
+      const index_t nr = nrows_;
+      const index_t nc = ncols_;
+      const auto raw = [=](const index_t* brp, const index_t* bcol,
+                           const value_t* vals, const value_t* x,
+                           value_t* y, index_t b, index_t e) {
+        spmv_bcsr_raw(br, bc, nr, nc, brp, bcol, vals, x, y, b, e);
+      };
+      const index_t* brp = m.block_row_ptr().data();
+      const index_t* bcol = m.block_col().data();
+      const value_t* vals = m.values().data();
+      binding_.serial = [=](const value_t* x, value_t* y) {
+        raw(brp, bcol, vals, x, y, 0, nbr);
+      };
+      for (std::size_t th = 0; th < partition_.nthreads(); ++th) {
+        const index_t b = partition_.row_begin(th);
+        const index_t e = partition_.row_end(th);
+        binding_.per_thread.push_back([=](const value_t* x, value_t* y) {
+          raw(brp, bcol, vals, x, y, b, e);
+        });
+      }
+      rebind_numa(raw, [](const NumaSlice& s) {
+        return std::make_tuple(s.row_ptr,
+                               static_cast<const index_t*>(s.col_ind),
+                               s.values);
+      });
+      break;
+    }
+    case Format::kEll: {
+      const auto& m = std::get<Ell>(matrix_);
+      const index_t w = m.width();
+      const auto raw = [=](const index_t* ci, const value_t* vv,
+                           const value_t* x, value_t* y, index_t b,
+                           index_t e) {
+        spmv_ell_raw(w, ci, vv, x, y, b, e);
+      };
+      bind_rows(raw, m.col_ind().data(), m.values().data());
+      rebind_numa(raw, [](const NumaSlice& s) {
+        return std::make_tuple(static_cast<const index_t*>(s.col_ind),
+                               s.values);
+      });
+      break;
+    }
     case Format::kDia:
     case Format::kJds:
       // Format-object kernels; executed via the run_parallel switch.
@@ -460,9 +982,18 @@ void SpmvInstance::run_parallel(const Vector& x, Vector& y) {
   value_t* const yp = y.data();
 
   // Dispatch-bound formats: one indirect call per worker, everything
-  // else was fixed by prepare().
+  // else was fixed by prepare(). The replicate/interleave x policies
+  // add a refresh phase — each worker copies its chunk of x into the
+  // node-placed mirror — and swap in the per-thread mirror pointer.
   if (!binding_.per_thread.empty()) {
-    dispatch([&](std::size_t th) { binding_.per_thread[th](xp, yp); });
+    if (!numa_x_copy_.empty()) {
+      dispatch([&](std::size_t th) { numa_x_copy_[th](xp); });
+      dispatch([&](std::size_t th) {
+        binding_.per_thread[th](numa_x_ptr_[th], yp);
+      });
+    } else {
+      dispatch([&](std::size_t th) { binding_.per_thread[th](xp, yp); });
+    }
     return;
   }
 
@@ -490,22 +1021,6 @@ void SpmvInstance::run_parallel(const Vector& x, Vector& y) {
       });
       break;
     }
-    case Format::kBcsr: {
-      const auto& m = std::get<Bcsr>(matrix_);
-      dispatch([&](std::size_t th) {
-        spmv_bcsr_range(m, xp, yp, partition_.row_begin(th),
-                        partition_.row_end(th));
-      });
-      break;
-    }
-    case Format::kEll: {
-      const auto& m = std::get<Ell>(matrix_);
-      dispatch([&](std::size_t th) {
-        spmv_ell_range(m, xp, yp, partition_.row_begin(th),
-                       partition_.row_end(th));
-      });
-      break;
-    }
     case Format::kDia: {
       const auto& m = std::get<Dia>(matrix_);
       dispatch([&](std::size_t th) {
@@ -525,6 +1040,8 @@ void SpmvInstance::run_parallel(const Vector& x, Vector& y) {
     case Format::kCsr:
     case Format::kCsr16:
     case Format::kCoo:
+    case Format::kBcsr:
+    case Format::kEll:
     case Format::kCsrDu:
     case Format::kCsrDuRle:
     case Format::kCsrVi:

@@ -32,6 +32,7 @@
 #include "spc/parallel/partition.hpp"
 #include "spc/parallel/thread_pool.hpp"
 #include "spc/spmv/dispatch.hpp"
+#include "spc/support/first_touch.hpp"
 
 namespace spc {
 
@@ -82,6 +83,10 @@ struct InstanceOptions {
   /// Partition rows by nnz (paper's scheme); false = equal row counts.
   bool balance_by_nnz = true;
   Backend backend = Backend::kPool;
+  /// NUMA data placement (overridable via SPC_NUMA): kAuto repacks
+  /// per-thread slices on multi-node machines and stays off on flat
+  /// ones. See support/first_touch.hpp.
+  NumaPolicy numa = NumaPolicy::kAuto;
 };
 
 /// True when the library was compiled with OpenMP support.
@@ -135,11 +140,38 @@ class SpmvInstance {
   /// it to read busy-time imbalance and drive hardware counters.
   ThreadPool* pool() const { return pool_.get(); }
 
+  /// The data-placement policy actually in effect: the resolved value of
+  /// opts.numa / SPC_NUMA, or kOff when the format, backend, or thread
+  /// count rules placement out. Recorded into the JSONL metrics as
+  /// "numa".
+  NumaPolicy numa_policy() const { return numa_policy_; }
+
+  /// NUMA node each worker's pin target lives on (empty when placement
+  /// is off).
+  const std::vector<int>& thread_nodes() const { return thread_node_; }
+
+  /// Best-effort page-residency summary of the repacked matrix blocks,
+  /// via the move_pages(2) query form. `available` is false (with a
+  /// reason) when placement is off or the kernel refuses the query —
+  /// never an error.
+  struct NumaResidency {
+    bool available = false;
+    std::string reason;
+    usize_t pages_sampled = 0;
+    usize_t pages_local = 0;  ///< resident on the owning worker's node
+  };
+  NumaResidency matrix_residency() const;
+
  private:
   void run_serial(const value_t* x, value_t* y);
   void run_parallel(const Vector& x, Vector& y);
   /// Runs body(tid) on every worker via the configured backend.
   void dispatch(const std::function<void(std::size_t)>& body);
+  /// Resolves the NUMA policy and, when active, repacks every worker's
+  /// matrix slice into a first-touched arena block (plus the x mirrors
+  /// the replicate/interleave policies need). Called by the constructor
+  /// after the pinned pool exists and before prepare().
+  void setup_numa(const Topology& topo);
 
   Format format_;
   std::size_t nthreads_;
@@ -163,6 +195,28 @@ class SpmvInstance {
   CsrDu::UnitHistogram du_hist_;
   bool has_du_hist_ = false;
   RowPartition csc_reduce_rows_;  ///< reduce-phase row split for CSC
+  // NUMA placement (set up once by setup_numa, off the timed path): the
+  // resolved policy, each worker's node, the arena holding the repacked
+  // per-thread slices and x mirrors, and the pointers prepare() rebinds
+  // the per-thread kernels against.
+  NumaPolicy numa_policy_ = NumaPolicy::kOff;
+  std::vector<int> thread_node_;
+  std::unique_ptr<FirstTouchArena> arena_;
+  /// Per-thread repacked array pointers. row_ptr/col_ind/values are
+  /// rebased or 0-based per format so the unchanged kernels index them
+  /// with the same absolute positions as the shared arrays.
+  struct NumaSlice {
+    const index_t* row_ptr = nullptr;
+    const void* col_ind = nullptr;  ///< element type is per-format
+    const value_t* values = nullptr;
+    const void* val_ind = nullptr;  ///< CSR-VI / CSR-DU-VI value indices
+  };
+  std::vector<NumaSlice> numa_slices_;
+  std::vector<const value_t*> numa_x_ptr_;  ///< per-thread x replica
+  /// Per-thread refresh jobs run before the kernels each run() when x
+  /// mirrors exist: worker t copies its chunk of the user x into the
+  /// node-local mirror pages.
+  std::vector<std::function<void(const value_t*)>> numa_x_copy_;
   // Cached metrics-registry handles (lookup once here, lock-free in run).
   obs::Counter* runs_counter_ = nullptr;
   obs::LatencyHisto* run_histo_ = nullptr;

@@ -60,16 +60,17 @@ void spmv_csc_cols(const Csc& m, const value_t* x, value_t* y,
   }
 }
 
-void spmv_bcsr_range(const Bcsr& m, const value_t* x, value_t* y,
-                     index_t block_row_begin, index_t block_row_end) {
-  const index_t br = m.block_rows();
-  const index_t bc = m.block_cols();
+void spmv_bcsr_raw(index_t block_rows, index_t block_cols, index_t nrows,
+                   index_t ncols, const index_t* block_row_ptr,
+                   const index_t* block_col, const value_t* values,
+                   const value_t* x, value_t* y, index_t block_row_begin,
+                   index_t block_row_end) {
+  const index_t br = block_rows;
+  const index_t bc = block_cols;
   const usize_t block_elems = static_cast<usize_t>(br) * bc;
-  const index_t* const __restrict brp = m.block_row_ptr().data();
-  const index_t* const __restrict bcol = m.block_col().data();
-  const value_t* const __restrict vals = m.values().data();
-  const index_t nrows = m.nrows();
-  const index_t ncols = m.ncols();
+  const index_t* const __restrict brp = block_row_ptr;
+  const index_t* const __restrict bcol = block_col;
+  const value_t* const __restrict vals = values;
 
   value_t acc[8];
   for (index_t brow = block_row_begin; brow < block_row_end; ++brow) {
@@ -100,23 +101,36 @@ void spmv_bcsr_range(const Bcsr& m, const value_t* x, value_t* y,
   }
 }
 
+void spmv_bcsr_range(const Bcsr& m, const value_t* x, value_t* y,
+                     index_t block_row_begin, index_t block_row_end) {
+  spmv_bcsr_raw(m.block_rows(), m.block_cols(), m.nrows(), m.ncols(),
+                m.block_row_ptr().data(), m.block_col().data(),
+                m.values().data(), x, y, block_row_begin, block_row_end);
+}
+
 void spmv(const Bcsr& m, const value_t* x, value_t* y) {
   spmv_bcsr_range(m, x, y, 0, m.nblock_rows());
 }
 
-void spmv_ell_range(const Ell& m, const value_t* x, value_t* y,
-                    index_t row_begin, index_t row_end) {
-  const index_t width = m.width();
-  const index_t* const __restrict col_ind = m.col_ind().data();
-  const value_t* const __restrict values = m.values().data();
+void spmv_ell_raw(index_t width, const index_t* col_ind,
+                  const value_t* values, const value_t* x, value_t* y,
+                  index_t row_begin, index_t row_end) {
+  const index_t* const __restrict ci = col_ind;
+  const value_t* const __restrict vv = values;
   for (index_t r = row_begin; r < row_end; ++r) {
     const usize_t base = static_cast<usize_t>(r) * width;
     value_t acc = 0.0;
     for (index_t k = 0; k < width; ++k) {
-      acc += values[base + k] * x[col_ind[base + k]];
+      acc += vv[base + k] * x[ci[base + k]];
     }
     y[r] = acc;
   }
+}
+
+void spmv_ell_range(const Ell& m, const value_t* x, value_t* y,
+                    index_t row_begin, index_t row_end) {
+  spmv_ell_raw(m.width(), m.col_ind().data(), m.values().data(), x, y,
+               row_begin, row_end);
 }
 
 void spmv(const Ell& m, const value_t* x, value_t* y) {

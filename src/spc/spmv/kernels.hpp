@@ -102,6 +102,17 @@ void spmv_csc_cols(const Csc& m, const value_t* x, value_t* y,
 
 // --------------------------------------------------------------- BCSR ---
 
+/// Raw-array BCSR kernel, the common core of the serial and per-thread
+/// paths. `block_row_ptr` is indexed with absolute block rows (a
+/// repacked per-thread copy passes a rebased pointer, see
+/// support/first_touch.hpp); `block_col` and `values` are indexed by the
+/// values `block_row_ptr` yields.
+void spmv_bcsr_raw(index_t block_rows, index_t block_cols, index_t nrows,
+                   index_t ncols, const index_t* block_row_ptr,
+                   const index_t* block_col, const value_t* values,
+                   const value_t* x, value_t* y, index_t block_row_begin,
+                   index_t block_row_end);
+
 /// Row-range (in block rows) BCSR kernel. Handles ragged edge blocks.
 void spmv_bcsr_range(const Bcsr& m, const value_t* x, value_t* y,
                      index_t block_row_begin, index_t block_row_end);
@@ -109,6 +120,13 @@ void spmv_bcsr_range(const Bcsr& m, const value_t* x, value_t* y,
 void spmv(const Bcsr& m, const value_t* x, value_t* y);
 
 // ---------------------------------------------------------------- ELL ---
+
+/// Raw-array ELLPACK kernel; `col_ind` / `values` are indexed with
+/// absolute positions r*width+k (repacked per-thread copies pass rebased
+/// pointers).
+void spmv_ell_raw(index_t width, const index_t* col_ind,
+                  const value_t* values, const value_t* x, value_t* y,
+                  index_t row_begin, index_t row_end);
 
 /// Row-range ELLPACK kernel: fixed-width rows, branch-free inner loop
 /// (padding contributes 0 * x[pad]).

@@ -1,17 +1,16 @@
 #include "spc/spmv/sym_spmv.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "spc/support/topology.hpp"
 
 namespace spc {
 
-void spmv_sym_rows(const SymCsr& m, const value_t* x, value_t* y,
-                   index_t row_begin, index_t row_end) {
-  const index_t* const __restrict row_ptr = m.row_ptr().data();
-  const index_t* const __restrict col_ind = m.col_ind().data();
-  const value_t* const __restrict values = m.values().data();
-  const value_t* const __restrict diag = m.diag().data();
+void spmv_sym_rows_raw(const index_t* row_ptr, const index_t* col_ind,
+                       const value_t* values, const value_t* diag,
+                       const value_t* x, value_t* y, index_t row_begin,
+                       index_t row_end) {
   for (index_t r = row_begin; r < row_end; ++r) {
     value_t acc = diag[r] * x[r];
     const index_t end = row_ptr[r + 1];
@@ -26,24 +25,89 @@ void spmv_sym_rows(const SymCsr& m, const value_t* x, value_t* y,
   }
 }
 
+void spmv_sym_rows(const SymCsr& m, const value_t* x, value_t* y,
+                   index_t row_begin, index_t row_end) {
+  spmv_sym_rows_raw(m.row_ptr().data(), m.col_ind().data(),
+                    m.values().data(), m.diag().data(), x, y, row_begin,
+                    row_end);
+}
+
 void spmv(const SymCsr& m, const value_t* x, value_t* y) {
   std::fill(y, y + m.nrows(), 0.0);
   spmv_sym_rows(m, x, y, 0, m.nrows());
 }
 
-SymSpmv::SymSpmv(const Triplets& t, std::size_t nthreads, bool pin_threads)
+SymSpmv::SymSpmv(const Triplets& t, std::size_t nthreads, bool pin_threads,
+                 NumaPolicy numa)
     : m_(SymCsr::from_triplets(t)), nthreads_(std::max<std::size_t>(1, nthreads)) {
-  if (nthreads_ > 1) {
-    // Balance by stored (lower-triangle) elements.
-    partition_ = partition_rows_by_nnz(m_.row_ptr(), nthreads_);
-    scratch_.assign(nthreads_, Vector(m_.nrows(), 0.0));
-    std::vector<int> plan;
-    if (pin_threads) {
-      plan = plan_placement(discover_topology(), nthreads_,
-                            Placement::kCloseFirst);
-    }
-    pool_ = std::make_unique<ThreadPool>(nthreads_, plan);
+  if (nthreads_ <= 1) {
+    return;
   }
+  // Balance by stored (lower-triangle) elements.
+  partition_ = partition_rows_by_nnz(m_.row_ptr(), nthreads_);
+  Topology topo;
+  std::vector<int> plan;
+  if (pin_threads) {
+    topo = discover_topology();
+    plan = plan_placement(topo, nthreads_, Placement::kCloseFirst);
+  }
+  pool_ = std::make_unique<ThreadPool>(nthreads_, plan);
+
+  NumaPolicy policy = NumaPolicy::kOff;
+  if (!plan.empty()) {
+    policy = resolve_numa_policy(numa_policy_from_env(numa),
+                                 topo.num_nodes());
+  }
+  if (policy == NumaPolicy::kOff) {
+    scratch_.assign(nthreads_, Vector(m_.nrows(), 0.0));
+    return;
+  }
+
+  // Repack each thread's row slice — rebased row_ptr, 0-based
+  // col_ind/values, rebased diag — plus its full-length private-y
+  // scratch into a block first-touched by the owner. Copies preserve
+  // values and order exactly, so results stay bit-identical.
+  const index_t nrows = m_.nrows();
+  const index_t* rp = m_.row_ptr().data();
+  arena_ = std::make_unique<FirstTouchArena>(nthreads_);
+  struct Plan {
+    FirstTouchArena::Handle rp, ci, val, diag, scratch;
+  };
+  std::vector<Plan> ph(nthreads_);
+  for (std::size_t th = 0; th < nthreads_; ++th) {
+    const index_t b = partition_.row_begin(th);
+    const index_t e = partition_.row_end(th);
+    const usize_t nnz = rp[e] - rp[b];
+    ph[th].rp = arena_->reserve<index_t>(th, e - b + 1);
+    ph[th].ci = arena_->reserve<index_t>(th, nnz);
+    ph[th].val = arena_->reserve<value_t>(th, nnz);
+    ph[th].diag = arena_->reserve<value_t>(th, e - b);
+    ph[th].scratch = arena_->reserve<value_t>(th, nrows);
+  }
+  arena_->allocate();
+  pool_->run([&](std::size_t th) { arena_->first_touch(th); });
+  numa_.resize(nthreads_);
+  for (std::size_t th = 0; th < nthreads_; ++th) {
+    const index_t b = partition_.row_begin(th);
+    const index_t e = partition_.row_end(th);
+    const usize_t nnz = rp[e] - rp[b];
+    index_t* lrp = arena_->data<index_t>(ph[th].rp);
+    for (index_t i = b; i <= e; ++i) {
+      lrp[i - b] = rp[i] - rp[b];
+    }
+    numa_[th].row_ptr = rebase_ptr<const index_t>(lrp, b);
+    index_t* lci = arena_->data<index_t>(ph[th].ci);
+    std::memcpy(lci, m_.col_ind().data() + rp[b], nnz * sizeof(index_t));
+    numa_[th].col_ind = lci;
+    value_t* lv = arena_->data<value_t>(ph[th].val);
+    std::memcpy(lv, m_.values().data() + rp[b], nnz * sizeof(value_t));
+    numa_[th].values = lv;
+    value_t* ld = arena_->data<value_t>(ph[th].diag);
+    std::memcpy(ld, m_.diag().data() + b, (e - b) * sizeof(value_t));
+    numa_[th].diag = rebase_ptr<const value_t>(ld, b);
+    numa_[th].scratch = arena_->data<value_t>(ph[th].scratch);
+  }
+  numa_policy_ = policy;
 }
 
 void SymSpmv::run(const Vector& x, Vector& y) {
@@ -53,21 +117,30 @@ void SymSpmv::run(const Vector& x, Vector& y) {
     spmv(m_, x.data(), y.data());
     return;
   }
+  const index_t nrows = m_.nrows();
   const value_t* const xp = x.data();
   value_t* const yp = y.data();
   pool_->run([&](std::size_t th) {
-    Vector& s = scratch_[th];
-    std::fill(s.begin(), s.end(), 0.0);
-    spmv_sym_rows(m_, xp, s.data(), partition_.row_begin(th),
-                  partition_.row_end(th));
+    value_t* const sp =
+        numa_.empty() ? scratch_[th].data() : numa_[th].scratch;
+    std::fill(sp, sp + nrows, 0.0);
+    if (numa_.empty()) {
+      spmv_sym_rows(m_, xp, sp, partition_.row_begin(th),
+                    partition_.row_end(th));
+    } else {
+      const ThreadArrays& a = numa_[th];
+      spmv_sym_rows_raw(a.row_ptr, a.col_ind, a.values, a.diag, xp, sp,
+                        partition_.row_begin(th), partition_.row_end(th));
+    }
   });
-  const RowPartition rows = partition_rows_even(m_.nrows(), nthreads_);
+  const RowPartition rows = partition_rows_even(nrows, nthreads_);
   pool_->run([&](std::size_t th) {
     const index_t r0 = rows.row_begin(th);
     const index_t r1 = rows.row_end(th);
     std::fill(yp + r0, yp + r1, 0.0);
-    for (const Vector& s : scratch_) {
-      const value_t* const sp = s.data();
+    for (std::size_t s = 0; s < nthreads_; ++s) {
+      const value_t* const sp =
+          numa_.empty() ? scratch_[s].data() : numa_[s].scratch;
       for (index_t r = r0; r < r1; ++r) {
         yp[r] += sp[r];
       }

@@ -13,11 +13,22 @@
 #include "spc/mm/vector.hpp"
 #include "spc/parallel/partition.hpp"
 #include "spc/parallel/thread_pool.hpp"
+#include "spc/support/first_touch.hpp"
 
 namespace spc {
 
 /// Serial kernel: y = A*x for the full (symmetric) matrix.
 void spmv(const SymCsr& m, const value_t* x, value_t* y);
+
+/// Row-range partial kernel over raw arrays — the common core of the
+/// serial and per-thread paths. `row_ptr` and `diag` are indexed with
+/// absolute rows (repacked per-thread copies pass rebased pointers, see
+/// support/first_touch.hpp); `col_ind`/`values` with the positions
+/// `row_ptr` yields.
+void spmv_sym_rows_raw(const index_t* row_ptr, const index_t* col_ind,
+                       const value_t* values, const value_t* diag,
+                       const value_t* x, value_t* y, index_t row_begin,
+                       index_t row_end);
 
 /// Row-range partial kernel accumulating into y without zero-filling —
 /// building block of the multithreaded path (y must be zeroed by the
@@ -28,12 +39,20 @@ void spmv_sym_rows(const SymCsr& m, const value_t* x, value_t* y,
 /// Prepared multithreaded symmetric SpMV (private-y + reduction).
 class SymSpmv {
  public:
+  /// `numa` resolves like SpmvInstance's: on a pinned multi-node run the
+  /// per-thread row slices (and the private-y scratch) repack into
+  /// first-touched node-local blocks. The scatter path has no x mirror,
+  /// so replicate/interleave degrade to local placement here.
   explicit SymSpmv(const Triplets& t, std::size_t nthreads = 1,
-                   bool pin_threads = false);
+                   bool pin_threads = false,
+                   NumaPolicy numa = NumaPolicy::kAuto);
 
   index_t nrows() const { return m_.nrows(); }
   usize_t matrix_bytes() const { return m_.bytes(); }
   const SymCsr& matrix() const { return m_; }
+
+  /// The placement actually in effect (kOff unless pinned and resolved).
+  NumaPolicy numa_policy() const { return numa_policy_; }
 
   void run(const Vector& x, Vector& y);
 
@@ -43,6 +62,18 @@ class SymSpmv {
   RowPartition partition_;
   std::vector<Vector> scratch_;
   std::unique_ptr<ThreadPool> pool_;
+  // NUMA repack (see instance.cpp): per-thread rebased array pointers
+  // and arena-backed scratch replacing the master-touched Vectors.
+  NumaPolicy numa_policy_ = NumaPolicy::kOff;
+  std::unique_ptr<FirstTouchArena> arena_;
+  struct ThreadArrays {
+    const index_t* row_ptr = nullptr;
+    const index_t* col_ind = nullptr;
+    const value_t* values = nullptr;
+    const value_t* diag = nullptr;
+    value_t* scratch = nullptr;
+  };
+  std::vector<ThreadArrays> numa_;
 };
 
 }  // namespace spc

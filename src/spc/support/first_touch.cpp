@@ -1,0 +1,258 @@
+#include "spc/support/first_touch.hpp"
+
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#endif
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "spc/support/error.hpp"
+#include "spc/support/strutil.hpp"
+
+namespace spc {
+
+namespace {
+
+std::size_t page_size() {
+  const long ps = sysconf(_SC_PAGESIZE);
+  return ps > 0 ? static_cast<std::size_t>(ps) : 4096;
+}
+
+std::size_t round_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) / align * align;
+}
+
+}  // namespace
+
+std::string numa_policy_name(NumaPolicy p) {
+  switch (p) {
+    case NumaPolicy::kAuto:
+      return "auto";
+    case NumaPolicy::kOff:
+      return "off";
+    case NumaPolicy::kLocal:
+      return "local";
+    case NumaPolicy::kReplicate:
+      return "replicate";
+    case NumaPolicy::kInterleave:
+      return "interleaved";
+  }
+  return "?";
+}
+
+bool parse_numa_policy(const std::string& name, NumaPolicy* out) {
+  const std::string n = to_lower(name);
+  if (n == "auto") {
+    *out = NumaPolicy::kAuto;
+  } else if (n == "off" || n == "0" || n == "none") {
+    *out = NumaPolicy::kOff;
+  } else if (n == "local" || n == "firsttouch" || n == "first-touch") {
+    *out = NumaPolicy::kLocal;
+  } else if (n == "replicate" || n == "replicate-per-node") {
+    *out = NumaPolicy::kReplicate;
+  } else if (n == "interleaved" || n == "interleave") {
+    *out = NumaPolicy::kInterleave;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+NumaPolicy numa_policy_from_env(NumaPolicy fallback) {
+  const char* env = std::getenv("SPC_NUMA");
+  if (env == nullptr || *env == '\0') {
+    return fallback;
+  }
+  NumaPolicy p = fallback;
+  if (!parse_numa_policy(env, &p)) {
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "spc: ignoring unparseable SPC_NUMA=%s (want "
+                   "auto|off|local|replicate|interleaved)\n",
+                   env);
+    }
+  }
+  return p;
+}
+
+NumaPolicy resolve_numa_policy(NumaPolicy requested, std::size_t nnodes) {
+  if (requested == NumaPolicy::kAuto) {
+    return nnodes > 1 ? NumaPolicy::kLocal : NumaPolicy::kOff;
+  }
+  return requested;
+}
+
+FirstTouchArena::FirstTouchArena(std::size_t nblocks) : blocks_(nblocks) {}
+
+FirstTouchArena::~FirstTouchArena() {
+  for (Block& b : blocks_) {
+    if (b.base == nullptr) {
+      continue;
+    }
+#ifdef __linux__
+    if (b.from_mmap) {
+      ::munmap(b.base, b.mapped);
+      continue;
+    }
+#endif
+    std::free(b.base);
+  }
+}
+
+FirstTouchArena::Handle FirstTouchArena::reserve_bytes(std::size_t block,
+                                                       std::size_t bytes) {
+  SPC_CHECK_MSG(!allocated_, "FirstTouchArena: reserve after allocate");
+  SPC_CHECK_MSG(block < blocks_.size(), "FirstTouchArena: bad block");
+  Block& b = blocks_[block];
+  b.reserved = round_up(b.reserved, kCacheLineBytes);
+  Handle h{block, b.reserved};
+  b.reserved += bytes;
+  return h;
+}
+
+void FirstTouchArena::allocate() {
+  if (allocated_) {
+    return;
+  }
+  const std::size_t ps = page_size();
+  for (Block& b : blocks_) {
+    if (b.reserved == 0) {
+      continue;
+    }
+    b.mapped = round_up(b.reserved, ps);
+#ifdef __linux__
+    void* p = ::mmap(nullptr, b.mapped, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+      b.base = p;
+      b.from_mmap = true;
+      continue;
+    }
+#endif
+    // Fallback: heap memory loses the untouched-pages guarantee for
+    // recycled chunks but keeps the arena functional.
+    b.base = std::aligned_alloc(ps, b.mapped);
+    b.from_mmap = false;
+    SPC_CHECK_MSG(b.base != nullptr, "FirstTouchArena: allocation failed");
+  }
+  allocated_ = true;
+}
+
+void FirstTouchArena::first_touch(std::size_t block) {
+  SPC_CHECK_MSG(allocated_, "FirstTouchArena: touch before allocate");
+  SPC_CHECK_MSG(block < blocks_.size(), "FirstTouchArena: bad block");
+  Block& b = blocks_[block];
+  if (b.base != nullptr) {
+    std::memset(b.base, 0, b.mapped);
+  }
+}
+
+void FirstTouchArena::first_touch_interleaved(std::size_t block,
+                                              std::size_t part,
+                                              std::size_t nparts) {
+  SPC_CHECK_MSG(allocated_, "FirstTouchArena: touch before allocate");
+  SPC_CHECK_MSG(block < blocks_.size(), "FirstTouchArena: bad block");
+  SPC_CHECK_MSG(nparts >= 1 && part < nparts,
+                "FirstTouchArena: bad interleave part");
+  Block& b = blocks_[block];
+  if (b.base == nullptr) {
+    return;
+  }
+  const std::size_t ps = page_size();
+  auto* bytes = static_cast<std::uint8_t*>(b.base);
+  for (std::size_t off = part * ps; off < b.mapped; off += nparts * ps) {
+    std::memset(bytes + off, 0, std::min(ps, b.mapped - off));
+  }
+}
+
+std::size_t FirstTouchArena::block_bytes(std::size_t block) const {
+  SPC_CHECK_MSG(block < blocks_.size(), "FirstTouchArena: bad block");
+  return blocks_[block].mapped;
+}
+
+const void* FirstTouchArena::block_base(std::size_t block) const {
+  SPC_CHECK_MSG(block < blocks_.size(), "FirstTouchArena: bad block");
+  return blocks_[block].base;
+}
+
+std::size_t FirstTouchArena::total_bytes() const {
+  std::size_t sum = 0;
+  for (const Block& b : blocks_) {
+    sum += b.mapped;
+  }
+  return sum;
+}
+
+void* FirstTouchArena::base(std::size_t block) const {
+  SPC_CHECK_MSG(allocated_, "FirstTouchArena: data before allocate");
+  SPC_CHECK_MSG(block < blocks_.size() && blocks_[block].base != nullptr,
+                "FirstTouchArena: bad block");
+  return blocks_[block].base;
+}
+
+bool query_page_nodes(const void* p, std::size_t bytes,
+                      std::size_t max_pages, std::vector<int>* nodes,
+                      std::string* reason) {
+  nodes->clear();
+  if (p == nullptr || bytes == 0 || max_pages == 0) {
+    if (reason != nullptr) {
+      *reason = "empty range";
+    }
+    return false;
+  }
+#ifndef __linux__
+  if (reason != nullptr) {
+    *reason = "move_pages is Linux-only";
+  }
+  return false;
+#else
+  const std::size_t ps = page_size();
+  const std::uintptr_t first =
+      reinterpret_cast<std::uintptr_t>(p) / ps * ps;
+  const std::size_t npages =
+      (reinterpret_cast<std::uintptr_t>(p) + bytes - first + ps - 1) / ps;
+  const std::size_t sampled = std::min(npages, max_pages);
+  const std::size_t stride = npages / sampled;
+
+  std::vector<void*> pages(sampled);
+  std::vector<int> status(sampled, -1);
+  for (std::size_t i = 0; i < sampled; ++i) {
+    pages[i] = reinterpret_cast<void*>(first + i * stride * ps);
+  }
+  // move_pages with a null target-nodes array queries the current node of
+  // each page without moving anything.
+  const long rc = ::syscall(SYS_move_pages, 0, sampled, pages.data(),
+                            nullptr, status.data(), 0);
+  if (rc < 0) {
+    if (reason != nullptr) {
+      *reason = std::string("move_pages: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  nodes->reserve(sampled);
+  for (const int s : status) {
+    // Negative status = page not present / not queryable; skip it.
+    if (s >= 0) {
+      nodes->push_back(s);
+    }
+  }
+  if (nodes->empty()) {
+    if (reason != nullptr) {
+      *reason = "no resident pages in range";
+    }
+    return false;
+  }
+  return true;
+#endif
+}
+
+}  // namespace spc

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
@@ -84,7 +85,64 @@ std::string read_line(const std::string& path) {
   return line;
 }
 
+// Enumerates "<dir>/<prefix><N>" entries and returns the sorted N values.
+// Empty when the directory is missing or holds no matching entries.
+std::vector<int> enumerate_indexed(const std::string& dir,
+                                   const std::string& prefix) {
+  std::vector<int> ids;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return ids;
+  }
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    const std::string num = name.substr(prefix.size());
+    if (num.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    try {
+      ids.push_back(std::stoi(num));
+    } catch (...) {
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// Parses a node meminfo file ("Node 0 MemTotal:  12345 kB") for the
+// MemTotal value in bytes; 0 when missing.
+std::size_t parse_node_mem(const std::string& path) {
+  std::ifstream f(path);
+  std::string line;
+  while (std::getline(f, line)) {
+    const auto pos = line.find("MemTotal:");
+    if (pos == std::string::npos) {
+      continue;
+    }
+    std::istringstream ss(line.substr(pos + 9));
+    std::size_t kb = 0;
+    if (ss >> kb) {
+      return kb * 1024;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
+
+int Topology::node_of_cpu(int cpu_id) const {
+  for (const auto& n : nodes) {
+    if (std::find(n.cpus.begin(), n.cpus.end(), cpu_id) != n.cpus.end()) {
+      return n.node_id;
+    }
+  }
+  return 0;
+}
 
 std::size_t Topology::aggregate_llc_bytes(std::size_t threads_used) const {
   if (llc_bytes == 0 || cpus.empty()) {
@@ -99,15 +157,29 @@ std::size_t Topology::aggregate_llc_bytes(std::size_t threads_used) const {
   return domains * llc_bytes;
 }
 
-Topology discover_topology() {
-  Topology topo;
-  const std::string base = "/sys/devices/system/cpu";
+std::string placement_name(Placement p) {
+  return p == Placement::kCloseFirst ? "close" : "spread";
+}
 
-  const long n_online = sysconf(_SC_NPROCESSORS_ONLN);
-  const int ncpu = n_online > 0 ? static_cast<int>(n_online) : 1;
+Topology discover_topology() { return discover_topology("/sys"); }
+
+Topology discover_topology(const std::string& sysfs_root) {
+  Topology topo;
+  const std::string base = sysfs_root + "/devices/system/cpu";
+
+  // Enumerate cpu directories; fall back to the sysconf count (flat
+  // model) when the sysfs tree is unavailable.
+  std::vector<int> cpu_ids = enumerate_indexed(base, "cpu");
+  if (cpu_ids.empty()) {
+    const long n_online = sysconf(_SC_NPROCESSORS_ONLN);
+    const int ncpu = n_online > 0 ? static_cast<int>(n_online) : 1;
+    for (int c = 0; c < ncpu; ++c) {
+      cpu_ids.push_back(c);
+    }
+  }
 
   std::set<std::string> llc_domains;
-  for (int c = 0; c < ncpu; ++c) {
+  for (const int c : cpu_ids) {
     const std::string cdir = base + "/cpu" + std::to_string(c);
     CpuInfo info;
     info.cpu_id = c;
@@ -147,6 +219,28 @@ Topology discover_topology() {
   if (topo.llc_instances == 0) {
     topo.llc_instances = 1;
   }
+
+  // NUMA nodes. A machine without the node directory (or a fixture that
+  // omits it) is one flat node holding every cpu.
+  const std::string node_base = sysfs_root + "/devices/system/node";
+  for (const int n : enumerate_indexed(node_base, "node")) {
+    const std::string ndir = node_base + "/node" + std::to_string(n);
+    NumaNode node;
+    node.node_id = n;
+    node.cpus = parse_cpulist(read_line(ndir + "/cpulist"));
+    node.mem_bytes = parse_node_mem(ndir + "/meminfo");
+    topo.nodes.push_back(std::move(node));
+  }
+  if (topo.nodes.empty()) {
+    NumaNode node;
+    for (const auto& cpu : topo.cpus) {
+      node.cpus.push_back(cpu.cpu_id);
+    }
+    topo.nodes.push_back(std::move(node));
+  }
+  for (auto& cpu : topo.cpus) {
+    cpu.node_id = topo.node_of_cpu(cpu.cpu_id);
+  }
   return topo;
 }
 
@@ -160,25 +254,85 @@ std::vector<int> plan_placement(const Topology& topo, std::size_t nthreads,
     return plan;
   }
 
-  // Group logical CPUs by LLC domain, represented by the sorted sibling list.
+  std::map<int, const CpuInfo*> by_id;
+  for (const auto& cpu : topo.cpus) {
+    by_id[cpu.cpu_id] = &cpu;
+  }
+
+  // Group logical CPUs by LLC domain, represented by the sorted sibling
+  // list. Within a domain, order distinct physical cores before SMT
+  // siblings: the k-th cpu of every (package, core) pair is taken before
+  // any core's (k+1)-th, so two threads land on two cores, not one
+  // hyperthreaded core.
   std::map<std::vector<int>, std::vector<int>> domains;
   for (const auto& cpu : topo.cpus) {
     auto key = cpu.llc_siblings;
     std::sort(key.begin(), key.end());
     domains[key].push_back(cpu.cpu_id);
   }
-  std::vector<std::vector<int>> groups;
+  struct Group {
+    int node = 0;
+    std::vector<int> members;  ///< core-first order
+  };
+  std::vector<Group> groups;
   groups.reserve(domains.size());
   for (auto& [key, members] : domains) {
     std::sort(members.begin(), members.end());
-    groups.push_back(members);
+    std::map<std::pair<int, int>, std::vector<int>> cores;
+    for (const int c : members) {
+      const CpuInfo* info = by_id.count(c) ? by_id.at(c) : nullptr;
+      const auto core_key = info != nullptr
+                                ? std::make_pair(info->package_id,
+                                                 info->core_id)
+                                : std::make_pair(0, c);
+      cores[core_key].push_back(c);
+    }
+    Group g;
+    for (std::size_t round = 0; g.members.size() < members.size();
+         ++round) {
+      for (const auto& [core_key, cpus_of_core] : cores) {
+        if (round < cpus_of_core.size()) {
+          g.members.push_back(cpus_of_core[round]);
+        }
+      }
+    }
+    g.node = topo.node_of_cpu(g.members.front());
+    groups.push_back(std::move(g));
   }
-  std::sort(groups.begin(), groups.end());
+
+  // Node-aware group order. Close-first fills one node completely before
+  // the next (pages first-touched there stay local to every thread until
+  // the node is full); spread alternates nodes before using a second
+  // cache domain of the same node, maximizing aggregate bandwidth.
+  std::stable_sort(groups.begin(), groups.end(),
+                   [](const Group& a, const Group& b) {
+                     if (a.node != b.node) {
+                       return a.node < b.node;
+                     }
+                     return a.members < b.members;
+                   });
+  if (policy == Placement::kSpreadCaches) {
+    std::map<int, std::size_t> domain_index;  // per node, seen so far
+    std::vector<std::pair<std::size_t, std::size_t>> order;  // (idx-in-node, pos)
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      order.emplace_back(domain_index[groups[i].node]++, i);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    std::vector<Group> interleaved;
+    interleaved.reserve(groups.size());
+    for (const auto& [idx, pos] : order) {
+      interleaved.push_back(std::move(groups[pos]));
+    }
+    groups = std::move(interleaved);
+  }
 
   if (policy == Placement::kCloseFirst) {
     // Fill one cache domain completely before moving to the next.
     for (const auto& g : groups) {
-      for (int c : g) {
+      for (int c : g.members) {
         if (plan.size() == nthreads) {
           return plan;
         }
@@ -190,8 +344,8 @@ std::vector<int> plan_placement(const Topology& topo, std::size_t nthreads,
     for (std::size_t round = 0; plan.size() < nthreads; ++round) {
       bool placed = false;
       for (const auto& g : groups) {
-        if (round < g.size()) {
-          plan.push_back(g[round]);
+        if (round < g.members.size()) {
+          plan.push_back(g.members[round]);
           placed = true;
           if (plan.size() == nthreads) {
             return plan;
@@ -228,7 +382,8 @@ std::string describe_topology(const Topology& topo) {
     packages.insert(c.package_id);
   }
   os << topo.num_cpus() << " logical CPU(s), " << packages.size()
-     << " package(s), " << topo.llc_instances << " LLC domain(s)";
+     << " package(s), " << topo.num_nodes() << " NUMA node(s), "
+     << topo.llc_instances << " LLC domain(s)";
   if (topo.llc_bytes > 0) {
     os << " of " << (topo.llc_bytes / 1024) << " KiB each";
   }

@@ -108,6 +108,33 @@ TEST_P(SymSpmvMt, MatchesReferenceAcrossThreadCounts) {
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, SymSpmvMt,
                          ::testing::Values(1, 2, 3, 4, 8));
 
+TEST(SymSpmv, NumaRepackIsBitIdenticalToOff) {
+  // The repacked per-thread slices are verbatim copies and both phases
+  // run in the same order, so placement must not change a single bit.
+  test::ScopedEnv env("SPC_NUMA", "");  // ctor arg decides, not the env
+  const Triplets t = random_symmetric(500, 4000, 17);
+  Rng xr(18);
+  const Vector x = random_vector(500, xr);
+
+  SymSpmv off(t, 4, /*pin_threads=*/true, NumaPolicy::kOff);
+  EXPECT_EQ(off.numa_policy(), NumaPolicy::kOff);
+  Vector y_off(500, 0.0);
+  off.run(x, y_off);
+
+  SymSpmv local(t, 4, /*pin_threads=*/true, NumaPolicy::kLocal);
+  EXPECT_EQ(local.numa_policy(), NumaPolicy::kLocal);
+  Vector y_local(500, 0.0);
+  local.run(x, y_local);
+  EXPECT_EQ(max_abs_diff(y_off, y_local), 0.0);
+
+  // Unpinned runs can't know worker nodes: placement resolves to off.
+  SymSpmv unpinned(t, 4, /*pin_threads=*/false, NumaPolicy::kLocal);
+  EXPECT_EQ(unpinned.numa_policy(), NumaPolicy::kOff);
+  Vector y_unpinned(500, 0.0);
+  unpinned.run(x, y_unpinned);
+  EXPECT_EQ(max_abs_diff(y_off, y_unpinned), 0.0);
+}
+
 TEST(SymSpmv, WorksInsideCg) {
   // The symmetric format inside CG — the §III-C use case end-to-end.
   const Triplets t = gen_laplacian_2d(16, 16);

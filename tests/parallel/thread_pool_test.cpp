@@ -103,6 +103,35 @@ TEST(ThreadPool, OversizedPlanWraps) {
   EXPECT_EQ(counter.load(), 5);
 }
 
+TEST(ThreadPool, ReportsWorkerCpusAndSharedPins) {
+  // Plan shorter than the pool wraps modulo its size; that must be
+  // visible (workers 1..4 share cpu 0 with worker 0), not silent.
+  ThreadPool pool(5, {0});
+  ASSERT_EQ(pool.worker_cpus().size(), 5u);
+  for (const int c : pool.worker_cpus()) {
+    EXPECT_EQ(c, 0);
+  }
+  EXPECT_EQ(pool.shared_cpu_workers(), 4u);
+}
+
+TEST(ThreadPool, DuplicatePlanEntriesCountAsShared) {
+  ThreadPool pool(2, {0, 0});
+  EXPECT_EQ(pool.worker_cpus(), (std::vector<int>{0, 0}));
+  EXPECT_EQ(pool.shared_cpu_workers(), 1u);
+}
+
+TEST(ThreadPool, DistinctPlanHasNoSharedPins) {
+  ThreadPool pool(2, {0, 1});
+  EXPECT_EQ(pool.worker_cpus(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(pool.shared_cpu_workers(), 0u);
+}
+
+TEST(ThreadPool, UnpinnedPoolReportsNoCpusAndNoSharing) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_cpus(), (std::vector<int>{-1, -1, -1}));
+  EXPECT_EQ(pool.shared_cpu_workers(), 0u);
+}
+
 TEST(ThreadPool, DestructionWithoutRunIsClean) {
   ThreadPool pool(8);
   SUCCEED();

@@ -138,5 +138,58 @@ TEST_P(DispatchFuzz, EveryFormatEveryTierMatchesScalarCsrOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Swarm, DispatchFuzz, ::testing::Range(0, 21));
 
+// Every repackable format under every SPC_NUMA policy must produce the
+// byte-for-byte result of the policy-off run: the first-touch repack
+// copies slices verbatim and the kernels run in the same order, so at
+// the scalar tier even the floating-point accumulation is identical.
+const std::vector<Format>& numa_formats() {
+  static const std::vector<Format> kFormats = {
+      Format::kCsr,    Format::kCsr16,    Format::kCsrVi,
+      Format::kCsrDu,  Format::kCsrDuRle, Format::kCsrDuVi,
+      Format::kBcsr,   Format::kEll,
+  };
+  return kFormats;
+}
+
+class NumaFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(NumaFuzz, RepackedSlicesAreBitIdenticalAcrossPolicies) {
+  const Triplets t = fuzz_matrix(GetParam());
+  if (t.nnz() == 0) {
+    GTEST_SKIP() << "degenerate draw";
+  }
+  Rng xr(9100 + GetParam());
+  const Vector x = random_vector(t.ncols(), xr);
+
+  test::ScopedEnv isa("SPC_ISA", "scalar");
+  InstanceOptions opts;
+  opts.pin_threads = true;  // placement needs pinned workers
+  constexpr std::size_t kThreads = 4;
+  for (const Format f : numa_formats()) {
+    if (f == Format::kCsr16 && !csr16_applicable(t)) {
+      continue;
+    }
+    Vector y_off(t.nrows(), 0.0);
+    {
+      test::ScopedEnv numa("SPC_NUMA", "off");
+      SpmvInstance inst(t, f, kThreads, opts);
+      EXPECT_EQ(inst.numa_policy(), NumaPolicy::kOff);
+      inst.run(x, y_off);
+    }
+    for (const char* policy : {"local", "replicate", "interleaved"}) {
+      test::ScopedEnv numa("SPC_NUMA", policy);
+      SpmvInstance inst(t, f, kThreads, opts);
+      EXPECT_NE(inst.numa_policy(), NumaPolicy::kOff)
+          << format_name(f) << " " << policy;
+      Vector y(t.nrows(), std::numeric_limits<double>::quiet_NaN());
+      inst.run(x, y);
+      EXPECT_EQ(max_abs_diff(y_off, y), 0.0)
+          << format_name(f) << " " << policy << " seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Swarm, NumaFuzz, ::testing::Range(0, 21));
+
 }  // namespace
 }  // namespace spc

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "spc/gen/generators.hpp"
+#include "spc/support/topology.hpp"
 #include "test_util.hpp"
 
 namespace spc {
@@ -215,6 +216,90 @@ TEST(SpmvInstance, ClassicFormatsMtMatchCsr) {
     inst.run(x, y);
     EXPECT_LT(rel_error(y_ref, y), kTol) << format_name(f);
   }
+}
+
+TEST(SpmvInstanceNuma, PolicyOffForSerialInstances) {
+  test::ScopedEnv numa("SPC_NUMA", "replicate");
+  const Triplets t = test::paper_matrix();
+  SpmvInstance inst(t, Format::kCsr, 1);
+  EXPECT_EQ(inst.numa_policy(), NumaPolicy::kOff);
+  EXPECT_TRUE(inst.thread_nodes().empty());
+}
+
+TEST(SpmvInstanceNuma, PolicyOffWithoutPinnedWorkers) {
+  // A worker's node is unknowable without a pin plan, so placement
+  // silently resolves to off rather than guessing.
+  test::ScopedEnv numa("SPC_NUMA", "local");
+  InstanceOptions opts;
+  opts.pin_threads = false;
+  const Triplets t = test::paper_matrix();
+  SpmvInstance inst(t, Format::kCsr, 2, opts);
+  EXPECT_EQ(inst.numa_policy(), NumaPolicy::kOff);
+}
+
+TEST(SpmvInstanceNuma, PolicyOffForNonRowPartitionedFormats) {
+  test::ScopedEnv numa("SPC_NUMA", "local");
+  Rng rng(55);
+  const Triplets t = gen_banded(200, 10, 3, rng, ValueModel::random());
+  for (const Format f : {Format::kCsc, Format::kDcsr, Format::kJds}) {
+    SpmvInstance inst(t, f, 2);
+    EXPECT_EQ(inst.numa_policy(), NumaPolicy::kOff) << format_name(f);
+  }
+}
+
+TEST(SpmvInstanceNuma, AutoResolvesAgainstTheMachine) {
+  test::ScopedEnv numa("SPC_NUMA", "auto");
+  const Triplets t = test::paper_matrix();
+  SpmvInstance inst(t, Format::kCsr, 2);
+  const std::size_t nnodes = discover_topology().num_nodes();
+  if (nnodes > 1) {
+    EXPECT_EQ(inst.numa_policy(), NumaPolicy::kLocal);
+  } else {
+    EXPECT_EQ(inst.numa_policy(), NumaPolicy::kOff);
+  }
+}
+
+TEST(SpmvInstanceNuma, ReplicatePlacementRunsAndReportsResidency) {
+  test::ScopedEnv numa("SPC_NUMA", "replicate");
+  Rng rng(56);
+  const Triplets t =
+      gen_ragged(400, 400, 12, 0.1, rng, ValueModel::pooled(30));
+  Rng xr(57);
+  const Vector x = random_vector(t.ncols(), xr);
+  const Vector ref = test::reference_spmv(t, x);
+  SpmvInstance inst(t, Format::kCsrDuVi, 4);
+  EXPECT_EQ(inst.numa_policy(), NumaPolicy::kReplicate);
+  ASSERT_EQ(inst.thread_nodes().size(), 4u);
+  Vector y(t.nrows(), 0.0);
+  inst.run(x, y);
+  EXPECT_LT(rel_error(ref, y), kTol);
+  // Residency is best-effort: available with sampled pages, or a reason.
+  const auto res = inst.matrix_residency();
+  if (res.available) {
+    EXPECT_GT(res.pages_sampled, 0u);
+    EXPECT_LE(res.pages_local, res.pages_sampled);
+  } else {
+    EXPECT_FALSE(res.reason.empty());
+  }
+}
+
+TEST(SpmvInstanceNuma, ResidencyUnavailableWhenPlacementOff) {
+  test::ScopedEnv numa("SPC_NUMA", "off");
+  const Triplets t = test::paper_matrix();
+  SpmvInstance inst(t, Format::kCsr, 2);
+  const auto res = inst.matrix_residency();
+  EXPECT_FALSE(res.available);
+  EXPECT_FALSE(res.reason.empty());
+}
+
+TEST(SpmvInstanceNuma, OptionsPolicyUsedWhenEnvUnset) {
+  // InstanceOptions carries the policy; SPC_NUMA (when set) overrides.
+  test::ScopedEnv numa("SPC_NUMA", "");
+  InstanceOptions opts;
+  opts.numa = NumaPolicy::kInterleave;
+  const Triplets t = test::paper_matrix();
+  SpmvInstance inst(t, Format::kCsr, 2, opts);
+  EXPECT_EQ(inst.numa_policy(), NumaPolicy::kInterleave);
 }
 
 TEST(SpmvSimple, OneShotHelper) {

@@ -2,10 +2,88 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
 #include <set>
 
 namespace spc {
 namespace {
+
+namespace fs = std::filesystem;
+
+// Builds fake sysfs trees so the parser can be driven against layouts the
+// CI machine doesn't have (2-socket ccNUMA, SMT, flat).
+class SysfsFixture {
+ public:
+  SysfsFixture() {
+    root_ = fs::temp_directory_path() /
+            ("spc_topo_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(root_);
+  }
+  ~SysfsFixture() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  const std::string root() const { return root_.string(); }
+
+  /// One logical cpu with its package/core ids and LLC sharing list.
+  void add_cpu(int cpu, int pkg, int core, const std::string& llc_shared,
+               const std::string& llc_size = "4096K") {
+    const fs::path cdir =
+        root_ / "devices/system/cpu" / ("cpu" + std::to_string(cpu));
+    fs::create_directories(cdir / "topology");
+    fs::create_directories(cdir / "cache/index0");
+    write(cdir / "topology/physical_package_id", std::to_string(pkg));
+    write(cdir / "topology/core_id", std::to_string(core));
+    write(cdir / "cache/index0/type", "Unified");
+    write(cdir / "cache/index0/size", llc_size);
+    write(cdir / "cache/index0/shared_cpu_list", llc_shared);
+  }
+
+  /// One NUMA node directory with its cpulist and MemTotal (in kB).
+  void add_node(int node, const std::string& cpulist,
+                std::size_t mem_kb) {
+    const fs::path ndir =
+        root_ / "devices/system/node" / ("node" + std::to_string(node));
+    fs::create_directories(ndir);
+    write(ndir / "cpulist", cpulist);
+    write(ndir / "meminfo",
+          "Node " + std::to_string(node) +
+              " MemTotal:       " + std::to_string(mem_kb) + " kB");
+  }
+
+ private:
+  static void write(const fs::path& p, const std::string& content) {
+    std::ofstream f(p);
+    f << content << "\n";
+  }
+
+  fs::path root_;
+  static int counter_;
+};
+
+int SysfsFixture::counter_ = 0;
+
+// 2 sockets × 4 cores × 2 SMT threads; the SMT sibling of core (p,c) is
+// cpu c+4 within the package block (the usual Linux numbering). One LLC
+// and one NUMA node per socket.
+void populate_two_socket_numa_smt(SysfsFixture& fx) {
+  for (int pkg = 0; pkg < 2; ++pkg) {
+    const int base = pkg * 8;
+    const std::string llc = std::to_string(base) + "-" +
+                            std::to_string(base + 7);
+    for (int core = 0; core < 4; ++core) {
+      fx.add_cpu(base + core, pkg, core, llc, "8192K");
+      fx.add_cpu(base + 4 + core, pkg, core, llc, "8192K");  // SMT sibling
+    }
+  }
+  fx.add_node(0, "0-7", 16 * 1024 * 1024);
+  fx.add_node(1, "8-15", 16 * 1024 * 1024);
+}
 
 Topology fake_two_socket_topology() {
   // 2 packages × 2 LLC domains of 2 cpus each = the paper's Clovertown-ish
@@ -102,6 +180,105 @@ TEST(Topology, EmptyTopologyPlanStillProducesIds) {
   Topology topo;
   const auto plan = plan_placement(topo, 3, Placement::kCloseFirst);
   ASSERT_EQ(plan.size(), 3u);
+}
+
+TEST(TopologySysfs, ParsesTwoSocketNumaSmtLayout) {
+  SysfsFixture fx;
+  populate_two_socket_numa_smt(fx);
+  const Topology topo = discover_topology(fx.root());
+
+  ASSERT_EQ(topo.num_cpus(), 16u);
+  EXPECT_EQ(topo.num_nodes(), 2u);
+  EXPECT_EQ(topo.llc_instances, 2u);
+  EXPECT_EQ(topo.llc_bytes, 8ull << 20);
+  ASSERT_EQ(topo.nodes.size(), 2u);
+  EXPECT_EQ(topo.nodes[0].cpus.size(), 8u);
+  EXPECT_EQ(topo.nodes[1].cpus.front(), 8);
+  EXPECT_EQ(topo.nodes[0].mem_bytes, 16ull * 1024 * 1024 * 1024);
+  EXPECT_EQ(topo.node_of_cpu(3), 0);
+  EXPECT_EQ(topo.node_of_cpu(12), 1);
+  for (const auto& cpu : topo.cpus) {
+    EXPECT_EQ(cpu.node_id, cpu.cpu_id < 8 ? 0 : 1) << cpu.cpu_id;
+  }
+}
+
+TEST(TopologySysfs, CoresComeBeforeSmtSiblingsInThePlan) {
+  // Regression for the SMT satellite: with siblings numbered base+4, a
+  // 4-thread close plan must land on the four distinct cores of socket 0
+  // — never on a core and its hyperthread.
+  SysfsFixture fx;
+  populate_two_socket_numa_smt(fx);
+  const Topology topo = discover_topology(fx.root());
+  const auto plan = plan_placement(topo, 4, Placement::kCloseFirst);
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan, (std::vector<int>{0, 1, 2, 3}));
+  // 8 threads then take the siblings, still all inside socket 0.
+  const auto plan8 = plan_placement(topo, 8, Placement::kCloseFirst);
+  const std::set<int> used(plan8.begin(), plan8.end());
+  EXPECT_EQ(used, (std::set<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(TopologySysfs, SmtAdjacentNumberingStillPrefersDistinctCores) {
+  // Same regression with the other common numbering: siblings adjacent
+  // (cpu0/1 = core0, cpu2/3 = core1). The pre-fix planner, which only
+  // looked at cache domains, would pick {0, 1} here.
+  SysfsFixture fx;
+  fx.add_cpu(0, 0, 0, "0-3");
+  fx.add_cpu(1, 0, 0, "0-3");
+  fx.add_cpu(2, 0, 1, "0-3");
+  fx.add_cpu(3, 0, 1, "0-3");
+  const Topology topo = discover_topology(fx.root());
+  const auto plan = plan_placement(topo, 2, Placement::kCloseFirst);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan, (std::vector<int>{0, 2}));
+}
+
+TEST(TopologySysfs, CloseFillsOneNodeBeforeTheOther) {
+  SysfsFixture fx;
+  populate_two_socket_numa_smt(fx);
+  const Topology topo = discover_topology(fx.root());
+  const auto plan = plan_placement(topo, 10, Placement::kCloseFirst);
+  ASSERT_EQ(plan.size(), 10u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(topo.node_of_cpu(plan[i]), 0) << i;
+  }
+  EXPECT_EQ(topo.node_of_cpu(plan[8]), 1);
+}
+
+TEST(TopologySysfs, SpreadAlternatesNodes) {
+  SysfsFixture fx;
+  populate_two_socket_numa_smt(fx);
+  const Topology topo = discover_topology(fx.root());
+  const auto plan = plan_placement(topo, 2, Placement::kSpreadCaches);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(topo.node_of_cpu(plan[0]), 0);
+  EXPECT_EQ(topo.node_of_cpu(plan[1]), 1);
+}
+
+TEST(TopologySysfs, FlatLayoutWithoutNodeDirIsOneNode) {
+  SysfsFixture fx;
+  for (int c = 0; c < 4; ++c) {
+    fx.add_cpu(c, 0, c, "0-3");
+  }
+  const Topology topo = discover_topology(fx.root());
+  EXPECT_EQ(topo.num_cpus(), 4u);
+  EXPECT_EQ(topo.num_nodes(), 1u);
+  ASSERT_EQ(topo.nodes.size(), 1u);
+  EXPECT_EQ(topo.nodes[0].cpus.size(), 4u);
+  for (const auto& cpu : topo.cpus) {
+    EXPECT_EQ(cpu.node_id, 0);
+  }
+}
+
+TEST(TopologySysfs, MissingRootFallsBackToFlatModel) {
+  const Topology topo = discover_topology("/nonexistent-sysfs-root");
+  EXPECT_GE(topo.num_cpus(), 1u);
+  EXPECT_EQ(topo.num_nodes(), 1u);
+}
+
+TEST(Topology, PlacementNames) {
+  EXPECT_EQ(placement_name(Placement::kCloseFirst), "close");
+  EXPECT_EQ(placement_name(Placement::kSpreadCaches), "spread");
 }
 
 }  // namespace
