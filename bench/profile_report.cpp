@@ -35,6 +35,7 @@ struct Record {
   std::string format;
   std::string isa;
   std::string numa;
+  std::string schedule;
   std::size_t threads = 1;
   double mflops = 0.0;
   double speedup = 0.0;  ///< 0 when absent
@@ -82,6 +83,12 @@ bool parse_record(const std::string& line, Record& r) {
   r.numa = str(j, "numa");
   if (r.numa.empty()) {
     r.numa = "off";
+  }
+  // Records predating the work-stealing scheduler carry no "schedule"
+  // field; they ran under the static owner-computes split.
+  r.schedule = str(j, "schedule");
+  if (r.schedule.empty()) {
+    r.schedule = "static";
   }
   r.threads = static_cast<std::size_t>(num(j, "threads", 1));
   r.mflops = num(j, "mflops");
@@ -176,11 +183,12 @@ int main(int argc, char** argv) {
         imbalance;
     std::size_t runs = 0;
   };
-  std::map<std::tuple<std::string, std::string, std::string, std::size_t>,
+  std::map<std::tuple<std::string, std::string, std::string, std::string,
+                      std::size_t>,
            Agg>
       by_cell;
   for (const Record& r : records) {
-    Agg& a = by_cell[{r.format, r.isa, r.numa, r.threads}];
+    Agg& a = by_cell[{r.format, r.isa, r.numa, r.schedule, r.threads}];
     ++a.runs;
     a.mflops.add(r.mflops);
     if (r.speedup > 0.0) {
@@ -197,18 +205,18 @@ int main(int argc, char** argv) {
       }
     }
   }
-  spc::TextTable summary({"format", "isa", "numa", "threads", "runs",
-                          "MFLOPS", "speedup", "IPC", "cyc/nnz",
+  spc::TextTable summary({"format", "isa", "numa", "sched", "threads",
+                          "runs", "MFLOPS", "speedup", "IPC", "cyc/nnz",
                           "miss/knnz", "imbalance"});
   for (const auto& [key, a] : by_cell) {
     summary.add_row({std::get<0>(key), std::get<1>(key), std::get<2>(key),
-                     std::to_string(std::get<3>(key)),
+                     std::get<3>(key), std::to_string(std::get<4>(key)),
                      std::to_string(a.runs), a.mflops.fmt(1),
                      a.speedup.fmt(2), a.ipc.fmt(2),
                      a.cycles_per_nnz.fmt(1), a.misses_per_knnz.fmt(2),
                      a.imbalance.fmt(2)});
   }
-  std::cout << "per-(format, isa, numa, threads) aggregate:\n";
+  std::cout << "per-(format, isa, numa, schedule, threads) aggregate:\n";
   summary.print(std::cout);
 
   // 2. Per-matrix detail at the highest thread count, sorted by speedup

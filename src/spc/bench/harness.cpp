@@ -183,6 +183,7 @@ RunMetrics time_spmv_metrics(SpmvInstance& inst, std::size_t iters,
 
   ThreadPool* pool = inst.pool();
   std::unique_ptr<obs::PerfSession> serial_session;
+  inst.sched_reset();  // count chunks/steals over the timed loop only
   if (pool != nullptr) {
     pool->busy_reset();
     pool->counters_start();
@@ -201,6 +202,10 @@ RunMetrics time_spmv_metrics(SpmvInstance& inst, std::size_t iters,
     m.seconds = t.elapsed_s();
   }
   m.mflops = mflops(inst.nnz(), iters, m.seconds);
+  if (inst.schedule() != Schedule::kStatic) {
+    m.sched_chunks = inst.sched_chunks();
+    m.steals = inst.sched_steals_total();
+  }
 
   if (pool != nullptr) {
     m.counters = pool->counters_stop();
@@ -249,6 +254,11 @@ void emit_metrics_record(
   rec.set("format", format_name(inst.format()));
   rec.set("isa", isa_tier_name(inst.isa_tier()));
   rec.set("numa", numa_policy_name(inst.numa_policy()));
+  rec.set("schedule", schedule_name(inst.schedule()));
+  if (inst.schedule() != Schedule::kStatic) {
+    rec.set("sched_chunks", static_cast<std::uint64_t>(m.sched_chunks));
+    rec.set("steals", m.steals);
+  }
   rec.set("threads", static_cast<std::uint64_t>(m.threads));
   const SpmvInstance::NumaResidency res = inst.matrix_residency();
   if (res.available) {

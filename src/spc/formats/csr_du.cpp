@@ -362,6 +362,93 @@ CsrDu::Slice CsrDu::slice(index_t row_begin, index_t row_end) const {
   return s;
 }
 
+std::vector<CsrDu::Slice> CsrDu::slices(
+    const std::vector<index_t>& bounds) const {
+  const std::size_t k = bounds.empty() ? 0 : bounds.size() - 1;
+  std::vector<Slice> out(k);
+  const std::uint8_t* const end = ctl_.data() + ctl_.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    SPC_CHECK_MSG(bounds[i] <= bounds[i + 1] && bounds[i + 1] <= nrows_,
+                  "slices bounds must be non-decreasing and in range");
+    Slice& s = out[i];
+    s.row_begin = bounds[i];
+    s.row_end = bounds[i + 1];
+    // Defaults for ranges past the last unit — what slice() leaves when
+    // its scan ends without anchoring.
+    s.ctl = end;
+    s.ctl_end = end;
+    s.val_offset = 0;
+    s.row_state = -1;
+  }
+
+  // One pass over the units, anchoring each range exactly where the
+  // per-range slice() scan would. Ranges are consecutive and units
+  // arrive in row order, so at most one range is open at a time.
+  const std::uint8_t* p = ctl_.data();
+  std::int64_t row = -1;
+  usize_t val_off = 0;
+  std::size_t next = 0;  ///< first range whose start is not yet anchored
+  std::size_t open = k;  ///< index of the open range (k = none)
+
+  while (p < end && (open < k || next < k)) {
+    const std::uint8_t* const unit_start = p;
+    const std::int64_t row_before = row;
+    const std::uint8_t flags = *p++;
+    const std::uint32_t usize = *p++;
+    if (flags & kDuNewRow) {
+      std::uint64_t rskip = 0;
+      if (flags & kDuRJmp) {
+        rskip = varint_decode(p);
+      }
+      row += 1 + static_cast<std::int64_t>(rskip);
+    }
+    varint_decode(p);  // ujmp
+    if (flags & kDuRle) {
+      varint_decode(p);  // stride
+    } else {
+      const auto cls = static_cast<DeltaClass>(flags & kDuClassMask);
+      p += static_cast<std::size_t>(usize - 1) * delta_class_bytes(cls);
+    }
+
+    if (open < k &&
+        row >= static_cast<std::int64_t>(bounds[open + 1])) {
+      out[open].ctl_end = unit_start;
+      out[open].nnz = val_off - out[open].val_offset;
+      open = k;
+    }
+    while (next < k && row >= static_cast<std::int64_t>(bounds[next])) {
+      Slice& s = out[next];
+      if (row >= static_cast<std::int64_t>(bounds[next + 1])) {
+        // No unit falls inside this range (all its rows are empty): the
+        // zero-length span at this boundary, so consecutive slices
+        // still tile the ctl stream.
+        s.ctl = unit_start;
+        s.ctl_end = unit_start;
+        s.val_offset = val_off;
+        s.row_state = row_before;
+        ++next;
+        continue;
+      }
+      s.ctl = unit_start;
+      s.val_offset = val_off;
+      s.row_state = row_before;
+      open = next;
+      ++next;
+      break;
+    }
+    val_off += usize;
+  }
+  if (open < k) {
+    out[open].ctl_end = p;
+    out[open].nnz = val_off - out[open].val_offset;
+  }
+
+  for (Slice& s : out) {
+    s.values = values_.empty() ? nullptr : values_.data() + s.val_offset;
+  }
+  return out;
+}
+
 CsrDu::UnitHistogram CsrDu::unit_histogram() const {
   UnitHistogram h;
   const std::uint8_t* p = ctl_.data();

@@ -161,6 +161,16 @@ class CsrDu {
   /// once per partition, outside the timed region.
   Slice slice(index_t row_begin, index_t row_end) const;
 
+  /// Multi-boundary form: the slices for every consecutive row range
+  /// bounds[i]..bounds[i+1] in one O(ctl) scan — the chunk-boundary
+  /// query of the work-stealing scheduler, which needs hundreds of
+  /// slices where slice()'s per-call scan would cost O(chunks × ctl).
+  /// `bounds` must be non-decreasing with bounds.back() <= nrows; the
+  /// result element i equals slice(bounds[i], bounds[i+1]) exactly
+  /// (including the zero-length anchoring of empty-row ranges, so
+  /// consecutive slices still tile the ctl stream).
+  std::vector<Slice> slices(const std::vector<index_t>& bounds) const;
+
   /// Decoded view of one unit, for tests and the format inspector.
   struct DecodedUnit {
     std::uint8_t uflags = 0;

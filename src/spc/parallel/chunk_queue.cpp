@@ -1,0 +1,65 @@
+#include "spc/parallel/chunk_queue.hpp"
+
+#include <algorithm>
+
+namespace spc {
+
+void ChunkDeque::init(const std::uint32_t* chunks, std::size_t n) {
+  // Reversed so the owner's bottom-down pops return the original order.
+  items_.assign(chunks, chunks + n);
+  std::reverse(items_.begin(), items_.end());
+  reset();
+}
+
+void ChunkDeque::reset() {
+  top_.store(0, std::memory_order_seq_cst);
+  bottom_.store(static_cast<std::int64_t>(items_.size()),
+                std::memory_order_seq_cst);
+}
+
+bool ChunkDeque::take(std::uint32_t* out) {
+  // Claim slot b-1, then check whether a thief got there first. The
+  // seq_cst store/load pair orders the bottom announcement before the
+  // top read on every architecture TSan models.
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  bottom_.store(b, std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  if (t > b) {
+    // Empty: undo the claim.
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return false;
+  }
+  if (t == b) {
+    // Last item: race the thieves for it through top.
+    const bool won = top_.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    if (!won) {
+      return false;
+    }
+    *out = items_[static_cast<std::size_t>(b)];
+    return true;
+  }
+  // More than one item left: slot b is unreachable by thieves.
+  *out = items_[static_cast<std::size_t>(b)];
+  return true;
+}
+
+ChunkDeque::Steal ChunkDeque::steal(std::uint32_t* out) {
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+  if (t >= b) {
+    return Steal::kEmpty;
+  }
+  // Read before the CAS: a successful CAS hands slot t to this thief,
+  // and items_ is immutable during the run, so the read can't tear.
+  const std::uint32_t item = items_[static_cast<std::size_t>(t)];
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+    return Steal::kContended;
+  }
+  *out = item;
+  return Steal::kGot;
+}
+
+}  // namespace spc

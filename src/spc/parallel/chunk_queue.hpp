@@ -1,0 +1,83 @@
+// Chase-Lev-style work-stealing deque of chunk ids.
+//
+// Each pool worker owns one ChunkDeque preloaded with the ids of the
+// chunks its static partition assigned to it. During a run the owner
+// pops from the bottom (take) while idle workers steal from the top —
+// the classic Chase-Lev discipline, specialized to the SpMV scheduler:
+//
+//  * The item set is fixed at prepare() time and only *refilled*
+//    between runs (reset()), never pushed to while workers execute, so
+//    the backing array is immutable during a run and the usual
+//    circular-buffer growth protocol disappears. Reads of items_ can
+//    never race a write.
+//  * Items are stored reversed: the owner's take() walks bottom-down,
+//    which hands it its chunks in ascending row order (streaming
+//    locality), while thieves take from the top — the owner's *last*
+//    chunks, the ones it is furthest from reaching.
+//  * All top/bottom operations use seq_cst. The fence-based Chase-Lev
+//    formulation is faster on paper, but ThreadSanitizer does not model
+//    atomic_thread_fence and would report false races through it; on
+//    x86 seq_cst loads/stores cost the same single mfence the fence
+//    version needs anyway, and a steal is already hundreds of times
+//    rarer than a kernel call.
+//
+// steal() is three-valued: a failed CAS means another thief (or the
+// owner draining the last item) won the race, not that the deque is
+// empty — termination detection must keep sweeping on kContended.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "spc/support/types.hpp"
+
+namespace spc {
+
+class ChunkDeque {
+ public:
+  ChunkDeque() = default;
+
+  // The deque is pinned to a cache-line-padded pair of atomics; moving
+  // it while workers hold pointers would be a bug, so forbid copies and
+  // moves (std::vector<ChunkDeque> therefore needs reserve-free
+  // construction: build in place with the final size).
+  ChunkDeque(const ChunkDeque&) = delete;
+  ChunkDeque& operator=(const ChunkDeque&) = delete;
+
+  /// Preloads the owner's chunk ids, in the order the owner should
+  /// execute them. Must not race take()/steal() — call before the pool
+  /// runs (the pool's dispatch handshake publishes the writes).
+  void init(const std::uint32_t* chunks, std::size_t n);
+
+  /// Refills the deque with the full initial item set for the next run.
+  /// Must not race take()/steal() (call between pool runs).
+  void reset();
+
+  /// Number of preloaded items.
+  std::size_t capacity() const { return items_.size(); }
+
+  /// Owner side: pops the next chunk in load order. False when the
+  /// deque is empty (a thief may have taken the rest).
+  bool take(std::uint32_t* out);
+
+  enum class Steal {
+    kGot,        ///< *out holds a stolen chunk id
+    kEmpty,      ///< deque observed empty
+    kContended,  ///< lost a race with the owner or another thief; retry
+  };
+
+  /// Thief side: steals the chunk the owner would reach last.
+  Steal steal(std::uint32_t* out);
+
+ private:
+  std::vector<std::uint32_t> items_;  ///< reversed owner order; immutable
+                                      ///< while workers run
+  // top_ only grows during a run (thief index); bottom_ only shrinks
+  // (owner index). Padded apart: thieves hammer top_ while the owner
+  // hammers bottom_.
+  alignas(kCacheLineBytes) std::atomic<std::int64_t> top_{0};
+  alignas(kCacheLineBytes) std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace spc

@@ -70,10 +70,14 @@ RowPartition partition_rows_even(index_t nrows, std::size_t nthreads) {
 
 double partition_imbalance(const RowPartition& p,
                            const aligned_vector<index_t>& row_ptr) {
-  const usize_t nnz = row_ptr.back();
-  if (nnz == 0 || p.nthreads() == 0) {
+  // Degenerate inputs — no partition, no rows, or no non-zeros at all
+  // (every thread owns zero nnz) — read as perfectly balanced: there is
+  // no work to distribute unevenly. This keeps the result finite where
+  // worst/ideal would otherwise be 0/0.
+  if (p.nthreads() == 0 || row_ptr.empty() || row_ptr.back() == 0) {
     return 1.0;
   }
+  const usize_t nnz = row_ptr.back();
   usize_t worst = 0;
   for (std::size_t t = 0; t < p.nthreads(); ++t) {
     worst = std::max(worst, p.nnz_of(t, row_ptr));

@@ -25,10 +25,18 @@ struct RowPartition {
   index_t row_begin(std::size_t t) const { return bounds[t]; }
   index_t row_end(std::size_t t) const { return bounds[t + 1]; }
 
-  /// Non-zeros owned by thread t given the CSR row pointer.
+  /// Non-zeros owned by thread t given the CSR row pointer. Empty
+  /// ranges (bounds[t] == bounds[t+1], produced by any partitioner when
+  /// nthreads > nrows) own zero non-zeros without touching row_ptr —
+  /// valid even for the zero-row matrix whose row_ptr is a single 0.
   usize_t nnz_of(std::size_t t,
                  const aligned_vector<index_t>& row_ptr) const {
-    return row_ptr[bounds[t + 1]] - row_ptr[bounds[t]];
+    const index_t b = bounds[t];
+    const index_t e = bounds[t + 1];
+    if (b >= e) {
+      return 0;
+    }
+    return static_cast<usize_t>(row_ptr[e]) - row_ptr[b];
   }
 };
 

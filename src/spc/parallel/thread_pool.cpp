@@ -66,7 +66,8 @@ void ThreadPool::worker_main(std::size_t tid, int cpu) {
   }
   std::uint64_t seen_generation = 0;
   for (;;) {
-    const std::function<void(std::size_t)>* job = nullptr;
+    RawJob job = nullptr;
+    void* ctx = nullptr;
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_start_.wait(lk, [&] {
@@ -76,11 +77,12 @@ void ThreadPool::worker_main(std::size_t tid, int cpu) {
         return;
       }
       seen_generation = generation_;
-      job = job_;
+      job = job_fn_;
+      ctx = job_ctx_;
     }
     const std::uint64_t t0 = now_ns();
     try {
-      (*job)(tid);
+      job(ctx, tid);
     } catch (...) {
       std::lock_guard<std::mutex> lk(mu_);
       if (!first_error_) {
@@ -101,15 +103,27 @@ void ThreadPool::worker_main(std::size_t tid, int cpu) {
 }
 
 void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
+  // Trampoline through the raw path; `fn` outlives the run because the
+  // caller blocks until every worker is done.
+  run(
+      [](void* ctx, std::size_t tid) {
+        (*static_cast<const std::function<void(std::size_t)>*>(ctx))(tid);
+      },
+      const_cast<void*>(static_cast<const void*>(&fn)));
+}
+
+void ThreadPool::run(RawJob fn, void* ctx) {
   std::unique_lock<std::mutex> lk(mu_);
   SPC_CHECK_MSG(remaining_ == 0, "ThreadPool::run is not reentrant");
-  job_ = &fn;
+  job_fn_ = fn;
+  job_ctx_ = ctx;
   remaining_ = workers_.size();
   first_error_ = nullptr;
   ++generation_;
   cv_start_.notify_all();
   cv_done_.wait(lk, [&] { return remaining_ == 0; });
-  job_ = nullptr;
+  job_fn_ = nullptr;
+  job_ctx_ = nullptr;
   if (first_error_) {
     std::rethrow_exception(first_error_);
   }

@@ -62,7 +62,16 @@ class ThreadPool {
 
   /// Runs fn(tid) on every worker (tid in [0, size())) and blocks until
   /// all have finished. Exceptions thrown by fn propagate (first wins).
+  /// Convenience wrapper over the raw form below (one extra indirect
+  /// call per worker; nothing allocates either way).
   void run(const std::function<void(std::size_t)>& fn);
+
+  /// The non-allocating dispatch primitive: a plain function pointer
+  /// plus a context pointer, so per-run hot paths (SpmvInstance) never
+  /// construct, copy, or indirect through a std::function. Same
+  /// semantics as run(fn) otherwise.
+  using RawJob = void (*)(void* ctx, std::size_t tid);
+  void run(RawJob fn, void* ctx);
 
   /// Busy nanoseconds worker `tid` spent inside the most recent run().
   std::uint64_t last_busy_ns(std::size_t tid) const;
@@ -113,7 +122,8 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
+  RawJob job_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
   std::uint64_t generation_ = 0;
   std::size_t remaining_ = 0;
   std::size_t ready_ = 0;  ///< workers that completed startup

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <thread>
 #include <tuple>
 
 #ifdef _OPENMP
@@ -34,6 +35,85 @@ void SpmvInstance::dispatch(const std::function<void(std::size_t)>& body) {
   }
 #endif
   pool_->run(body);
+}
+
+void SpmvInstance::dispatch_raw(ThreadPool::RawJob fn) {
+  pool_->run(fn, this);
+}
+
+void SpmvInstance::xcopy_job(void* ctx, std::size_t tid) {
+  auto* self = static_cast<SpmvInstance*>(ctx);
+  self->numa_x_copy_[tid](self->run_args_.x);
+}
+
+void SpmvInstance::static_job(void* ctx, std::size_t tid) {
+  auto* self = static_cast<SpmvInstance*>(ctx);
+  self->binding_.per_thread[tid](self->worker_x(tid), self->run_args_.y);
+}
+
+void SpmvInstance::chunked_job(void* ctx, std::size_t tid) {
+  auto* self = static_cast<SpmvInstance*>(ctx);
+  const value_t* const x = self->worker_x(tid);
+  value_t* const y = self->run_args_.y;
+  const std::uint32_t b = self->chunk_plan_.owner_begin[tid];
+  const std::uint32_t e = self->chunk_plan_.owner_begin[tid + 1];
+  for (std::uint32_t c = b; c < e; ++c) {
+    self->binding_.per_chunk[c](x, y);
+  }
+  self->sched_slots_[tid].executed += e - b;
+}
+
+void SpmvInstance::steal_job(void* ctx, std::size_t tid) {
+  auto* self = static_cast<SpmvInstance*>(ctx);
+  const value_t* const x = self->worker_x(tid);
+  value_t* const y = self->run_args_.y;
+  std::uint64_t executed = 0;
+  std::uint64_t stolen = 0;
+  std::uint32_t c = 0;
+  // Own chunks first, in ascending row order (streaming locality).
+  while (self->deques_[tid].take(&c)) {
+    self->binding_.per_chunk[c](x, y);
+    ++executed;
+  }
+  // Then sweep victims — NUMA-near ones first (steal_victims_ order),
+  // draining each before moving on. A kContended result means somebody
+  // is still active on that deque, so the sweep must run again: only a
+  // full pass of kEmpty proves there is no work left anywhere.
+  const std::vector<std::uint32_t>& victims = self->steal_victims_[tid];
+  bool again = true;
+  while (again) {
+    again = false;
+    bool got_any = false;
+    for (const std::uint32_t v : victims) {
+      for (;;) {
+        const ChunkDeque::Steal r = self->deques_[v].steal(&c);
+        if (r == ChunkDeque::Steal::kGot) {
+          self->binding_.per_chunk[c](x, y);
+          ++executed;
+          ++stolen;
+          got_any = true;
+          continue;
+        }
+        if (r == ChunkDeque::Steal::kContended) {
+          again = true;
+        }
+        break;
+      }
+    }
+    // A fruitless contended pass means the remaining work is being
+    // drained by others; give the CPU away instead of spinning on their
+    // deques (on oversubscribed hosts the spin starves the very workers
+    // holding the chunks).
+    if (again && !got_any) {
+      std::this_thread::yield();
+    }
+  }
+  SchedSlot& slot = self->sched_slots_[tid];
+  slot.executed += executed;
+  slot.stolen += stolen;
+  if (stolen != 0) {
+    self->sched_steals_counter_->add(stolen);
+  }
 }
 
 std::string format_name(Format f) {
@@ -233,6 +313,11 @@ SpmvInstance::SpmvInstance(const Triplets& t, Format format,
         plan = plan_placement(topo, nthreads, opts.placement);
       }
       pool_ = std::make_unique<ThreadPool>(nthreads, plan);
+      // Schedule first, NUMA second: the chunk plan (and the DU chunk
+      // slices) are computed against the pristine arrays, then
+      // setup_numa translates the owned slices into each worker's
+      // repacked arena block.
+      setup_schedule(t, topo);
       // NUMA placement needs pinned workers: without a plan a worker's
       // node is unknowable, so the policy silently resolves to off.
       if (!plan.empty()) {
@@ -242,6 +327,118 @@ SpmvInstance::SpmvInstance(const Triplets& t, Format format,
   }
 
   prepare();
+}
+
+void SpmvInstance::setup_schedule(const Triplets& t, const Topology& topo) {
+  const Schedule requested = schedule_from_env(opts_.schedule);
+  if (requested == Schedule::kStatic) {
+    return;
+  }
+  // Only formats whose per-thread work is a contiguous row range of a
+  // single kernel can run as chunks. The rest (CSC's column partition +
+  // reduction, DIA/JDS diagonal traversals, COO, DCSR) silently keep the
+  // static schedule; schedule() reports what actually runs.
+  switch (format_) {
+    case Format::kCsr:
+    case Format::kCsr16:
+    case Format::kCsrVi:
+    case Format::kCsrDu:
+    case Format::kCsrDuRle:
+    case Format::kCsrDuVi:
+    case Format::kBcsr:
+    case Format::kEll:
+      break;
+    default:
+      return;
+  }
+  obs::TraceSpan sched_span("schedule:" + schedule_name(requested));
+
+  usize_t target = chunk_nnz_from_env(opts_.chunk_nnz);
+  if (target == 0) {
+    target = chunk_target_nnz(topo.l2_bytes);
+    // One chunk per deque degenerates stealing into relocating whole
+    // thread ranges; when the matrix is small relative to the L2 target
+    // but still has real work, shrink toward >= 4 chunks per worker
+    // (never below the planner's 1024-nnz floor).
+    const usize_t adaptive = nnz_ / (nthreads_ * 4);
+    if (adaptive >= 1024 && adaptive < target) {
+      target = adaptive;
+    }
+  }
+  // Row-cost profile for the planner: BCSR budgets blocks against the
+  // block-row partition; everything else budgets true non-zeros per row
+  // (rebuilt from the triplets — the DU family has no row_ptr).
+  if (format_ == Format::kBcsr) {
+    chunk_plan_ = plan_chunks(std::get<Bcsr>(matrix_).block_row_ptr(),
+                              partition_, target);
+  } else {
+    aligned_vector<index_t> rp(nrows_ + 1, 0);
+    for (const Entry& e : t.entries()) {
+      ++rp[e.row + 1];
+    }
+    for (index_t r = 0; r < nrows_; ++r) {
+      rp[r + 1] += rp[r];
+    }
+    chunk_plan_ = plan_chunks(rp, partition_, target);
+  }
+  if (chunk_plan_.nchunks() == 0) {
+    chunk_plan_ = ChunkPlan{};
+    return;
+  }
+  sched_ = requested;
+
+  // Per-chunk DU slices in one ctl scan (chunk bounds are row-aligned,
+  // and units never span rows, so every bound is a unit boundary).
+  if (const auto* du = std::get_if<CsrDu>(&matrix_)) {
+    du_chunk_slices_ = du->slices(chunk_plan_.bounds);
+  } else if (const auto* duvi = std::get_if<CsrDuVi>(&matrix_)) {
+    du_chunk_slices_ = duvi->du().slices(chunk_plan_.bounds);
+  }
+
+  sched_slots_.assign(nthreads_, SchedSlot{});
+  if (sched_ == Schedule::kSteal) {
+    std::vector<std::uint32_t> ids(chunk_plan_.nchunks());
+    for (std::size_t c = 0; c < ids.size(); ++c) {
+      ids[c] = static_cast<std::uint32_t>(c);
+    }
+    deques_ = std::vector<ChunkDeque>(nthreads_);
+    for (std::size_t th = 0; th < nthreads_; ++th) {
+      deques_[th].init(
+          ids.data() + chunk_plan_.owner_begin[th],
+          chunk_plan_.owner_begin[th + 1] - chunk_plan_.owner_begin[th]);
+    }
+    // NUMA-near victim order from the pin plan; unknown topology (or a
+    // single node) degrades to plain rotation inside the helper.
+    std::vector<int> tnodes;
+    const std::vector<int>& cpus = pool_->worker_cpus();
+    if (topo.num_nodes() > 1 && !cpus.empty() && cpus[0] >= 0) {
+      tnodes.resize(nthreads_);
+      for (std::size_t th = 0; th < nthreads_; ++th) {
+        tnodes[th] = std::max(0, topo.node_of_cpu(cpus[th]));
+      }
+    }
+    steal_victims_ = steal_victim_order(nthreads_, tnodes);
+  }
+
+  auto& reg = obs::Registry::global();
+  sched_steals_counter_ = &reg.counter("spc.sched.steals");
+  reg.gauge("spc.sched.chunks")
+      .set(static_cast<double>(chunk_plan_.nchunks()));
+}
+
+std::uint64_t SpmvInstance::sched_steals_total() const {
+  std::uint64_t total = 0;
+  for (const SchedSlot& s : sched_slots_) {
+    total += s.stolen;
+  }
+  return total;
+}
+
+void SpmvInstance::sched_reset() {
+  for (SchedSlot& s : sched_slots_) {
+    s.executed = 0;
+    s.stolen = 0;
+  }
 }
 
 void SpmvInstance::setup_numa(const Topology& topo) {
@@ -514,6 +711,7 @@ void SpmvInstance::setup_numa(const Topology& topo) {
         if (arena_->block_bytes(t) == 0) {
           continue;  // empty slice — nothing reserved, nothing to move
         }
+        const CsrDu::Slice orig = s;  // pristine offsets, for the chunks
         std::uint8_t* lctl = arena_->data<std::uint8_t>(p.ci);
         std::memcpy(lctl, s.ctl, p.n);
         s.ctl = lctl;
@@ -528,6 +726,29 @@ void SpmvInstance::setup_numa(const Topology& topo) {
           std::memcpy(lvi, vi_raw + p.n0 * vi_elem, s.nnz * vi_elem);
           numa_slices_[t].val_ind = lvi;
           s.val_offset = 0;
+        }
+        // Chunk slices owned by this worker follow its data into the
+        // arena block: same relative ctl/value positions, so any
+        // executor decodes identical bytes.
+        if (!du_chunk_slices_.empty()) {
+          for (std::uint32_t c = chunk_plan_.owner_begin[t];
+               c < chunk_plan_.owner_begin[t + 1]; ++c) {
+            CsrDu::Slice& cs = du_chunk_slices_[c];
+            const std::ptrdiff_t ctl_off = cs.ctl - orig.ctl;
+            const std::ptrdiff_t ctl_len = cs.ctl_end - cs.ctl;
+            cs.ctl = s.ctl + ctl_off;
+            cs.ctl_end = cs.ctl + ctl_len;
+            const usize_t rel_val = cs.val_offset - orig.val_offset;
+            if (cs.values) {
+              cs.values = s.values + rel_val;
+            }
+            if (vi_elem) {
+              // The owner's local val_ind span starts at its slice's
+              // first non-zero; prepare() binds that local pointer per
+              // chunk.
+              cs.val_offset = rel_val;
+            }
+          }
         }
       }
       break;
@@ -725,28 +946,66 @@ void SpmvInstance::prepare() {
       };
     }
   };
+  // Chunk closures for the dynamic schedules: one per ChunkPlan entry,
+  // bound over the *owner's* arrays (the NUMA-repacked copies when they
+  // exist, else the shared ones) so a stolen chunk reads exactly the
+  // bytes its owner would. Chunk row ranges are disjoint, so whichever
+  // worker executes a chunk writes only that chunk's rows of y.
+  const bool want_chunks =
+      sched_ != Schedule::kStatic && chunk_plan_.nchunks() > 0;
+  const auto bind_chunks = [&](auto fn, auto shared, auto arrays_of) {
+    if (!want_chunks) {
+      return;
+    }
+    binding_.per_chunk.reserve(chunk_plan_.nchunks());
+    for (std::size_t c = 0; c < chunk_plan_.nchunks(); ++c) {
+      const std::size_t t = chunk_plan_.owner[c];
+      const index_t b = chunk_plan_.row_begin(c);
+      const index_t e = chunk_plan_.row_end(c);
+      auto arrs = shared;
+      if (t < numa_slices_.size()) {
+        const auto local = arrays_of(numa_slices_[t]);
+        if (std::get<0>(local) != nullptr) {
+          arrs = local;
+        }
+      }
+      binding_.per_chunk.push_back([=](const value_t* x, value_t* y) {
+        std::apply([&](const auto*... a) { fn(a..., x, y, b, e); }, arrs);
+      });
+    }
+  };
 
   switch (format_) {
     case Format::kCsr: {
       const auto& m = std::get<Csr>(matrix_);
-      bind_rows(kt.csr, m.row_ptr().data(), m.col_ind().data(),
-                m.values().data());
-      rebind_numa(kt.csr, [](const NumaSlice& s) {
+      const auto arrays_of = [](const NumaSlice& s) {
         return std::make_tuple(
             s.row_ptr, static_cast<const std::uint32_t*>(s.col_ind),
             s.values);
-      });
+      };
+      bind_rows(kt.csr, m.row_ptr().data(), m.col_ind().data(),
+                m.values().data());
+      rebind_numa(kt.csr, arrays_of);
+      bind_chunks(kt.csr,
+                  std::make_tuple(m.row_ptr().data(), m.col_ind().data(),
+                                  m.values().data()),
+                  arrays_of);
       break;
     }
     case Format::kCsr16: {
       const auto& m = std::get<Csr16>(matrix_);
-      bind_rows(kt.csr16, m.row_ptr().data(), m.col_ind().data(),
-                m.values().data());
-      rebind_numa(kt.csr16, [](const NumaSlice& s) {
+      const auto arrays_of = [](const NumaSlice& s) {
         return std::make_tuple(
             s.row_ptr, static_cast<const std::uint16_t*>(s.col_ind),
             s.values);
-      });
+      };
+      bind_rows(kt.csr16, m.row_ptr().data(), m.col_ind().data(),
+                m.values().data());
+      rebind_numa(kt.csr16, arrays_of);
+      bind_chunks(kt.csr16,
+                  std::make_tuple(m.row_ptr().data(), m.col_ind().data(),
+                                  m.values().data()),
+                  arrays_of);
       break;
     }
     case Format::kCsrVi: {
@@ -757,12 +1016,14 @@ void SpmvInstance::prepare() {
       // The unique-value table is tiny and read-shared; only row_ptr,
       // col_ind, and val_ind repack under NUMA placement.
       const auto bind_vi = [&](auto fn, const auto* vi) {
-        bind_rows(fn, rp, ci, vi, uq);
-        rebind_numa(fn, [uq, vi](const NumaSlice& s) {
+        const auto arrays_of = [uq, vi](const NumaSlice& s) {
           return std::make_tuple(
               s.row_ptr, static_cast<const std::uint32_t*>(s.col_ind),
               static_cast<decltype(vi)>(s.val_ind), uq);
-        });
+        };
+        bind_rows(fn, rp, ci, vi, uq);
+        rebind_numa(fn, arrays_of);
+        bind_chunks(fn, std::make_tuple(rp, ci, vi, uq), arrays_of);
       };
       switch (m.width()) {
         case ViWidth::kU8:
@@ -794,6 +1055,13 @@ void SpmvInstance::prepare() {
         binding_.per_thread.push_back(
             [=](const value_t* x, value_t* y) { fn(s, x, y); });
       }
+      if (want_chunks) {
+        binding_.per_chunk.reserve(du_chunk_slices_.size());
+        for (const CsrDu::Slice& s : du_chunk_slices_) {
+          binding_.per_chunk.push_back(
+              [=](const value_t* x, value_t* y) { fn(s, x, y); });
+        }
+      }
       break;
     }
     case Format::kCsrDuVi: {
@@ -821,6 +1089,24 @@ void SpmvInstance::prepare() {
           binding_.per_thread.push_back([=](const value_t* x, value_t* y) {
             fn(s, vi_t, uq, x, y);
           });
+        }
+        if (want_chunks) {
+          binding_.per_chunk.reserve(du_chunk_slices_.size());
+          for (std::size_t c = 0; c < du_chunk_slices_.size(); ++c) {
+            // Repacked owners carry chunk val_offsets relative to their
+            // local val_ind span (see setup_numa); pristine owners keep
+            // the shared stream with absolute offsets.
+            const std::size_t t = chunk_plan_.owner[c];
+            auto vi_c = vi;
+            if (!numa_slices_.empty() && numa_slices_[t].val_ind) {
+              vi_c = static_cast<decltype(vi)>(numa_slices_[t].val_ind);
+            }
+            const CsrDu::Slice& s = du_chunk_slices_[c];
+            binding_.per_chunk.push_back(
+                [=](const value_t* x, value_t* y) {
+                  fn(s, vi_c, uq, x, y);
+                });
+          }
         }
       };
       switch (m.width()) {
@@ -915,11 +1201,14 @@ void SpmvInstance::prepare() {
           raw(brp, bcol, vals, x, y, b, e);
         });
       }
-      rebind_numa(raw, [](const NumaSlice& s) {
+      const auto arrays_of = [](const NumaSlice& s) {
         return std::make_tuple(s.row_ptr,
                                static_cast<const index_t*>(s.col_ind),
                                s.values);
-      });
+      };
+      rebind_numa(raw, arrays_of);
+      // Chunk bounds are in *block* rows here, matching the partition.
+      bind_chunks(raw, std::make_tuple(brp, bcol, vals), arrays_of);
       break;
     }
     case Format::kEll: {
@@ -930,11 +1219,15 @@ void SpmvInstance::prepare() {
                            index_t e) {
         spmv_ell_raw(w, ci, vv, x, y, b, e);
       };
-      bind_rows(raw, m.col_ind().data(), m.values().data());
-      rebind_numa(raw, [](const NumaSlice& s) {
+      const auto arrays_of = [](const NumaSlice& s) {
         return std::make_tuple(static_cast<const index_t*>(s.col_ind),
                                s.values);
-      });
+      };
+      bind_rows(raw, m.col_ind().data(), m.values().data());
+      rebind_numa(raw, arrays_of);
+      bind_chunks(raw,
+                  std::make_tuple(m.col_ind().data(), m.values().data()),
+                  arrays_of);
       break;
     }
     case Format::kDia:
@@ -981,18 +1274,38 @@ void SpmvInstance::run_parallel(const Vector& x, Vector& y) {
   const value_t* const xp = x.data();
   value_t* const yp = y.data();
 
-  // Dispatch-bound formats: one indirect call per worker, everything
-  // else was fixed by prepare(). The replicate/interleave x policies
-  // add a refresh phase — each worker copies its chunk of x into the
-  // node-placed mirror — and swap in the per-thread mirror pointer.
+  // Dispatch-bound formats: everything was fixed by prepare(); the
+  // timed path is the raw-callable pool dispatch — one function-pointer
+  // call per worker, no std::function construction. The
+  // replicate/interleave x policies add a refresh phase — each worker
+  // copies its chunk of x into the node-placed mirror — and worker_x()
+  // swaps in the per-thread mirror pointer.
   if (!binding_.per_thread.empty()) {
-    if (!numa_x_copy_.empty()) {
-      dispatch([&](std::size_t th) { numa_x_copy_[th](xp); });
-      dispatch([&](std::size_t th) {
-        binding_.per_thread[th](numa_x_ptr_[th], yp);
-      });
-    } else {
+    if (pool_ == nullptr) {
+      // OpenMP backend: parallel regions, always static.
       dispatch([&](std::size_t th) { binding_.per_thread[th](xp, yp); });
+      return;
+    }
+    run_args_.x = xp;
+    run_args_.y = yp;
+    if (!numa_x_copy_.empty()) {
+      dispatch_raw(&SpmvInstance::xcopy_job);
+    }
+    switch (sched_) {
+      case Schedule::kStatic:
+        dispatch_raw(&SpmvInstance::static_job);
+        break;
+      case Schedule::kChunked:
+        dispatch_raw(&SpmvInstance::chunked_job);
+        break;
+      case Schedule::kSteal:
+        // Refill every deque with its owner's chunks; the pool's
+        // dispatch handshake publishes these stores to the workers.
+        for (ChunkDeque& d : deques_) {
+          d.reset();
+        }
+        dispatch_raw(&SpmvInstance::steal_job);
+        break;
     }
     return;
   }

@@ -28,8 +28,10 @@
 #include "spc/mm/triplets.hpp"
 #include "spc/mm/vector.hpp"
 #include "spc/obs/metrics.hpp"
+#include "spc/parallel/chunk_queue.hpp"
 #include "spc/parallel/kernel_binding.hpp"
 #include "spc/parallel/partition.hpp"
+#include "spc/parallel/schedule.hpp"
 #include "spc/parallel/thread_pool.hpp"
 #include "spc/spmv/dispatch.hpp"
 #include "spc/support/first_touch.hpp"
@@ -87,6 +89,17 @@ struct InstanceOptions {
   /// per-thread slices on multi-node machines and stays off on flat
   /// ones. See support/first_touch.hpp.
   NumaPolicy numa = NumaPolicy::kAuto;
+  /// Work scheduling (overridable via SPC_SCHED): kStatic is the
+  /// paper's one-range-per-worker model (zero-overhead default);
+  /// kChunked/kSteal run the row-partitioned formats as cache-sized
+  /// chunks, with kSteal letting idle workers steal from NUMA-near
+  /// victims. Non-static requests silently fall back to static for
+  /// unsupported formats, the OpenMP backend, and serial instances.
+  Schedule schedule = Schedule::kStatic;
+  /// Target non-zeros per chunk for the dynamic schedules; 0 derives it
+  /// from the discovered L2 size (parallel/schedule.hpp). SPC_CHUNK_NNZ
+  /// overrides either.
+  usize_t chunk_nnz = 0;
 };
 
 /// True when the library was compiled with OpenMP support.
@@ -162,11 +175,48 @@ class SpmvInstance {
   };
   NumaResidency matrix_residency() const;
 
+  /// The schedule actually in effect: the resolved value of
+  /// opts.schedule / SPC_SCHED, or kStatic when the format, backend, or
+  /// thread count rules dynamic scheduling out. Recorded into the JSONL
+  /// metrics as "schedule".
+  Schedule schedule() const { return sched_; }
+
+  /// Number of chunks in the active chunk plan (0 under static).
+  std::size_t sched_chunks() const { return chunk_plan_.nchunks(); }
+
+  /// Chunks executed by worker `t` since the last sched_reset().
+  std::uint64_t sched_executed(std::size_t t) const {
+    return t < sched_slots_.size() ? sched_slots_[t].executed : 0;
+  }
+
+  /// Chunks worker `t` stole from other workers' deques.
+  std::uint64_t sched_stolen(std::size_t t) const {
+    return t < sched_slots_.size() ? sched_slots_[t].stolen : 0;
+  }
+
+  /// Total steals across all workers since the last sched_reset().
+  std::uint64_t sched_steals_total() const;
+
+  /// Zeroes the per-worker executed/stolen chunk counts (the bench
+  /// harness calls this next to ThreadPool::busy_reset() so the timed
+  /// loop's counts exclude warmup).
+  void sched_reset();
+
  private:
   void run_serial(const value_t* x, value_t* y);
   void run_parallel(const Vector& x, Vector& y);
   /// Runs body(tid) on every worker via the configured backend.
   void dispatch(const std::function<void(std::size_t)>& body);
+  /// Pool-only raw dispatch for the scheduler executors (ctx = this).
+  void dispatch_raw(ThreadPool::RawJob fn);
+  /// Resolves opts.schedule / SPC_SCHED and, when a dynamic schedule is
+  /// active, builds the chunk plan, the per-worker deques, and the
+  /// NUMA-near victim order. Called by the constructor after the pool
+  /// exists and *before* setup_numa (the DU chunk slices are computed
+  /// against the pristine ctl stream; setup_numa translates them into
+  /// each owner's arena block). `t` supplies the per-row nnz counts the
+  /// planner needs for formats without a row_ptr (the DU family, ELL).
+  void setup_schedule(const Triplets& t, const Topology& topo);
   /// Resolves the NUMA policy and, when active, repacks every worker's
   /// matrix slice into a first-touched arena block (plus the x mirrors
   /// the replicate/interleave policies need). Called by the constructor
@@ -220,6 +270,42 @@ class SpmvInstance {
   // Cached metrics-registry handles (lookup once here, lock-free in run).
   obs::Counter* runs_counter_ = nullptr;
   obs::LatencyHisto* run_histo_ = nullptr;
+  // Dynamic scheduling (set up once by setup_schedule, off the timed
+  // path): the resolved schedule, the row-aligned chunk plan, per-chunk
+  // DU slices (DU formats only), one deque of owned chunks per worker,
+  // and each worker's NUMA-near-first victim order.
+  Schedule sched_ = Schedule::kStatic;
+  ChunkPlan chunk_plan_;
+  std::vector<CsrDu::Slice> du_chunk_slices_;  ///< one per chunk
+  std::vector<ChunkDeque> deques_;             ///< one per worker
+  std::vector<std::vector<std::uint32_t>> steal_victims_;
+  /// Per-worker chunk counters, cache-line padded; written only by the
+  /// owning worker during a run, read after the pool handshake.
+  struct alignas(kCacheLineBytes) SchedSlot {
+    std::uint64_t executed = 0;
+    std::uint64_t stolen = 0;
+  };
+  std::vector<SchedSlot> sched_slots_;
+  obs::Counter* sched_steals_counter_ = nullptr;
+  /// The current run's vectors, published to the static executor jobs
+  /// before dispatch_raw (pool handshake orders the accesses).
+  struct RunArgs {
+    const value_t* x = nullptr;
+    value_t* y = nullptr;
+  };
+  RunArgs run_args_;
+  /// Static executor jobs for dispatch_raw (ctx = the instance). The
+  /// raw-callable path keeps the per-run cost at one function-pointer
+  /// call per worker — no std::function allocation on the timed path.
+  static void static_job(void* ctx, std::size_t tid);
+  static void chunked_job(void* ctx, std::size_t tid);
+  static void steal_job(void* ctx, std::size_t tid);
+  static void xcopy_job(void* ctx, std::size_t tid);
+  /// The x pointer worker `th` should read (its NUMA replica when the
+  /// replicate policy is active, the caller's x otherwise).
+  const value_t* worker_x(std::size_t th) const {
+    return numa_x_ptr_.empty() ? run_args_.x : numa_x_ptr_[th];
+  }
 };
 
 /// One-shot convenience: y = A*x via CSR on the calling thread.

@@ -211,6 +211,26 @@ Topology discover_topology(const std::string& sysfs_root) {
     if (info.llc_siblings.empty()) {
       info.llc_siblings = {c};
     }
+
+    // Level-2 data/unified cache size (feeds the scheduler's chunk-size
+    // heuristic). Identified by the `level` file, not the index number —
+    // index-to-level mapping varies across CPUs.
+    if (topo.l2_bytes == 0) {
+      for (int idx = 0; idx <= 4; ++idx) {
+        const std::string cache =
+            cdir + "/cache/index" + std::to_string(idx);
+        if (read_line(cache + "/level") != "2" ||
+            read_line(cache + "/type") == "Instruction") {
+          continue;
+        }
+        const std::size_t sz =
+            parse_cache_size(read_line(cache + "/size"));
+        if (sz > 0) {
+          topo.l2_bytes = sz;
+          break;
+        }
+      }
+    }
     topo.cpus.push_back(info);
   }
 

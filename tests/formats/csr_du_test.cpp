@@ -230,6 +230,70 @@ TEST(CsrDu, SlicesPartitionCtlExactly) {
   EXPECT_EQ(nnz_total, m.nnz());
 }
 
+TEST(CsrDu, MultiSliceMatchesPerCallSlices) {
+  // slices(bounds) is the chunk-boundary query of the scheduler: one
+  // O(ctl) scan must reproduce slice(b, e) field-for-field for every
+  // consecutive range, including empty ones, on varied structures.
+  for (const int seed : {1, 2, 3, 4, 5}) {
+    Rng rng(600 + seed);
+    Triplets t = seed % 2 == 0
+                     ? test::random_triplets(
+                           400, 400, 3000 + rng.next_below(5000), rng)
+                     : gen_banded(300, 1 + static_cast<index_t>(
+                                           rng.next_below(20)),
+                                  1 + static_cast<index_t>(
+                                          rng.next_below(6)),
+                                  rng, ValueModel::random());
+    CsrDuOptions o;
+    o.enable_rle = seed % 2 == 1;
+    const CsrDu m = CsrDu::from_triplets(t, o);
+    // Random monotone bounds, duplicates (empty ranges) included.
+    std::vector<index_t> bounds = {0};
+    while (bounds.back() < m.nrows()) {
+      const index_t step = static_cast<index_t>(rng.next_below(40));
+      bounds.push_back(
+          std::min<index_t>(m.nrows(), bounds.back() + step));
+    }
+    const auto many = m.slices(bounds);
+    ASSERT_EQ(many.size(), bounds.size() - 1);
+    for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+      const auto one = m.slice(bounds[i], bounds[i + 1]);
+      EXPECT_EQ(many[i].ctl, one.ctl) << "seed " << seed << " range " << i;
+      EXPECT_EQ(many[i].ctl_end, one.ctl_end) << "range " << i;
+      EXPECT_EQ(many[i].values, one.values) << "range " << i;
+      EXPECT_EQ(many[i].val_offset, one.val_offset) << "range " << i;
+      EXPECT_EQ(many[i].row_begin, one.row_begin) << "range " << i;
+      EXPECT_EQ(many[i].row_end, one.row_end) << "range " << i;
+      EXPECT_EQ(many[i].row_state, one.row_state) << "range " << i;
+      EXPECT_EQ(many[i].nnz, one.nnz) << "range " << i;
+    }
+  }
+}
+
+TEST(CsrDu, MultiSliceDegenerateBounds) {
+  Triplets t(10, 10);
+  t.add(0, 0, 1.0);
+  t.add(9, 9, 1.0);
+  t.sort_and_combine();
+  const CsrDu m = CsrDu::from_triplets(t);
+  EXPECT_TRUE(m.slices({}).empty());
+  EXPECT_TRUE(m.slices({0}).empty());  // no ranges
+  // All-empty interior ranges plus full coverage.
+  const std::vector<index_t> bounds = {0, 0, 5, 5, 10, 10};
+  const auto many = m.slices(bounds);
+  ASSERT_EQ(many.size(), 5u);
+  for (std::size_t i = 0; i < many.size(); ++i) {
+    const auto one = m.slice(bounds[i], bounds[i + 1]);
+    EXPECT_EQ(many[i].ctl, one.ctl) << i;
+    EXPECT_EQ(many[i].ctl_end, one.ctl_end) << i;
+    EXPECT_EQ(many[i].nnz, one.nnz) << i;
+    EXPECT_EQ(many[i].row_state, one.row_state) << i;
+  }
+  // Out-of-order bounds are rejected.
+  EXPECT_THROW(m.slices({5, 0}), Error);
+  EXPECT_THROW(m.slices({0, 11}), Error);
+}
+
 TEST(CsrDu, SliceOfEmptyRowRangeIsEmpty) {
   Triplets t(10, 10);
   t.add(0, 0, 1.0);

@@ -1,0 +1,155 @@
+#include "spc/parallel/chunk_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "spc/parallel/thread_pool.hpp"
+
+namespace spc {
+namespace {
+
+std::vector<std::uint32_t> iota_ids(std::size_t n) {
+  std::vector<std::uint32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  return ids;
+}
+
+TEST(ChunkDeque, OwnerTakesInLoadOrder) {
+  const auto ids = iota_ids(8);
+  ChunkDeque d;
+  d.init(ids.data(), ids.size());
+  std::uint32_t c = 0;
+  for (std::uint32_t expect = 0; expect < 8; ++expect) {
+    ASSERT_TRUE(d.take(&c));
+    EXPECT_EQ(c, expect);
+  }
+  EXPECT_FALSE(d.take(&c));
+  EXPECT_FALSE(d.take(&c));  // repeated empty takes stay empty
+}
+
+TEST(ChunkDeque, ThievesTakeTheOwnersLastChunksFirst) {
+  const auto ids = iota_ids(5);
+  ChunkDeque d;
+  d.init(ids.data(), ids.size());
+  std::uint32_t c = 0;
+  ASSERT_EQ(d.steal(&c), ChunkDeque::Steal::kGot);
+  EXPECT_EQ(c, 4u);  // the chunk the owner would reach last
+  ASSERT_EQ(d.steal(&c), ChunkDeque::Steal::kGot);
+  EXPECT_EQ(c, 3u);
+  // Owner still drains the remaining front chunks in order.
+  ASSERT_TRUE(d.take(&c));
+  EXPECT_EQ(c, 0u);
+}
+
+TEST(ChunkDeque, EmptyAndSingleItem) {
+  ChunkDeque d;
+  d.init(nullptr, 0);
+  std::uint32_t c = 0;
+  EXPECT_FALSE(d.take(&c));
+  EXPECT_EQ(d.steal(&c), ChunkDeque::Steal::kEmpty);
+
+  const std::uint32_t one = 7;
+  d.init(&one, 1);
+  EXPECT_EQ(d.capacity(), 1u);
+  ASSERT_TRUE(d.take(&c));
+  EXPECT_EQ(c, 7u);
+  EXPECT_EQ(d.steal(&c), ChunkDeque::Steal::kEmpty);
+}
+
+TEST(ChunkDeque, ResetRefillsTheFullItemSet) {
+  const auto ids = iota_ids(4);
+  ChunkDeque d;
+  d.init(ids.data(), ids.size());
+  std::uint32_t c = 0;
+  while (d.take(&c)) {
+  }
+  for (int round = 0; round < 3; ++round) {
+    d.reset();
+    std::vector<std::uint32_t> got;
+    while (d.take(&c)) {
+      got.push_back(c);
+    }
+    EXPECT_EQ(got, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  }
+}
+
+// The core safety property under real concurrency: one owner popping
+// while several thieves steal, every item claimed exactly once. Run via
+// ThreadPool so the TSan CI job models exactly the synchronization the
+// scheduler uses.
+TEST(ChunkDeque, ConcurrentOwnerAndThievesClaimEachItemExactlyOnce) {
+  constexpr std::size_t kItems = 2048;
+  constexpr std::size_t kThreads = 4;  // worker 0 owns; 1..3 steal
+  const auto ids = iota_ids(kItems);
+  ChunkDeque d;
+  d.init(ids.data(), ids.size());
+
+  ThreadPool pool(kThreads);
+  std::vector<std::atomic<int>> claimed(kItems);
+  std::atomic<std::uint64_t> taken{0};
+  std::atomic<std::uint64_t> stolen{0};
+  for (int round = 0; round < 20; ++round) {
+    for (auto& c : claimed) {
+      c.store(0, std::memory_order_relaxed);
+    }
+    d.reset();
+    pool.run([&](std::size_t tid) {
+      std::uint32_t c = 0;
+      if (tid == 0) {
+        while (d.take(&c)) {
+          claimed[c].fetch_add(1, std::memory_order_relaxed);
+          taken.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        for (;;) {
+          const ChunkDeque::Steal r = d.steal(&c);
+          if (r == ChunkDeque::Steal::kGot) {
+            claimed[c].fetch_add(1, std::memory_order_relaxed);
+            stolen.fetch_add(1, std::memory_order_relaxed);
+          } else if (r == ChunkDeque::Steal::kEmpty) {
+            break;
+          }
+          // kContended: retry
+        }
+      }
+    });
+    for (std::size_t i = 0; i < kItems; ++i) {
+      ASSERT_EQ(claimed[i].load(), 1) << "item " << i << " round " << round;
+    }
+  }
+  EXPECT_EQ(taken.load() + stolen.load(), 20u * kItems);
+}
+
+// Thief-only drain (owner never shows up): stealing alone must also
+// claim everything exactly once.
+TEST(ChunkDeque, ThievesAloneDrainEverything) {
+  constexpr std::size_t kItems = 512;
+  const auto ids = iota_ids(kItems);
+  ChunkDeque d;
+  d.init(ids.data(), ids.size());
+
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> claimed(kItems);
+  pool.run([&](std::size_t) {
+    std::uint32_t c = 0;
+    for (;;) {
+      const ChunkDeque::Steal r = d.steal(&c);
+      if (r == ChunkDeque::Steal::kGot) {
+        claimed[c].fetch_add(1, std::memory_order_relaxed);
+      } else if (r == ChunkDeque::Steal::kEmpty) {
+        break;
+      }
+    }
+  });
+  for (std::size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(claimed[i].load(), 1) << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace spc

@@ -186,6 +186,47 @@ TEST(Partition, MoreThreadsThanNonemptyRows) {
   EXPECT_GE(imb, 1.0);
 }
 
+TEST(Partition, EvenSplitWithMoreThreadsThanRows) {
+  // 3 rows over 8 threads: trailing ranges are empty; nnz_of must read
+  // them as zero without touching row_ptr, and the imbalance stays
+  // finite (8 = one row each for 3 threads, nothing for 5).
+  Triplets t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 1.0);
+  t.add(2, 2, 1.0);
+  t.sort_and_combine();
+  const auto rp = row_ptr_of(t);
+  const RowPartition p = partition_rows_even(3, 8);
+  ASSERT_EQ(p.nthreads(), 8u);
+  EXPECT_EQ(p.bounds.front(), 0u);
+  EXPECT_EQ(p.bounds.back(), 3u);
+  usize_t total = 0;
+  std::size_t empty = 0;
+  for (std::size_t th = 0; th < 8; ++th) {
+    EXPECT_LE(p.row_begin(th), p.row_end(th));
+    total += p.nnz_of(th, rp);
+    empty += p.row_begin(th) == p.row_end(th) ? 1 : 0;
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(empty, 5u);
+  const double imb = partition_imbalance(p, rp);
+  EXPECT_TRUE(std::isfinite(imb));
+  EXPECT_NEAR(imb, 8.0 / 3.0, 1e-9);
+}
+
+TEST(Partition, NnzOfEmptyRangeOnZeroRowMatrix) {
+  // The zero-row matrix's row_ptr is the single element {0}; an empty
+  // range must not index row_ptr[bounds[t+1]] blindly.
+  aligned_vector<index_t> rp = {0};
+  RowPartition p;
+  p.bounds = {0, 0, 0};  // 2 threads, both empty
+  EXPECT_EQ(p.nnz_of(0, rp), 0u);
+  EXPECT_EQ(p.nnz_of(1, rp), 0u);
+  EXPECT_DOUBLE_EQ(partition_imbalance(p, rp), 1.0);
+  EXPECT_DOUBLE_EQ(partition_imbalance(p, {}), 1.0);
+  EXPECT_DOUBLE_EQ(partition_imbalance(RowPartition{}, rp), 1.0);
+}
+
 TEST(Partition, EmptyMatrixImbalanceIsOne) {
   // nnz == 0 is the 0/0 case: define it as perfectly balanced rather
   // than NaN, for both partitioners.

@@ -72,6 +72,53 @@ TEST(ThreadPool, PropagatesFirstException) {
   EXPECT_EQ(counter.load(), 4);
 }
 
+TEST(ThreadPool, RawCallablePathRunsEveryWorker) {
+  // The non-allocating dispatch primitive: plain function pointer plus
+  // context, no std::function anywhere.
+  ThreadPool pool(4);
+  struct Ctx {
+    std::atomic<int> hits[4];
+  } ctx;
+  for (auto& h : ctx.hits) {
+    h.store(0);
+  }
+  pool.run(
+      [](void* c, std::size_t tid) {
+        static_cast<Ctx*>(c)->hits[tid].fetch_add(1);
+      },
+      &ctx);
+  for (const auto& h : ctx.hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, RawCallablePropagatesExceptionsAndStaysUsable) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.run(
+                   [](void*, std::size_t tid) {
+                     if (tid == 1) {
+                       throw Error("raw boom");
+                     }
+                   },
+                   nullptr),
+               Error);
+  std::atomic<int> counter{0};
+  pool.run([](void* c, std::size_t) { static_cast<std::atomic<int>*>(c)->fetch_add(1); },
+           &counter);
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPool, RawAndFunctionDispatchesInterleave) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.run([&](std::size_t) { counter++; });
+    pool.run([](void* c, std::size_t) { static_cast<std::atomic<int>*>(c)->fetch_add(1); },
+             &counter);
+  }
+  EXPECT_EQ(counter.load(), 400);
+}
+
 TEST(ThreadPool, SingleWorkerPool) {
   ThreadPool pool(1);
   int value = 0;
