@@ -1,9 +1,12 @@
 // Fig 6 equivalent: reports the machine topology the experiments run on
 // and the thread placement plans the harness derives from it (close-first
-// vs spread, the paper's §VI-A policy).
+// vs spread, the paper's §VI-A policy). Also prints the machine
+// fingerprint JSON block that run-ledger records embed verbatim, so a
+// ledger's machine_id can be traced back to a box by running this.
 #include <iostream>
 
 #include "spc/bench/harness.hpp"
+#include "spc/obs/ledger.hpp"
 #include "spc/support/strutil.hpp"
 #include "spc/support/topology.hpp"
 
@@ -12,6 +15,9 @@ int main() {
   const Topology topo = discover_topology();
   std::cout << "=== Machine report (Fig 6 equivalent) ===\n";
   std::cout << describe_topology(topo) << "\n";
+  const obs::MachineFingerprint fp = obs::machine_fingerprint();
+  std::cout << "machine id: " << fp.id() << " (ledger provenance key)\n"
+            << "fingerprint: " << fp.to_json().dump() << "\n";
   if (topo.llc_bytes > 0) {
     std::cout << "LLC: " << human_bytes(topo.llc_bytes) << " x "
               << topo.llc_instances << " = "

@@ -46,6 +46,8 @@ struct Record {
   double cycles_per_nnz = 0.0;
   bool has_llc = false;
   double misses_per_knnz = 0.0;
+  double bytes_per_nnz = 0.0;    ///< 0 when absent (pre-ledger record)
+  double frac_roofline = 0.0;    ///< 0 when no roofline attribution
 };
 
 double num(const spc::obs::Json& j, const char* key, double dflt = 0.0) {
@@ -104,6 +106,11 @@ bool parse_record(const std::string& line, Record& r) {
       r.has_llc = true;
       r.misses_per_knnz = num(*c, "misses_per_knnz");
     }
+  }
+  r.bytes_per_nnz = num(j, "bytes_per_nnz");
+  if (const spc::obs::Json* roof = j.find("roofline");
+      roof != nullptr && roof->is_object()) {
+    r.frac_roofline = num(*roof, "frac");
   }
   return !r.matrix.empty() && !r.format.empty();
 }
@@ -180,7 +187,7 @@ int main(int argc, char** argv) {
   // 1. Per-(format, threads) aggregate — the Fig. 7/8 summary view.
   struct Agg {
     MaybeMean mflops, speedup, ipc, cycles_per_nnz, misses_per_knnz,
-        imbalance;
+        imbalance, bytes_per_nnz, frac_roofline;
     std::size_t runs = 0;
   };
   std::map<std::tuple<std::string, std::string, std::string, std::string,
@@ -204,16 +211,25 @@ int main(int argc, char** argv) {
         a.misses_per_knnz.add(r.misses_per_knnz);
       }
     }
+    if (r.bytes_per_nnz > 0.0) {
+      a.bytes_per_nnz.add(r.bytes_per_nnz);
+    }
+    if (r.frac_roofline > 0.0) {
+      a.frac_roofline.add(r.frac_roofline);
+    }
   }
   spc::TextTable summary({"format", "isa", "numa", "sched", "threads",
                           "runs", "MFLOPS", "speedup", "IPC", "cyc/nnz",
-                          "miss/knnz", "imbalance"});
+                          "miss/knnz", "B/nnz", "roofline", "imbalance"});
+  bool any_roofline = false;
   for (const auto& [key, a] : by_cell) {
+    any_roofline = any_roofline || a.frac_roofline.n > 0;
     summary.add_row({std::get<0>(key), std::get<1>(key), std::get<2>(key),
                      std::get<3>(key), std::to_string(std::get<4>(key)),
                      std::to_string(a.runs), a.mflops.fmt(1),
                      a.speedup.fmt(2), a.ipc.fmt(2),
                      a.cycles_per_nnz.fmt(1), a.misses_per_knnz.fmt(2),
+                     a.bytes_per_nnz.fmt(1), a.frac_roofline.fmt(2),
                      a.imbalance.fmt(2)});
   }
   std::cout << "per-(format, isa, numa, schedule, threads) aggregate:\n";
@@ -254,6 +270,11 @@ int main(int argc, char** argv) {
     std::cout << "\nnote: hardware counters were unavailable for every "
                  "record (SPC_COUNTERS=0, perf_event_paranoid, or "
                  "platform limits); wall-clock columns remain valid.\n";
+  }
+  if (!any_roofline) {
+    std::cout << "\nnote: no roofline attribution in these records — set "
+                 "SPC_ROOFLINE_GBPS (or run regress_check --calibrate) "
+                 "to record fraction-of-roofline per cell.\n";
   }
   return 0;
 }

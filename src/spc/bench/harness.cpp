@@ -6,7 +6,9 @@
 #include <memory>
 #include <sstream>
 
+#include "spc/bench/model.hpp"
 #include "spc/mm/vector.hpp"
+#include "spc/obs/ledger.hpp"
 #include "spc/obs/metrics.hpp"
 #include "spc/obs/metrics_io.hpp"
 #include "spc/obs/trace.hpp"
@@ -34,6 +36,20 @@ std::optional<std::uint64_t> env_u64(const char* name) {
     return std::stoull(*s);
   } catch (...) {
     return std::nullopt;
+  }
+}
+
+// SPC_PAD_NS_PER_ITER test hook: spin this many extra ns per timed
+// iteration. Re-read on every timed run so in-process setenv works
+// (regress_check's injection mode).
+std::uint64_t pad_ns_per_iter() {
+  return env_u64("SPC_PAD_NS_PER_ITER").value_or(0);
+}
+
+void busy_wait_ns(std::uint64_t ns) {
+  const std::uint64_t until = now_ns() + ns;
+  while (now_ns() < until) {
+    // spin — the point is to consume wall time deterministically
   }
 }
 
@@ -195,11 +211,25 @@ RunMetrics time_spmv_metrics(SpmvInstance& inst, std::size_t iters,
 
   {
     obs::TraceSpan span("timed");
-    Timer t;
+    // Per-iteration timestamps: sample i is t[i+1]-t[i], the total is
+    // t[N]-t[0], so aggregate and samples stay mutually consistent. The
+    // raw samples feed the run-ledger (obs/ledger.hpp).
+    const std::uint64_t pad = pad_ns_per_iter();
+    m.sample_seconds.resize(iters);
+    const std::uint64_t begin = now_ns();
+    std::uint64_t prev = begin;
     for (std::size_t i = 0; i < iters; ++i) {
       inst.run(x, y);
+      if (pad > 0) {
+        busy_wait_ns(pad);
+      }
+      const std::uint64_t now = now_ns();
+      m.sample_seconds[i] =
+          now >= prev ? static_cast<double>(now - prev) * 1e-9 : 0.0;
+      prev = now;
     }
-    m.seconds = t.elapsed_s();
+    m.seconds =
+        prev >= begin ? static_cast<double>(prev - begin) * 1e-9 : 0.0;
   }
   m.mflops = mflops(inst.nnz(), iters, m.seconds);
   if (inst.schedule() != Schedule::kStatic) {
@@ -232,20 +262,33 @@ RunMetrics time_spmv_metrics(SpmvInstance& inst, std::size_t iters,
 
 bool metrics_enabled() { return obs::MetricsSink::global().enabled(); }
 
-void emit_metrics_record(
+double roofline_gbps() {
+  const auto s = env_str("SPC_ROOFLINE_GBPS");
+  if (!s) {
+    return 0.0;
+  }
+  try {
+    const double g = std::stod(*s);
+    return g > 0.0 ? g : 0.0;
+  } catch (...) {
+    return 0.0;
+  }
+}
+
+obs::Json make_metrics_record(
     const std::string& bench, const MatrixCase& mc,
     const SpmvInstance& inst, const RunMetrics& m, double speedup_vs_csr,
     const std::vector<std::pair<std::string, std::string>>& extras) {
-  obs::MetricsSink& sink = obs::MetricsSink::global();
-  if (!sink.enabled()) {
-    return;
-  }
   const double nnz_total =
       static_cast<double>(inst.nnz()) *
       static_cast<double>(m.iterations ? m.iterations : 1);
 
   obs::Json rec = obs::Json::object();
   rec.set("bench", bench);
+  // Ledger provenance: which code on which machine produced this row.
+  rec.set("git_sha", obs::build_git_sha());
+  rec.set("machine_id", obs::machine_fingerprint().id());
+  rec.set("machine", obs::machine_fingerprint().to_json());
   rec.set("matrix", mc.name);
   rec.set("cls", mc.cls);
   rec.set("set", std::string(mc.set_class == SetClass::kSmall    ? "MS"
@@ -277,6 +320,40 @@ void emit_metrics_record(
   rec.set("mflops", m.mflops);
   rec.set("ns_per_nnz",
           nnz_total > 0.0 ? m.seconds * 1e9 / nnz_total : 0.0);
+  // Working-set attribution (§II-B): bytes one SpMV streams, per nnz,
+  // and — when a bandwidth figure is known — the fraction of the
+  // memory-roofline bound this cell actually achieved. A cell at
+  // frac ≈ 1 is as fast as the memory system allows; a low frac is
+  // slow for a *fixable* reason, not because the matrix is big.
+  const usize_t streamed =
+      spmv_streamed_bytes(inst.matrix_bytes(), inst.nrows(), inst.ncols());
+  rec.set("bytes_per_nnz",
+          inst.nnz() > 0
+              ? static_cast<double>(streamed) /
+                    static_cast<double>(inst.nnz())
+              : 0.0);
+  if (const double gbps = roofline_gbps();
+      gbps > 0.0 && !m.sample_seconds.empty()) {
+    const double med_s = median(m.sample_seconds);
+    const double min_s = predicted_spmv_seconds(streamed, gbps);
+    if (med_s > 0.0 && min_s > 0.0) {
+      obs::Json roof = obs::Json::object();
+      roof.set("gbps", gbps);
+      roof.set("min_ns_per_nnz",
+               inst.nnz() > 0
+                   ? min_s * 1e9 / static_cast<double>(inst.nnz())
+                   : 0.0);
+      roof.set("frac", min_s / med_s);
+      rec.set("roofline", std::move(roof));
+    }
+  }
+  if (!m.sample_seconds.empty()) {
+    obs::Json samples = obs::Json::array();
+    for (const double s : m.sample_seconds) {
+      samples.push(s * 1e9);
+    }
+    rec.set("samples_ns", std::move(samples));
+  }
   if (speedup_vs_csr > 0.0) {
     rec.set("speedup_vs_csr", speedup_vs_csr);
   }
@@ -317,7 +394,18 @@ void emit_metrics_record(
   for (const auto& [key, value] : extras) {
     rec.set(key, value);
   }
-  sink.write(rec);
+  return rec;
+}
+
+void emit_metrics_record(
+    const std::string& bench, const MatrixCase& mc,
+    const SpmvInstance& inst, const RunMetrics& m, double speedup_vs_csr,
+    const std::vector<std::pair<std::string, std::string>>& extras) {
+  obs::MetricsSink& sink = obs::MetricsSink::global();
+  if (!sink.enabled()) {
+    return;
+  }
+  sink.write(make_metrics_record(bench, mc, inst, m, speedup_vs_csr, extras));
 }
 
 TextTable::TextTable(std::vector<std::string> header)

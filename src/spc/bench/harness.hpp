@@ -16,6 +16,7 @@
 
 #include "spc/gen/corpus.hpp"
 #include "spc/mm/stats.hpp"
+#include "spc/obs/json.hpp"
 #include "spc/obs/perf_counters.hpp"
 #include "spc/spmv/instance.hpp"
 #include "spc/support/stats.hpp"
@@ -96,6 +97,12 @@ struct RunMetrics {
   std::size_t iterations = 0;
   std::size_t warmup = 0;
   double seconds = 0.0;  ///< total wall time of the timed loop
+  /// Per-iteration wall time — the raw samples behind `seconds`, kept
+  /// so the run-ledger can recompute medians / CIs / rank tests later
+  /// instead of trusting one pre-aggregated number. Costs one extra
+  /// monotonic clock read per iteration (~25 ns, invisible beyond the
+  /// tiny corpus scale).
+  std::vector<double> sample_seconds;
   double mflops = 0.0;
   /// max/mean worker busy time over the whole timed loop; 1.0 for
   /// serial runs, 0.0 when unknown (OpenMP backend).
@@ -112,16 +119,38 @@ struct RunMetrics {
 /// and a hardware-counter group around the timed loop (per-thread for
 /// pool instances, calling-thread for serial ones). Emits "warmup" and
 /// "timed" trace spans when SPC_TRACE is active.
+///
+/// Test hook: SPC_PAD_NS_PER_ITER=N busy-waits N extra nanoseconds
+/// inside every timed iteration — a synthetic, precisely sized slowdown
+/// used to validate that regress_check flags what it should. Never set
+/// it for real measurements.
 RunMetrics time_spmv_metrics(SpmvInstance& inst, std::size_t iters,
                              std::size_t warmup);
 
 /// True when SPC_METRICS names a JSONL output file.
 bool metrics_enabled();
 
-/// Appends one JSONL record for a (matrix, format, threads) cell to the
-/// SPC_METRICS sink (no-op when disabled). `speedup_vs_csr` <= 0 means
-/// "not applicable" and is omitted from the record. `extras` adds
-/// bench-specific string fields (e.g. ablation_numa's "placement").
+/// Memory-roofline bandwidth (GB/s) used for ledger attribution: the
+/// SPC_ROOFLINE_GBPS environment variable, else 0 (attribution off).
+/// regress_check --calibrate measures and sets it for its own run.
+double roofline_gbps();
+
+/// Builds the full run-ledger record for one (matrix, format, threads)
+/// cell: cell coordinates, machine fingerprint + git sha provenance,
+/// wall-clock aggregates, the per-iteration raw samples, hardware
+/// counters, and derived attribution (ns/nnz, bytes/nnz from the
+/// streamed-working-set model, fraction-of-roofline when a bandwidth
+/// figure is available — see roofline_gbps()).
+obs::Json make_metrics_record(
+    const std::string& bench, const MatrixCase& mc,
+    const SpmvInstance& inst, const RunMetrics& m,
+    double speedup_vs_csr = 0.0,
+    const std::vector<std::pair<std::string, std::string>>& extras = {});
+
+/// make_metrics_record + append to the SPC_METRICS sink (no-op when
+/// disabled). `speedup_vs_csr` <= 0 means "not applicable" and is
+/// omitted from the record. `extras` adds bench-specific string fields
+/// (e.g. ablation_numa's "placement").
 void emit_metrics_record(
     const std::string& bench, const MatrixCase& mc,
     const SpmvInstance& inst, const RunMetrics& m,

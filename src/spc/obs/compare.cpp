@@ -1,0 +1,388 @@
+#include "spc/obs/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "spc/support/rng.hpp"
+#include "spc/support/stats.hpp"
+#include "spc/support/strutil.hpp"
+
+namespace spc::obs {
+
+namespace {
+
+std::vector<double> finite_only(const std::vector<double>& v) {
+  std::vector<double> out;
+  out.reserve(v.size());
+  for (const double x : v) {
+    if (std::isfinite(x)) {
+      out.push_back(x);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BootstrapCi bootstrap_median_ci(const std::vector<double>& samples,
+                                int resamples, double confidence,
+                                std::uint64_t seed) {
+  BootstrapCi ci;
+  ci.median = median(samples);
+  ci.lo = ci.hi = ci.median;
+  const std::size_t n = samples.size();
+  if (n < 2 || resamples < 2) {
+    return ci;
+  }
+  // Seed folds in the sample count so two differently-sized sets never
+  // share a resampling sequence, but verdicts stay run-to-run stable.
+  Rng rng(seed ^ (static_cast<std::uint64_t>(n) << 32));
+  std::vector<double> meds(static_cast<std::size_t>(resamples));
+  std::vector<double> draw(n);
+  for (auto& m : meds) {
+    for (std::size_t i = 0; i < n; ++i) {
+      draw[i] = samples[rng.next_below(n)];
+    }
+    m = median(draw);
+  }
+  std::sort(meds.begin(), meds.end());
+  confidence = std::clamp(confidence, 0.0, 1.0);
+  const double tail = (1.0 - confidence) / 2.0;
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(meds.size() - 1) + 0.5);
+    return meds[std::min(idx, meds.size() - 1)];
+  };
+  ci.lo = at(tail);
+  ci.hi = at(1.0 - tail);
+  return ci;
+}
+
+double mann_whitney_p(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  const std::size_t n1 = a.size();
+  const std::size_t n2 = b.size();
+  if (n1 == 0 || n2 == 0) {
+    return 1.0;
+  }
+  // Pool, sort, assign average ranks to ties.
+  struct Tagged {
+    double v;
+    bool from_a;
+  };
+  std::vector<Tagged> pool;
+  pool.reserve(n1 + n2);
+  for (const double v : a) {
+    pool.push_back({v, true});
+  }
+  for (const double v : b) {
+    pool.push_back({v, false});
+  }
+  std::sort(pool.begin(), pool.end(),
+            [](const Tagged& x, const Tagged& y) { return x.v < y.v; });
+
+  const double n = static_cast<double>(n1 + n2);
+  double rank_sum_a = 0.0;
+  double tie_term = 0.0;  // sum of t^3 - t over tie groups
+  std::size_t i = 0;
+  while (i < pool.size()) {
+    std::size_t j = i;
+    while (j < pool.size() && pool[j].v == pool[i].v) {
+      ++j;
+    }
+    // Ranks are 1-based; the tie group [i, j) shares the average rank.
+    const double avg_rank = static_cast<double>(i + 1 + j) / 2.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (pool[k].from_a) {
+        rank_sum_a += avg_rank;
+      }
+    }
+    const double t = static_cast<double>(j - i);
+    tie_term += t * t * t - t;
+    i = j;
+  }
+
+  const double u1 =
+      rank_sum_a - static_cast<double>(n1) * (static_cast<double>(n1) + 1) / 2.0;
+  const double mean_u = static_cast<double>(n1) * static_cast<double>(n2) / 2.0;
+  const double var_u = static_cast<double>(n1) * static_cast<double>(n2) /
+                       12.0 *
+                       ((n + 1.0) - tie_term / (n * (n - 1.0)));
+  if (var_u <= 0.0) {
+    return 1.0;  // all values tied — indistinguishable
+  }
+  // Continuity-corrected two-sided normal approximation.
+  const double z =
+      std::max(0.0, std::abs(u1 - mean_u) - 0.5) / std::sqrt(var_u);
+  return std::min(1.0, std::erfc(z / std::sqrt(2.0)));
+}
+
+std::string verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kNeutral:
+      return "neutral";
+    case Verdict::kImproved:
+      return "improved";
+    case Verdict::kRegressed:
+      return "regressed";
+    case Verdict::kIncomparable:
+      return "incomparable";
+  }
+  return "?";
+}
+
+CellComparison compare_samples(const std::vector<double>& baseline,
+                               const std::vector<double>& current,
+                               const CompareThresholds& th) {
+  CellComparison c;
+  const std::vector<double> base = finite_only(baseline);
+  const std::vector<double> cur = finite_only(current);
+  if (base.size() < th.min_samples || cur.size() < th.min_samples) {
+    c.note = "too few samples (" + std::to_string(base.size()) + " vs " +
+             std::to_string(cur.size()) + ", need " +
+             std::to_string(th.min_samples) + ")";
+    return c;
+  }
+  c.base_median = median(base);
+  c.cur_median = median(cur);
+  if (c.base_median <= 0.0) {
+    c.note = "non-positive baseline median";
+    return c;
+  }
+  c.ratio = c.cur_median / c.base_median;
+  c.p_value = mann_whitney_p(base, cur);
+  c.base_ci =
+      bootstrap_median_ci(base, th.resamples, th.confidence, 0x5eedba5eull);
+  c.cur_ci =
+      bootstrap_median_ci(cur, th.resamples, th.confidence, 0x5eedcafeull);
+
+  const bool significant = c.p_value < th.alpha;
+  const bool abs_effect =
+      std::abs(c.cur_median - c.base_median) >= th.min_effect_ns;
+  if (c.ratio >= 1.0 + th.min_effect && abs_effect && significant &&
+      c.cur_ci.lo > c.base_ci.hi) {
+    c.verdict = Verdict::kRegressed;
+  } else if (c.ratio <= 1.0 - th.min_effect && abs_effect && significant &&
+             c.cur_ci.hi < c.base_ci.lo) {
+    c.verdict = Verdict::kImproved;
+  } else {
+    c.verdict = Verdict::kNeutral;
+    if (c.ratio >= 1.0 + th.min_effect || c.ratio <= 1.0 - th.min_effect) {
+      c.note = !abs_effect ? "effect below absolute floor"
+               : significant ? "effect without CI separation"
+                             : "effect without significance";
+    }
+  }
+  return c;
+}
+
+namespace {
+
+struct PooledCell {
+  const LedgerRecord* first = nullptr;
+  std::vector<double> samples_ns;
+  std::string machine_id;
+  bool machine_conflict = false;
+  double ns_per_nnz = 0.0;
+  std::size_t records = 0;
+};
+
+std::map<std::string, PooledCell> pool_by_key(
+    const std::vector<LedgerRecord>& records) {
+  std::map<std::string, PooledCell> cells;
+  for (const LedgerRecord& r : records) {
+    PooledCell& c = cells[r.key()];
+    if (c.first == nullptr) {
+      c.first = &r;
+      c.machine_id = r.machine_id;
+    } else if (c.machine_id != r.machine_id) {
+      c.machine_conflict = true;
+    }
+    c.samples_ns.insert(c.samples_ns.end(), r.samples_ns.begin(),
+                        r.samples_ns.end());
+    c.ns_per_nnz = r.ns_per_nnz;  // latest record wins for display
+    ++c.records;
+  }
+  return cells;
+}
+
+}  // namespace
+
+LedgerComparison compare_ledgers(const std::vector<LedgerRecord>& baseline,
+                                 const std::vector<LedgerRecord>& current,
+                                 const CompareThresholds& th) {
+  LedgerComparison out;
+  const auto base_cells = pool_by_key(baseline);
+  const auto cur_cells = pool_by_key(current);
+  if (!baseline.empty()) {
+    out.baseline_machine = baseline.front().machine_id;
+  }
+  if (!current.empty()) {
+    out.current_machine = current.front().machine_id;
+  }
+
+  for (const auto& [key, base] : base_cells) {
+    const auto it = cur_cells.find(key);
+    if (it == cur_cells.end()) {
+      ++out.baseline_only;
+      continue;
+    }
+    const PooledCell& cur = it->second;
+
+    LedgerDelta d;
+    d.key = key;
+    d.matrix = base.first->matrix;
+    d.format = base.first->format;
+    d.isa = base.first->isa;
+    d.schedule = base.first->schedule;
+    d.threads = base.first->threads;
+    d.base_ns_per_nnz = base.ns_per_nnz;
+    d.cur_ns_per_nnz = cur.ns_per_nnz;
+
+    if (base.machine_id.empty() || cur.machine_id.empty()) {
+      d.cmp.note = "machine fingerprint missing (pre-ledger record?)";
+      out.machine_mismatch = true;
+    } else if (base.machine_id != cur.machine_id ||
+               base.machine_conflict || cur.machine_conflict) {
+      d.cmp.note = "machine mismatch (" + base.machine_id + " vs " +
+                   cur.machine_id + ")";
+      out.machine_mismatch = true;
+    } else {
+      d.cmp = compare_samples(base.samples_ns, cur.samples_ns, th);
+    }
+
+    switch (d.cmp.verdict) {
+      case Verdict::kRegressed:
+        ++out.regressed;
+        break;
+      case Verdict::kImproved:
+        ++out.improved;
+        break;
+      case Verdict::kNeutral:
+        ++out.neutral;
+        break;
+      case Verdict::kIncomparable:
+        ++out.incomparable;
+        break;
+    }
+    out.cells.push_back(std::move(d));
+  }
+  for (const auto& [key, cur] : cur_cells) {
+    (void)cur;
+    if (base_cells.find(key) == base_cells.end()) {
+      ++out.current_only;
+    }
+  }
+
+  // Regressions first, then by how bad, so the verdict leads with the
+  // worst news.
+  std::sort(out.cells.begin(), out.cells.end(),
+            [](const LedgerDelta& a, const LedgerDelta& b) {
+              const auto rank = [](const LedgerDelta& d) {
+                switch (d.cmp.verdict) {
+                  case Verdict::kRegressed:
+                    return 0;
+                  case Verdict::kIncomparable:
+                    return 1;
+                  case Verdict::kImproved:
+                    return 2;
+                  case Verdict::kNeutral:
+                    return 3;
+                }
+                return 4;
+              };
+              if (rank(a) != rank(b)) {
+                return rank(a) < rank(b);
+              }
+              if (a.cmp.ratio != b.cmp.ratio) {
+                return a.cmp.ratio > b.cmp.ratio;
+              }
+              return a.key < b.key;
+            });
+  return out;
+}
+
+Json LedgerComparison::to_json() const {
+  Json j = Json::object();
+  Json summary = Json::object();
+  summary.set("regressed", static_cast<std::uint64_t>(regressed));
+  summary.set("improved", static_cast<std::uint64_t>(improved));
+  summary.set("neutral", static_cast<std::uint64_t>(neutral));
+  summary.set("incomparable", static_cast<std::uint64_t>(incomparable));
+  summary.set("baseline_only", static_cast<std::uint64_t>(baseline_only));
+  summary.set("current_only", static_cast<std::uint64_t>(current_only));
+  summary.set("baseline_machine", baseline_machine);
+  summary.set("current_machine", current_machine);
+  summary.set("machine_mismatch", machine_mismatch);
+  j.set("summary", std::move(summary));
+
+  Json arr = Json::array();
+  for (const LedgerDelta& d : cells) {
+    Json c = Json::object();
+    c.set("key", d.key);
+    c.set("verdict", verdict_name(d.cmp.verdict));
+    c.set("base_median_ns", d.cmp.base_median);
+    c.set("cur_median_ns", d.cmp.cur_median);
+    c.set("ratio", d.cmp.ratio);
+    c.set("p_value", d.cmp.p_value);
+    Json base_ci = Json::array();
+    base_ci.push(d.cmp.base_ci.lo);
+    base_ci.push(d.cmp.base_ci.hi);
+    c.set("base_ci_ns", std::move(base_ci));
+    Json cur_ci = Json::array();
+    cur_ci.push(d.cmp.cur_ci.lo);
+    cur_ci.push(d.cmp.cur_ci.hi);
+    c.set("cur_ci_ns", std::move(cur_ci));
+    if (!d.cmp.note.empty()) {
+      c.set("note", d.cmp.note);
+    }
+    arr.push(std::move(c));
+  }
+  j.set("cells", std::move(arr));
+  return j;
+}
+
+std::string LedgerComparison::to_markdown() const {
+  std::ostringstream os;
+  os << "## Regression verdict\n\n";
+  os << "**" << regressed << " regressed**, " << improved << " improved, "
+     << neutral << " neutral, " << incomparable << " incomparable ("
+     << baseline_only << " baseline-only, " << current_only
+     << " current-only cells)\n\n";
+  if (machine_mismatch) {
+    os << "> **warning:** machine fingerprints differ (baseline `"
+       << (baseline_machine.empty() ? "?" : baseline_machine)
+       << "` vs current `"
+       << (current_machine.empty() ? "?" : current_machine)
+       << "`); mismatched cells were not compared.\n\n";
+  }
+  if (cells.empty()) {
+    os << "_no shared cells_\n";
+    return os.str();
+  }
+  os << "| cell | verdict | base med (ns) | cur med (ns) | ratio | p "
+        "| note |\n";
+  os << "|---|---|---|---|---|---|---|\n";
+  for (const LedgerDelta& d : cells) {
+    os << "| `" << d.key << "` | " << verdict_name(d.cmp.verdict) << " | "
+       << fmt_fixed(d.cmp.base_median, 1) << " | "
+       << fmt_fixed(d.cmp.cur_median, 1) << " | ";
+    if (d.cmp.ratio > 0.0) {
+      os << fmt_fixed(d.cmp.ratio, 3);
+    } else {
+      os << "-";
+    }
+    os << " | ";
+    if (d.cmp.verdict == Verdict::kIncomparable) {
+      os << "-";
+    } else {
+      os << fmt_fixed(d.cmp.p_value, 4);
+    }
+    os << " | " << d.cmp.note << " |\n";
+  }
+  return os.str();
+}
+
+}  // namespace spc::obs

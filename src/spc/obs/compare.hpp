@@ -1,0 +1,143 @@
+// Statistical comparison of ledger sample sets.
+//
+// A 3% median shift on a 128-sample cell can be a real regression or an
+// unlucky draw; a single-number diff cannot tell them apart. This engine
+// judges each cell on its raw per-iteration samples with three
+// independent checks, all of which must agree before a cell is called
+// regressed (or improved):
+//   1. effect size   — the median ratio must move past min_effect;
+//   2. significance  — a two-sided Mann–Whitney U rank test must reject
+//                      "same distribution" at alpha (robust to the
+//                      heavy-tailed, non-normal timing distributions);
+//   3. separation    — the bootstrap confidence intervals of the two
+//                      medians must be disjoint.
+// The conjunction is deliberately conservative: an A/A comparison (two
+// draws from one distribution) must classify neutral ≥95% of the time
+// at the default thresholds, or the regress gate would cry wolf.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spc/obs/json.hpp"
+#include "spc/obs/ledger.hpp"
+
+namespace spc::obs {
+
+/// Percentile bootstrap confidence interval on the median.
+struct BootstrapCi {
+  double median = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Resamples `samples` with replacement `resamples` times (deterministic
+/// seed → reproducible verdicts) and returns the percentile CI at
+/// `confidence` (e.g. 0.99 → [0.5%, 99.5%] of the bootstrap medians).
+/// Degenerate inputs (size < 2) collapse to lo == hi == median.
+BootstrapCi bootstrap_median_ci(const std::vector<double>& samples,
+                                int resamples = 1000,
+                                double confidence = 0.99,
+                                std::uint64_t seed = 0x5eedc1ull);
+
+/// Two-sided Mann–Whitney U p-value (normal approximation with tie
+/// correction and continuity correction — exact enough for n >= 8,
+/// which min_samples enforces). 1.0 when either side is empty or the
+/// pooled sample has zero variance.
+double mann_whitney_p(const std::vector<double>& a,
+                      const std::vector<double>& b);
+
+enum class Verdict {
+  kNeutral,       ///< no confirmed change
+  kImproved,      ///< current significantly faster
+  kRegressed,     ///< current significantly slower
+  kIncomparable,  ///< too few samples / different machines / missing cell
+};
+
+std::string verdict_name(Verdict v);
+
+struct CompareThresholds {
+  /// Minimum relative median shift to call a change (5% default —
+  /// smaller moves are classified neutral even when significant).
+  double min_effect = 0.05;
+  /// Minimum *absolute* median shift in ns. Sub-microsecond cells can
+  /// move 50% from a single cache miss or clock-granularity flip per
+  /// iteration — a huge ratio that means nothing. Both floors must be
+  /// cleared; on cells where 250 ns exceeds min_effect the absolute
+  /// floor dominates, deliberately.
+  double min_effect_ns = 250.0;
+  /// Mann–Whitney significance level.
+  double alpha = 0.01;
+  /// Cells with fewer samples on either side are incomparable.
+  std::size_t min_samples = 8;
+  /// Bootstrap resamples per side.
+  int resamples = 1000;
+  /// Bootstrap CI confidence.
+  double confidence = 0.99;
+};
+
+/// Verdict plus everything needed to audit it.
+struct CellComparison {
+  Verdict verdict = Verdict::kIncomparable;
+  double base_median = 0.0;
+  double cur_median = 0.0;
+  double ratio = 0.0;  ///< cur/base medians; > 1 means slower
+  double p_value = 1.0;
+  BootstrapCi base_ci;
+  BootstrapCi cur_ci;
+  std::string note;  ///< why incomparable / which check failed
+};
+
+/// Classifies current-vs-baseline sample sets (same unit, e.g. ns per
+/// iteration). Non-finite samples are ignored.
+CellComparison compare_samples(const std::vector<double>& baseline,
+                               const std::vector<double>& current,
+                               const CompareThresholds& th = {});
+
+/// One compared ledger cell.
+struct LedgerDelta {
+  std::string key;
+  std::string matrix;
+  std::string format;
+  std::string isa;
+  std::string schedule;
+  std::size_t threads = 1;
+  double base_ns_per_nnz = 0.0;
+  double cur_ns_per_nnz = 0.0;
+  CellComparison cmp;
+};
+
+/// Whole-ledger verdict: every cell present in both ledgers compared,
+/// machine mismatches surfaced loudly, one-sided cells counted.
+struct LedgerComparison {
+  std::vector<LedgerDelta> cells;
+  std::size_t regressed = 0;
+  std::size_t improved = 0;
+  std::size_t neutral = 0;
+  std::size_t incomparable = 0;
+  std::size_t baseline_only = 0;  ///< cells with no current counterpart
+  std::size_t current_only = 0;   ///< cells with no baseline counterpart
+  std::string baseline_machine;   ///< machine id seen in the baseline
+  std::string current_machine;    ///< machine id seen in the current run
+  bool machine_mismatch = false;  ///< ids differ → cells incomparable
+
+  bool has_regressions() const { return regressed > 0; }
+
+  /// Structured verdict for CI artifacts.
+  Json to_json() const;
+  /// Human verdict: summary line + per-cell markdown table.
+  std::string to_markdown() const;
+};
+
+/// Pairs cells by LedgerRecord::key() and classifies each. Records
+/// sharing a key within one ledger pool their samples (more evidence,
+/// not an error). Cells whose machine ids differ — or records predating
+/// the ledger, which carry none — are classified kIncomparable, never
+/// silently compared.
+LedgerComparison compare_ledgers(const std::vector<LedgerRecord>& baseline,
+                                 const std::vector<LedgerRecord>& current,
+                                 const CompareThresholds& th = {});
+
+}  // namespace spc::obs

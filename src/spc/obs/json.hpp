@@ -1,9 +1,16 @@
 // Minimal JSON value: build, serialize, parse.
 //
 // Just enough for the obs subsystem — JSONL metrics records, Chrome
-// trace files, and profile_report's reader. Objects preserve insertion
-// order; integers round-trip exactly; doubles use shortest-round-trip
-// formatting. Not a general-purpose JSON library.
+// trace files, and the ledger/profile_report readers. Objects preserve
+// insertion order; integers round-trip exactly; doubles use
+// shortest-round-trip formatting. Not a general-purpose JSON library.
+//
+// Non-finite doubles: JSON has no NaN/Inf literal, so a non-finite
+// value serializes as an explicit `null` (never "nan"/"inf" garbage a
+// strict reader would reject). Degenerate bench cells produce these —
+// e.g. a 0/0 imbalance — and a ledger line must stay machine-parseable
+// regardless. Readers see such fields as is_null(), and as_double's
+// default argument decides their numeric stand-in.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +33,7 @@ class Json {
   Json(int v) : type_(Type::kInt), i_(v) {}
   Json(std::int64_t v) : type_(Type::kInt), i_(v) {}
   Json(std::uint64_t v) : type_(Type::kUint), u_(v) {}
+  /// NaN/Inf are stored as given but serialize as `null` (see above).
   Json(double v) : type_(Type::kDouble), d_(v) {}
   Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
   Json(const char* s) : type_(Type::kString), str_(s) {}

@@ -1,13 +1,62 @@
 #include "spc/obs/metrics_io.hpp"
 
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
 #include <cstdlib>
 #include <iostream>
 
 namespace spc::obs {
 
+namespace {
+
+// Flush the buffer well before it costs real memory; one write(2) per
+// ~64 KiB instead of one per record.
+constexpr std::size_t kFlushThreshold = 64 * 1024;
+
+struct sigaction g_prev_int;
+struct sigaction g_prev_term;
+bool g_handlers_installed = false;
+
+}  // namespace
+
+void metrics_sink_signal_relay(int signo) {
+  MetricsSink::global().flush_from_signal();
+  // Restore the previous disposition and re-deliver, so the process
+  // still dies by (or otherwise honors) the signal it received.
+  ::sigaction(signo, signo == SIGINT ? &g_prev_int : &g_prev_term, nullptr);
+  ::raise(signo);
+}
+
+namespace {
+
+void install_signal_flush() {
+  if (g_handlers_installed) {
+    return;
+  }
+  g_handlers_installed = true;
+  struct sigaction sa;
+  sa.sa_handler = &metrics_sink_signal_relay;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESETHAND;  // one shot; relay restores + re-raises
+  ::sigaction(SIGINT, &sa, &g_prev_int);
+  ::sigaction(SIGTERM, &sa, &g_prev_term);
+}
+
+}  // namespace
+
 MetricsSink& MetricsSink::global() {
-  static MetricsSink s;
-  return s;
+  // Deliberately leaked: the signal handler and the atexit flush may
+  // fire at any point during shutdown, and a destroyed mutex would turn
+  // a clean exit into UB. The atexit hook replaces the destructor's
+  // flush+close for the normal-exit path.
+  static MetricsSink* s = [] {
+    auto* sink = new MetricsSink;
+    std::atexit([] { MetricsSink::global().flush(); });
+    return sink;
+  }();
+  return *s;
 }
 
 MetricsSink::MetricsSink() {
@@ -15,14 +64,27 @@ MetricsSink::MetricsSink() {
   if (path == nullptr || *path == '\0') {
     return;
   }
-  path_ = path;
-  // Append: several bench binaries may contribute to one corpus file.
-  out_.open(path_, std::ios::app);
-  if (!out_) {
-    std::cerr << "warning: cannot open SPC_METRICS file " << path_ << "\n";
+  open_path(path, /*truncate=*/false);
+}
+
+MetricsSink::~MetricsSink() {
+  std::lock_guard<std::mutex> lk(mu_);
+  close_locked();
+}
+
+void MetricsSink::open_path(const std::string& path, bool truncate) {
+  // Append mode: several bench binaries may contribute to one corpus
+  // file, and O_APPEND keeps each flushed block atomic w.r.t. offset.
+  const int flags =
+      O_WRONLY | O_CREAT | O_CLOEXEC | (truncate ? O_TRUNC : O_APPEND);
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    std::cerr << "warning: cannot open SPC_METRICS file " << path << "\n";
     return;
   }
+  path_ = path;
   enabled_ = true;
+  install_signal_flush();
 }
 
 void MetricsSink::write(const Json& record) {
@@ -32,25 +94,67 @@ void MetricsSink::write(const Json& record) {
   std::string line = record.dump();
   line += '\n';
   std::lock_guard<std::mutex> lk(mu_);
-  out_ << line;
-  out_.flush();
+  buf_ += line;
+  if (buf_.size() >= kFlushThreshold) {
+    flush_locked();
+  }
+}
+
+void MetricsSink::flush_locked() {
+  if (fd_ < 0 || buf_.empty()) {
+    return;
+  }
+  std::size_t off = 0;
+  while (off < buf_.size()) {
+    const ssize_t n = ::write(fd_, buf_.data() + off, buf_.size() - off);
+    if (n <= 0) {
+      break;  // disk full / EINTR storm: drop rather than spin
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  buf_.clear();
+}
+
+void MetricsSink::flush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  flush_locked();
+}
+
+void MetricsSink::flush_from_signal() {
+  // try_lock: taking a contended mutex in a signal handler would
+  // deadlock against our own interrupted critical section. Losing the
+  // buffer in that narrow window beats hanging the dying process.
+  if (!mu_.try_lock()) {
+    return;
+  }
+  flush_locked();
+  mu_.unlock();
+}
+
+std::size_t MetricsSink::buffered_bytes() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return buf_.size();
+}
+
+void MetricsSink::close_locked() {
+  flush_locked();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
 }
 
 void MetricsSink::open_for_testing(const std::string& path) {
   std::lock_guard<std::mutex> lk(mu_);
-  if (out_.is_open()) {
-    out_.close();
-  }
-  path_ = path;
-  out_.open(path_, std::ios::trunc);
-  enabled_ = static_cast<bool>(out_);
+  close_locked();
+  path_.clear();
+  enabled_ = false;
+  open_path(path, /*truncate=*/true);
 }
 
 void MetricsSink::close_for_testing() {
   std::lock_guard<std::mutex> lk(mu_);
-  if (out_.is_open()) {
-    out_.close();
-  }
+  close_locked();
   path_.clear();
   enabled_ = false;
 }

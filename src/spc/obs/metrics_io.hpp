@@ -1,9 +1,18 @@
 // JSONL metrics sink: one JSON object per line, appended to the file
 // named by SPC_METRICS. The bench harness emits one record per
-// (matrix, format, thread-count) cell; profile_report reads them back.
+// (matrix, format, thread-count) cell; profile_report and the run-ledger
+// tools read them back.
+//
+// Writes are buffered (records can now carry per-iteration sample
+// arrays, and a flush syscall per cell would serialize the bench on the
+// filesystem) and drained to an O_APPEND fd:
+//   * when the buffer passes a size threshold,
+//   * at process exit (the singleton's destructor),
+//   * on SIGINT / SIGTERM — an interrupted bench run keeps every
+//     completed cell; the signal is then re-raised with its previous
+//     disposition so kill-by-signal semantics are preserved.
 #pragma once
 
-#include <fstream>
 #include <mutex>
 #include <string>
 
@@ -16,12 +25,21 @@ class MetricsSink {
   /// Process sink; enabled iff SPC_METRICS was set at first use.
   static MetricsSink& global();
 
+  ~MetricsSink();
+
   bool enabled() const { return enabled_; }
   const std::string& path() const { return path_; }
 
-  /// Serializes `record` as one line and flushes. Thread-safe. No-op
-  /// when disabled.
+  /// Serializes `record` as one buffered line. Thread-safe. No-op when
+  /// disabled.
   void write(const Json& record);
+
+  /// Drains the buffer to the file. Called automatically at the size
+  /// threshold, at exit, and from the signal handler.
+  void flush();
+
+  /// Bytes currently buffered (tests).
+  std::size_t buffered_bytes();
 
   /// Test hooks: route output to `path` (truncating) / stop writing.
   void open_for_testing(const std::string& path);
@@ -30,8 +48,18 @@ class MetricsSink {
  private:
   MetricsSink();
 
+  void open_path(const std::string& path, bool truncate);
+  void close_locked();
+  void flush_locked();
+
+  /// Async-signal path: best-effort try_lock + raw write(2); skips (and
+  /// loses at most one buffer) if the lock is held mid-crash.
+  void flush_from_signal();
+  friend void metrics_sink_signal_relay(int signo);
+
   std::mutex mu_;
-  std::ofstream out_;
+  std::string buf_;
+  int fd_ = -1;
   std::string path_;
   bool enabled_ = false;
 };

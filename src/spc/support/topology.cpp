@@ -133,6 +133,28 @@ std::size_t parse_node_mem(const std::string& path) {
   return 0;
 }
 
+// First "model name" (x86) or "cpu model"/"Processor" (other arches)
+// value in a cpuinfo-format file; empty when absent.
+std::string parse_cpu_model(const std::string& path) {
+  std::ifstream f(path);
+  std::string line;
+  while (std::getline(f, line)) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) {
+      continue;
+    }
+    std::string key = line.substr(0, colon);
+    key.erase(key.find_last_not_of(" \t") + 1);
+    if (key != "model name" && key != "cpu model" && key != "Processor") {
+      continue;
+    }
+    std::string value = line.substr(colon + 1);
+    const auto first = value.find_first_not_of(" \t");
+    return first == std::string::npos ? std::string() : value.substr(first);
+  }
+  return std::string();
+}
+
 }  // namespace
 
 int Topology::node_of_cpu(int cpu_id) const {
@@ -165,6 +187,10 @@ Topology discover_topology() { return discover_topology("/sys"); }
 
 Topology discover_topology(const std::string& sysfs_root) {
   Topology topo;
+  // The model string lives in procfs, not sysfs; fixture roots may drop
+  // a "cpuinfo" file next to their devices/ tree to fake it.
+  topo.cpu_model = parse_cpu_model(
+      sysfs_root == "/sys" ? "/proc/cpuinfo" : sysfs_root + "/cpuinfo");
   const std::string base = sysfs_root + "/devices/system/cpu";
 
   // Enumerate cpu directories; fall back to the sysconf count (flat

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+
+#include "spc/obs/ledger.hpp"
 #include <fstream>
 #include <sstream>
 
@@ -121,6 +123,97 @@ TEST(TimeSpmv, ProducesPositiveTime) {
   const double secs = time_spmv(inst, 4, 1);
   EXPECT_GT(secs, 0.0);
   EXPECT_GT(mflops(t.nnz(), 4, secs), 0.0);
+}
+
+TEST(TimeSpmvMetrics, SampleSecondsMatchAggregateSeconds) {
+  const auto spec = corpus_spec("lap2d-s", CorpusScale::kTiny);
+  const Triplets t = spec.build();
+  SpmvInstance inst(t, Format::kCsr);
+  const RunMetrics m = time_spmv_metrics(inst, 16, 1);
+  ASSERT_EQ(m.sample_seconds.size(), 16u);
+  double sum = 0.0;
+  for (const double s : m.sample_seconds) {
+    EXPECT_GE(s, 0.0);
+    sum += s;
+  }
+  // The samples are consecutive timestamp deltas over the same loop the
+  // aggregate timed, so they must add back up to it (same clock, no
+  // gaps — only float rounding apart).
+  EXPECT_NEAR(sum, m.seconds, 1e-9 * 16);
+}
+
+TEST(TimeSpmvMetrics, PadHookInflatesEveryIteration) {
+  const auto spec = corpus_spec("lap2d-s", CorpusScale::kTiny);
+  const Triplets t = spec.build();
+  SpmvInstance inst(t, Format::kCsr);
+  const RunMetrics before = time_spmv_metrics(inst, 8, 1);
+  const double base_med =
+      median(std::vector<double>(before.sample_seconds));
+  {
+    // 50 µs/iteration: orders of magnitude above the tiny cell's real
+    // time, so the shift is unambiguous even on a noisy CI box.
+    EnvGuard pad("SPC_PAD_NS_PER_ITER", "50000");
+    const RunMetrics padded = time_spmv_metrics(inst, 8, 1);
+    const double pad_med =
+        median(std::vector<double>(padded.sample_seconds));
+    EXPECT_GT(pad_med, base_med + 40e-6);
+  }
+  // Hook is read per run: clearing the env restores normal timing.
+  const RunMetrics after = time_spmv_metrics(inst, 8, 1);
+  EXPECT_LT(median(std::vector<double>(after.sample_seconds)),
+            base_med + 40e-6);
+}
+
+TEST(MakeMetricsRecord, CarriesLedgerProvenanceAndSamples) {
+  const auto spec = corpus_spec("lap2d-s", CorpusScale::kTiny);
+  MatrixCase mc;
+  mc.name = spec.name;
+  mc.cls = spec.cls;
+  mc.mat = spec.build();
+  SpmvInstance inst(mc.mat, Format::kCsr);
+  const RunMetrics m = time_spmv_metrics(inst, 8, 1);
+  const obs::Json rec = make_metrics_record("harness_test", mc, inst, m);
+
+  ASSERT_NE(rec.find("machine_id"), nullptr);
+  EXPECT_EQ(rec.find("machine_id")->as_string(),
+            obs::machine_fingerprint().id());
+  ASSERT_NE(rec.find("machine"), nullptr);
+  EXPECT_TRUE(rec.find("machine")->is_object());
+  ASSERT_NE(rec.find("git_sha"), nullptr);
+  EXPECT_FALSE(rec.find("git_sha")->as_string().empty());
+  ASSERT_NE(rec.find("samples_ns"), nullptr);
+  EXPECT_EQ(rec.find("samples_ns")->size(), 8u);
+  ASSERT_NE(rec.find("bytes_per_nnz"), nullptr);
+  EXPECT_GT(rec.find("bytes_per_nnz")->as_double(), 0.0);
+  // No SPC_ROOFLINE_GBPS → no roofline block.
+  EXPECT_EQ(rec.find("roofline"), nullptr);
+}
+
+TEST(MakeMetricsRecord, RooflineBlockWhenBandwidthKnown) {
+  EnvGuard gbps("SPC_ROOFLINE_GBPS", "10.0");
+  EXPECT_DOUBLE_EQ(roofline_gbps(), 10.0);
+  const auto spec = corpus_spec("lap2d-s", CorpusScale::kTiny);
+  MatrixCase mc;
+  mc.name = spec.name;
+  mc.cls = spec.cls;
+  mc.mat = spec.build();
+  SpmvInstance inst(mc.mat, Format::kCsr);
+  const RunMetrics m = time_spmv_metrics(inst, 8, 1);
+  const obs::Json rec = make_metrics_record("harness_test", mc, inst, m);
+  const obs::Json* roof = rec.find("roofline");
+  ASSERT_NE(roof, nullptr);
+  EXPECT_DOUBLE_EQ(roof->find("gbps")->as_double(), 10.0);
+  EXPECT_GT(roof->find("min_ns_per_nnz")->as_double(), 0.0);
+  // frac is achieved/bound — positive, and sane (a tiny cache-resident
+  // cell can exceed the DRAM bound, so only sanity-bound it loosely).
+  EXPECT_GT(roof->find("frac")->as_double(), 0.0);
+}
+
+TEST(RooflineGbps, UnsetOrGarbageMeansDisabled) {
+  ::unsetenv("SPC_ROOFLINE_GBPS");
+  EXPECT_DOUBLE_EQ(roofline_gbps(), 0.0);
+  EnvGuard bad("SPC_ROOFLINE_GBPS", "not-a-number");
+  EXPECT_DOUBLE_EQ(roofline_gbps(), 0.0);
 }
 
 TEST(Mflops, Formula) {

@@ -119,6 +119,47 @@ TEST(Json, ParseRejectsGarbage) {
   EXPECT_THROW(Json::parse("\"unterminated"), ParseError);
 }
 
+TEST(Json, NonFiniteDoublesSerializeAsNull) {
+  // JSON has no NaN/Inf literal: the documented policy is an explicit
+  // null, never "nan"/"inf" text a strict reader would choke on.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(Json(nan).dump(), "null");
+  EXPECT_EQ(Json(inf).dump(), "null");
+  EXPECT_EQ(Json(-inf).dump(), "null");
+}
+
+TEST(Json, NonFiniteInsideContainersStaysParseable) {
+  Json rec = Json::object();
+  rec.set("ok", 1.5);
+  rec.set("bad", std::numeric_limits<double>::quiet_NaN());
+  Json arr = Json::array();
+  arr.push(2.5);
+  arr.push(std::numeric_limits<double>::infinity());
+  arr.push(3.5);
+  rec.set("samples", std::move(arr));
+
+  const std::string text = rec.dump();
+  EXPECT_EQ(text, "{\"ok\":1.5,\"bad\":null,\"samples\":[2.5,null,3.5]}");
+
+  // Round trip: the whole line parses, finite values survive exactly,
+  // the lost values are visibly null (not zero, not garbage).
+  const Json back = Json::parse(text);
+  EXPECT_DOUBLE_EQ(back.find("ok")->as_double(), 1.5);
+  EXPECT_TRUE(back.find("bad")->is_null());
+  ASSERT_EQ(back.find("samples")->size(), 3u);
+  EXPECT_TRUE(back.find("samples")->at(1).is_null());
+  EXPECT_DOUBLE_EQ(back.find("samples")->at(2).as_double(), 3.5);
+}
+
+TEST(Json, NullDefaultsAreCallerChosen) {
+  // Readers decide the numeric stand-in for a nulled field.
+  const Json j = Json::parse("null");
+  EXPECT_DOUBLE_EQ(j.as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(j.as_double(-1.0), -1.0);
+  EXPECT_TRUE(std::isnan(j.as_double(std::numeric_limits<double>::quiet_NaN())));
+}
+
 TEST(Json, NumericCoercions) {
   EXPECT_DOUBLE_EQ(Json(std::uint64_t{5}).as_double(), 5.0);
   EXPECT_EQ(Json(5.0).as_u64(), 5u);

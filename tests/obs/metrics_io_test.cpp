@@ -1,0 +1,119 @@
+#include "spc/obs/metrics_io.hpp"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace spc::obs {
+namespace {
+
+Json small_record(int i) {
+  Json j = Json::object();
+  j.set("bench", "test");
+  j.set("i", std::int64_t{i});
+  return j;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream f(path);
+  std::string line;
+  while (std::getline(f, line)) {
+    if (!line.empty()) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+TEST(MetricsSink, DisabledSinkIgnoresWrites) {
+  MetricsSink& sink = MetricsSink::global();
+  sink.close_for_testing();
+  EXPECT_FALSE(sink.enabled());
+  sink.write(small_record(0));
+  EXPECT_EQ(sink.buffered_bytes(), 0u);
+}
+
+TEST(MetricsSink, WritesAreBufferedUntilFlush) {
+  const std::string path = ::testing::TempDir() + "/spc_sink_buf.jsonl";
+  MetricsSink& sink = MetricsSink::global();
+  sink.open_for_testing(path);
+  sink.write(small_record(1));
+  sink.write(small_record(2));
+  // Small records sit in the buffer — nothing on disk yet.
+  EXPECT_GT(sink.buffered_bytes(), 0u);
+  EXPECT_TRUE(read_lines(path).empty());
+  sink.flush();
+  EXPECT_EQ(sink.buffered_bytes(), 0u);
+  EXPECT_EQ(read_lines(path).size(), 2u);
+  sink.close_for_testing();
+}
+
+TEST(MetricsSink, ThresholdTriggersAutomaticFlush) {
+  const std::string path = ::testing::TempDir() + "/spc_sink_auto.jsonl";
+  MetricsSink& sink = MetricsSink::global();
+  sink.open_for_testing(path);
+  // A record well past the 64 KiB threshold must hit the file without
+  // an explicit flush.
+  Json j = Json::object();
+  j.set("blob", std::string(70 * 1024, 'x'));
+  sink.write(j);
+  EXPECT_EQ(sink.buffered_bytes(), 0u);
+  EXPECT_EQ(read_lines(path).size(), 1u);
+  sink.close_for_testing();
+}
+
+TEST(MetricsSink, CloseFlushesPendingRecords) {
+  // perf_counters_test and friends read the file right after
+  // close_for_testing — buffered records must not be lost.
+  const std::string path = ::testing::TempDir() + "/spc_sink_close.jsonl";
+  MetricsSink& sink = MetricsSink::global();
+  sink.open_for_testing(path);
+  sink.write(small_record(7));
+  sink.close_for_testing();
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"i\":7"), std::string::npos);
+}
+
+TEST(MetricsSinkDeathTest, SigtermFlushesBufferAndKills) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path = ::testing::TempDir() + "/spc_sink_term.jsonl";
+  std::remove(path.c_str());
+  // The child opens the sink, buffers one record, and dies by SIGTERM.
+  // The handler must drain the buffer before the signal kills it.
+  EXPECT_EXIT(
+      {
+        MetricsSink& sink = MetricsSink::global();
+        sink.open_for_testing(path);
+        sink.write(small_record(42));
+        ::raise(SIGTERM);
+      },
+      ::testing::KilledBySignal(SIGTERM), "");
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u) << "SIGTERM dropped the buffered record";
+  EXPECT_NE(lines[0].find("\"i\":42"), std::string::npos);
+}
+
+TEST(MetricsSinkDeathTest, SigintFlushesBufferAndKills) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path = ::testing::TempDir() + "/spc_sink_int.jsonl";
+  std::remove(path.c_str());
+  EXPECT_EXIT(
+      {
+        MetricsSink& sink = MetricsSink::global();
+        sink.open_for_testing(path);
+        sink.write(small_record(43));
+        ::raise(SIGINT);
+      },
+      ::testing::KilledBySignal(SIGINT), "");
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u) << "SIGINT dropped the buffered record";
+  EXPECT_NE(lines[0].find("\"i\":43"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spc::obs

@@ -87,6 +87,62 @@ TEST(LatencyHisto, QuantilesWalkTheBuckets) {
   EXPECT_EQ(h.quantile_upper_ns(1.0), 1024u);
 }
 
+TEST(LatencyHisto, PowerOfTwoSamplesLandAtBucketLowerEdge) {
+  // 2^k has bit width k+1, so it is the *inclusive lower* edge of
+  // bucket k+1, not the upper edge of bucket k — the boundary most
+  // easily gotten wrong.
+  for (const std::size_t k : {1u, 4u, 10u, 20u}) {
+    LatencyHisto h;
+    const std::uint64_t v = std::uint64_t{1} << k;
+    h.record(v);
+    h.record(v - 1);  // bit width k → bucket k
+    EXPECT_EQ(h.bucket_count(k + 1), 1u) << "2^" << k;
+    EXPECT_EQ(h.bucket_count(k), 1u) << "2^" << k << " - 1";
+    EXPECT_EQ(LatencyHisto::bucket_lower_ns(k + 1), v);
+  }
+}
+
+TEST(LatencyHisto, QuantileAtExactRankBoundary) {
+  // 50 samples in bucket 2, 50 in bucket 10: rank(0.5) == 50 lands
+  // exactly on the last sample of the low bucket, so p50 must report
+  // the low bucket's upper edge, and anything past it the high one.
+  LatencyHisto h;
+  for (int i = 0; i < 50; ++i) {
+    h.record(3);     // bucket 2, upper edge 4
+  }
+  for (int i = 0; i < 50; ++i) {
+    h.record(1000);  // bucket 10, upper edge 1024
+  }
+  EXPECT_EQ(h.quantile_upper_ns(0.5), 4u);
+  EXPECT_EQ(h.quantile_upper_ns(0.500001), 1024u);
+  EXPECT_EQ(h.quantile_upper_ns(0.0), 4u);  // rank floors at 1
+  EXPECT_EQ(h.quantile_upper_ns(1.0), 1024u);
+}
+
+TEST(LatencyHisto, TopOverflowBucketSaturatesQuantile) {
+  // Samples in the top bucket have no finite upper edge; the quantile
+  // must saturate to the ~0 sentinel rather than fabricate a bound.
+  LatencyHisto h;
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.quantile_upper_ns(0.5), ~std::uint64_t{0});
+  EXPECT_EQ(h.quantile_upper_ns(1.0), ~std::uint64_t{0});
+  // Mixed with small samples the sentinel only shows past their mass.
+  for (int i = 0; i < 99; ++i) {
+    h.record(3);
+  }
+  EXPECT_EQ(h.quantile_upper_ns(0.5), 4u);
+  EXPECT_EQ(h.quantile_upper_ns(1.0), ~std::uint64_t{0});
+}
+
+TEST(LatencyHisto, QuantileClampsOutOfRangeInputs) {
+  LatencyHisto h;
+  for (int i = 0; i < 10; ++i) {
+    h.record(3);
+  }
+  EXPECT_EQ(h.quantile_upper_ns(-0.5), 4u);
+  EXPECT_EQ(h.quantile_upper_ns(1.5), 4u);
+}
+
 TEST(LatencyHisto, ResetClearsEverything) {
   LatencyHisto h;
   h.record(100);
