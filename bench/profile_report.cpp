@@ -36,6 +36,7 @@ struct Record {
   std::string isa;
   std::string numa;
   std::string schedule;
+  std::string tiling;
   std::size_t threads = 1;
   double mflops = 0.0;
   double speedup = 0.0;  ///< 0 when absent
@@ -91,6 +92,11 @@ bool parse_record(const std::string& line, Record& r) {
   r.schedule = str(j, "schedule");
   if (r.schedule.empty()) {
     r.schedule = "static";
+  }
+  // Records predating the column-tiling layer ran untiled.
+  r.tiling = str(j, "tiling");
+  if (r.tiling.empty()) {
+    r.tiling = "off";
   }
   r.threads = static_cast<std::size_t>(num(j, "threads", 1));
   r.mflops = num(j, "mflops");
@@ -191,11 +197,12 @@ int main(int argc, char** argv) {
     std::size_t runs = 0;
   };
   std::map<std::tuple<std::string, std::string, std::string, std::string,
-                      std::size_t>,
+                      std::string, std::size_t>,
            Agg>
       by_cell;
   for (const Record& r : records) {
-    Agg& a = by_cell[{r.format, r.isa, r.numa, r.schedule, r.threads}];
+    Agg& a =
+        by_cell[{r.format, r.isa, r.numa, r.schedule, r.tiling, r.threads}];
     ++a.runs;
     a.mflops.add(r.mflops);
     if (r.speedup > 0.0) {
@@ -218,21 +225,24 @@ int main(int argc, char** argv) {
       a.frac_roofline.add(r.frac_roofline);
     }
   }
-  spc::TextTable summary({"format", "isa", "numa", "sched", "threads",
-                          "runs", "MFLOPS", "speedup", "IPC", "cyc/nnz",
-                          "miss/knnz", "B/nnz", "roofline", "imbalance"});
+  spc::TextTable summary({"format", "isa", "numa", "sched", "tile",
+                          "threads", "runs", "MFLOPS", "speedup", "IPC",
+                          "cyc/nnz", "miss/knnz", "B/nnz", "roofline",
+                          "imbalance"});
   bool any_roofline = false;
   for (const auto& [key, a] : by_cell) {
     any_roofline = any_roofline || a.frac_roofline.n > 0;
     summary.add_row({std::get<0>(key), std::get<1>(key), std::get<2>(key),
-                     std::get<3>(key), std::to_string(std::get<4>(key)),
+                     std::get<3>(key), std::get<4>(key),
+                     std::to_string(std::get<5>(key)),
                      std::to_string(a.runs), a.mflops.fmt(1),
                      a.speedup.fmt(2), a.ipc.fmt(2),
                      a.cycles_per_nnz.fmt(1), a.misses_per_knnz.fmt(2),
                      a.bytes_per_nnz.fmt(1), a.frac_roofline.fmt(2),
                      a.imbalance.fmt(2)});
   }
-  std::cout << "per-(format, isa, numa, schedule, threads) aggregate:\n";
+  std::cout
+      << "per-(format, isa, numa, schedule, tiling, threads) aggregate:\n";
   summary.print(std::cout);
 
   // 2. Per-matrix detail at the highest thread count, sorted by speedup

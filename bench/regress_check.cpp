@@ -236,6 +236,25 @@ SuiteRun run_suite(const spc::BenchConfig& cfg,
       rows->push_back(std::move(row));
     }
   };
+  const auto time_passes = [&](spc::MatrixCase& mc,
+                               spc::SpmvInstance& inst) {
+    for (std::size_t p = 0; p < kPasses; ++p) {
+      // Warm up only once per cell; the instance stays hot across
+      // sub-passes.
+      const std::size_t warmup = p == 0 ? cfg.warmup : 0;
+      if (aa) {
+        time_cell(mc, inst, warmup, &out.a);
+      }
+      if (pad_ns > 0) {
+        ::setenv("SPC_PAD_NS_PER_ITER", std::to_string(pad_ns).c_str(), 1);
+      }
+      time_cell(mc, inst, aa ? 0 : warmup, &out.b);
+      if (pad_ns > 0) {
+        ::unsetenv("SPC_PAD_NS_PER_ITER");
+      }
+    }
+    ++out.cells;
+  };
   spc::for_each_matrix(
       cfg,
       [&](spc::MatrixCase& mc) {
@@ -245,23 +264,7 @@ SuiteRun run_suite(const spc::BenchConfig& cfg,
               spc::InstanceOptions opts;
               opts.pin_threads = cfg.pin_threads;
               spc::SpmvInstance inst(mc.mat, f, n, opts);
-              for (std::size_t p = 0; p < kPasses; ++p) {
-                // Warm up only once per cell; the instance stays hot
-                // across sub-passes.
-                const std::size_t warmup = p == 0 ? cfg.warmup : 0;
-                if (aa) {
-                  time_cell(mc, inst, warmup, &out.a);
-                }
-                if (pad_ns > 0) {
-                  ::setenv("SPC_PAD_NS_PER_ITER",
-                           std::to_string(pad_ns).c_str(), 1);
-                }
-                time_cell(mc, inst, aa ? 0 : warmup, &out.b);
-                if (pad_ns > 0) {
-                  ::unsetenv("SPC_PAD_NS_PER_ITER");
-                }
-              }
-              ++out.cells;
+              time_passes(mc, inst);
             } catch (const spc::Error& e) {
               std::cerr << "warning: skipping " << mc.name << "/"
                         << format_name(f) << "@" << n << ": " << e.what()
@@ -271,6 +274,33 @@ SuiteRun run_suite(const spc::BenchConfig& cfg,
         }
       },
       /*apply_rejection=*/false);
+  // One column-tiled cell on a graph-class matrix: the layout the tiling
+  // engine targets (wide irregular column spans). Forced so the cell
+  // exists at every corpus scale; its ledger key carries tiling=on +
+  // stripe_bytes, so it never pools with the untiled cells above.
+  // SPC_TILE still wins (a SPC_TILE=off CI leg records it untiled, and
+  // the key follows suit).
+  try {
+    const spc::CorpusSpec spec = spc::corpus_spec("rmat-s", cfg.scale);
+    spc::MatrixCase mc;
+    mc.name = spec.name;
+    mc.cls = spec.cls;
+    mc.vi_friendly = spec.vi_friendly;
+    mc.mat = spec.build();
+    mc.stats = spc::compute_stats(mc.mat);
+    mc.ws = mc.stats.working_set_bytes();
+    mc.set_class = spc::classify_ws(mc.ws, cfg.thresholds());
+    spc::InstanceOptions opts;
+    opts.pin_threads = cfg.pin_threads;
+    opts.tiling.mode = spc::TileMode::kForced;
+    opts.tiling.stripe_bytes = 16u << 10;
+    spc::SpmvInstance inst(mc.mat, spc::Format::kCsrDu, cfg.threads.front(),
+                           opts);
+    time_passes(mc, inst);
+  } catch (const spc::Error& e) {
+    std::cerr << "warning: skipping tiled rmat-s/csr-du cell: " << e.what()
+              << "\n";
+  }
   std::cout << label << ": " << out.cells << " cells timed ("
             << cfg.describe() << ", " << kPasses << "x" << pass_iters
             << " iters/side" << (aa ? ", interleaved A/A" : "") << ")\n";

@@ -302,6 +302,18 @@ obs::Json make_metrics_record(
     rec.set("sched_chunks", static_cast<std::uint64_t>(m.sched_chunks));
     rec.set("steals", m.steals);
   }
+  // Column-tiling provenance: tiled and untiled runs of one cell are
+  // different layouts; the ledger key splits on these fields so their
+  // baselines never pool.
+  rec.set("tiling", std::string(inst.tiling_active() ? "on" : "off"));
+  if (inst.tiling_active()) {
+    rec.set("stripe_bytes",
+            static_cast<std::uint64_t>(inst.tile_stripe_bytes()));
+    rec.set("stripes", static_cast<std::uint64_t>(inst.tile_stripes()));
+  } else if (const char* why = inst.tile_plan().decline_reason;
+             why != nullptr && *why != '\0') {
+    rec.set("tiling_declined", std::string(why));
+  }
   rec.set("threads", static_cast<std::uint64_t>(m.threads));
   const SpmvInstance::NumaResidency res = inst.matrix_residency();
   if (res.available) {

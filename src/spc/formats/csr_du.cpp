@@ -176,6 +176,10 @@ CsrDu CsrDu::from_triplets(const Triplets& t, const CsrDuOptions& opts) {
       ++m.unit_count_;
       if (seg.rle) {
         ++m.rle_units_;
+        // Class totals partition all units: RLE units count under their
+        // stride's class (matching unit_histogram()).
+        ++m.units_per_class_[static_cast<std::uint8_t>(
+            delta_class_for(seg.stride))];
       } else {
         ++m.units_per_class_[static_cast<std::uint8_t>(seg.cls)];
       }
@@ -234,8 +238,10 @@ CsrDu CsrDu::from_raw(index_t nrows, index_t ncols,
     // start at column 0.
     col += ujmp;
     ++elems;
+    std::uint64_t rle_stride = 0;
     if (rle) {
       const std::uint64_t stride = varint_decode_checked(p, end);
+      rle_stride = stride;
       col += stride * (usize - 1);
       elems += usize - 1;
     } else {
@@ -259,6 +265,9 @@ CsrDu CsrDu::from_raw(index_t nrows, index_t ncols,
     ++m.unit_count_;
     if (rle) {
       ++m.rle_units_;
+      // Class totals partition all units (see unit_histogram()).
+      ++m.units_per_class_[static_cast<std::uint8_t>(
+          delta_class_for(rle_stride))];
     } else {
       ++m.units_per_class_[static_cast<std::uint8_t>(cls)];
     }
@@ -464,6 +473,14 @@ CsrDu::UnitHistogram CsrDu::unit_histogram() const {
     h.nnz += usize;
     if (uflags & kDuRle) {
       const std::uint64_t stride = varint_decode_checked(p, end);
+      // RLE units carry their deltas implicitly (one stride for the
+      // whole run); classify them by the stride's width so the class
+      // totals always partition *all* units/elements — rle_*/seq_* stay
+      // annotated subsets, not a disjoint bucket.
+      const auto ci =
+          static_cast<std::uint8_t>(delta_class_for(stride));
+      ++h.units_per_class[ci];
+      h.elems_per_class[ci] += usize;
       ++h.rle_units;
       h.rle_elems += usize;
       if (stride == 1) {

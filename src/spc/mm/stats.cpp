@@ -104,4 +104,27 @@ MatrixStats compute_stats(const Triplets& t) {
   return s;
 }
 
+void tiled_delta_class_counts(const Triplets& t, index_t stripe_cols,
+                              std::uint64_t counts[4]) {
+  SPC_CHECK_MSG(t.is_sorted_unique(),
+                "tiled_delta_class_counts requires sorted/combined triplets");
+  for (int i = 0; i < 4; ++i) {
+    counts[i] = 0;
+  }
+  index_t prev_row = ~index_t{0};
+  index_t prev_stripe = 0;
+  index_t prev_col = 0;
+  for (const Entry& e : t.entries()) {
+    const index_t stripe = stripe_cols != 0 ? e.col / stripe_cols : 0;
+    const std::uint64_t delta =
+        (e.row == prev_row && stripe == prev_stripe)
+            ? static_cast<std::uint64_t>(e.col - prev_col)
+            : static_cast<std::uint64_t>(e.col - stripe * stripe_cols);
+    ++counts[static_cast<std::uint8_t>(delta_class_for(delta))];
+    prev_row = e.row;
+    prev_stripe = stripe;
+    prev_col = e.col;
+  }
+}
+
 }  // namespace spc

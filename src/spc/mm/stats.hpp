@@ -67,4 +67,15 @@ struct MatrixStats {
 /// Requires sorted, combined triplets.
 MatrixStats compute_stats(const Triplets& t);
 
+/// Column-delta class histogram under column tiling: each row is cut at
+/// stripe boundaries every `stripe_cols` columns, and deltas restart
+/// stripe-local — the first element of a (row, stripe) run contributes
+/// its stripe-local column, later elements their within-run delta. This
+/// is the distribution the tiled CSR-DU encoder sees (spmv/tiling.hpp),
+/// so shrinking stripes moves mass toward counts[0] (u8).
+/// `stripe_cols == 0` means untiled and reproduces
+/// MatrixStats::delta_class_count. Requires sorted, combined triplets.
+void tiled_delta_class_counts(const Triplets& t, index_t stripe_cols,
+                              std::uint64_t counts[4]);
+
 }  // namespace spc

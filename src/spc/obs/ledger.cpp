@@ -130,7 +130,8 @@ std::string build_git_sha() {
 std::string LedgerRecord::key() const {
   std::ostringstream os;
   os << bench << '|' << matrix << '|' << format << '|' << isa << '|'
-     << numa << '|' << schedule << '|' << threads;
+     << numa << '|' << schedule << '|' << tiling << '|' << stripe_bytes
+     << '|' << threads;
   return os.str();
 }
 
@@ -158,6 +159,12 @@ bool parse_ledger_record(const Json& j, LedgerRecord* out) {
   if (r.schedule.empty()) {
     r.schedule = "static";
   }
+  // Pre-tiling records ran the untiled layout.
+  r.tiling = json_str(j, "tiling");
+  if (r.tiling.empty()) {
+    r.tiling = "off";
+  }
+  r.stripe_bytes = json_u64(j, "stripe_bytes");
   r.threads = static_cast<std::size_t>(json_u64(j, "threads", 1));
   r.machine_id = json_str(j, "machine_id");
   r.git_sha = json_str(j, "git_sha");

@@ -68,6 +68,8 @@ struct LedgerRecord {
   std::string isa;
   std::string numa;
   std::string schedule;
+  std::string tiling = "off";        ///< "on"/"off" (pre-tiling rows: "off")
+  std::uint64_t stripe_bytes = 0;    ///< stripe width when tiled (0 untiled)
   std::size_t threads = 1;
 
   std::string machine_id;

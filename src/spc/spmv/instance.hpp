@@ -34,6 +34,7 @@
 #include "spc/parallel/schedule.hpp"
 #include "spc/parallel/thread_pool.hpp"
 #include "spc/spmv/dispatch.hpp"
+#include "spc/spmv/tiling.hpp"
 #include "spc/support/first_touch.hpp"
 
 namespace spc {
@@ -100,6 +101,11 @@ struct InstanceOptions {
   /// from the discovered L2 size (parallel/schedule.hpp). SPC_CHUNK_NNZ
   /// overrides either.
   usize_t chunk_nnz = 0;
+  /// Column tiling (overridable via SPC_TILE): kAuto stripes the CSR /
+  /// CSR-VI / CSR-DU(-VI) stores into ~L1d-wide column tiles when the
+  /// matrix's x working set and row spans make it profitable, and stays
+  /// off (zero overhead) otherwise. See spmv/tiling.hpp.
+  TileConfig tiling;
 };
 
 /// True when the library was compiled with OpenMP support.
@@ -202,6 +208,23 @@ class SpmvInstance {
   /// loop's counts exclude warmup).
   void sched_reset();
 
+  /// True when the column-tiled execution path is bound (the resolved
+  /// opts.tiling / SPC_TILE engaged for this matrix). Recorded into the
+  /// JSONL metrics as "tiling" / "stripe_bytes".
+  bool tiling_active() const { return tiled_; }
+
+  /// The resolved tiling decision (decline_reason says why an auto
+  /// request stayed untiled).
+  const TilePlan& tile_plan() const { return tile_plan_; }
+
+  /// Stripe width in bytes of x covered (0 when untiled).
+  std::size_t tile_stripe_bytes() const {
+    return tiled_ ? tile_plan_.stripe_bytes : 0;
+  }
+
+  /// Number of column stripes (0 when untiled).
+  index_t tile_stripes() const { return tiled_ ? tile_plan_.nstripes : 0; }
+
  private:
   void run_serial(const value_t* x, value_t* y);
   void run_parallel(const Vector& x, Vector& y);
@@ -222,6 +245,15 @@ class SpmvInstance {
   /// the replicate/interleave policies need). Called by the constructor
   /// after the pinned pool exists and before prepare().
   void setup_numa(const Topology& topo);
+  /// Resolves opts.tiling / SPC_TILE and, when the plan engages, builds
+  /// the stripe-major tiled store over the execution blocks (the chunk
+  /// plan's chunks under dynamic schedules, the partition's ranges under
+  /// static). Called after setup_schedule and before setup_numa, which
+  /// repacks the tiled arrays instead of the matrix's when tiled_.
+  void setup_tiling(const Triplets& t);
+  /// Binds the tiled execution closures (called by prepare() in place of
+  /// the per-format binding when tiled_).
+  void bind_tiled(const KernelTable& kt);
 
   Format format_;
   std::size_t nthreads_;
@@ -270,6 +302,25 @@ class SpmvInstance {
   // Cached metrics-registry handles (lookup once here, lock-free in run).
   obs::Counter* runs_counter_ = nullptr;
   obs::LatencyHisto* run_histo_ = nullptr;
+  // Column tiling (set up once by setup_tiling, off the timed path): the
+  // resolved plan, the stripe-major store that replaces the matrix's
+  // execution arrays, which worker owns each block, the per-tile DU
+  // slices (DU family; rewritten in place by the NUMA repack), and the
+  // per-worker array pointers the tiled closures read (shared store by
+  // default, arena copies under NUMA).
+  TilePlan tile_plan_;
+  TiledStore tile_store_;
+  bool tiled_ = false;
+  std::vector<std::uint32_t> tile_block_owner_;  ///< one per block
+  std::vector<CsrDu::Slice> tile_du_slices_;     ///< one per tile
+  struct TileArrays {
+    const index_t* seg_ptr = nullptr;  ///< rebased: index with absolute seg
+    const index_t* seg_row = nullptr;
+    const std::uint32_t* col = nullptr;  ///< 0-based within the worker span
+    const value_t* val = nullptr;
+    const void* vi = nullptr;
+  };
+  std::vector<TileArrays> tile_arrays_;  ///< one per worker
   // Dynamic scheduling (set up once by setup_schedule, off the timed
   // path): the resolved schedule, the row-aligned chunk plan, per-chunk
   // DU slices (DU formats only), one deque of owned chunks per worker,

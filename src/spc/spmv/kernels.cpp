@@ -298,6 +298,104 @@ void spmv(const CsrDu::Slice& s, const value_t* x, value_t* y) {
   }
 }
 
+// Accumulating twin of the slice decoder above, for the column-tiled
+// stores (spmv/tiling.hpp): each row's accumulator starts from y[row]
+// (the partial left by the previous stripes) instead of 0, and the
+// empty-row zeroing is dropped — the tiled caller pre-zeroes its block's
+// y rows once. The decode and per-row accumulation order are unchanged,
+// so scalar results are bit-identical to the untiled kernel.
+void spmv_du_acc(const CsrDu::Slice& s, const value_t* x, value_t* y) {
+  const std::uint8_t* p = s.ctl;
+  const std::uint8_t* const end = s.ctl_end;
+  const value_t* __restrict v = s.values;
+  std::int64_t row = s.row_state;
+  std::uint64_t x_idx = 0;
+  value_t acc = 0.0;
+  bool active = false;
+
+  while (p < end) {
+    const std::uint8_t uflags = *p++;
+    std::uint32_t usize = *p++;
+    if (uflags & kDuNewRow) {
+      if (active) {
+        y[row] = acc;
+      }
+      std::uint64_t extra = 0;
+      if (uflags & kDuRJmp) {
+        extra = varint_decode(p);
+      }
+      row += 1 + static_cast<std::int64_t>(extra);
+      x_idx = 0;
+      acc = y[row];
+      active = true;
+    }
+    x_idx += varint_decode(p);
+
+    if (uflags & kDuRle) {
+      const std::uint64_t stride = varint_decode(p);
+      std::uint64_t idx = x_idx;
+      for (std::uint32_t k = 0; k < usize; ++k) {
+        acc += v[k] * x[idx];
+        idx += stride;
+      }
+      v += usize;
+      x_idx = idx - stride;
+      continue;
+    }
+    switch (static_cast<DeltaClass>(uflags & kDuClassMask)) {
+      case DeltaClass::kU8:
+        acc += (*v++) * x[x_idx];
+        --usize;
+        while (usize >= 4) {
+          const std::uint64_t i0 = x_idx + p[0];
+          const std::uint64_t i1 = i0 + p[1];
+          const std::uint64_t i2 = i1 + p[2];
+          const std::uint64_t i3 = i2 + p[3];
+          acc += v[0] * x[i0];
+          acc += v[1] * x[i1];
+          acc += v[2] * x[i2];
+          acc += v[3] * x[i3];
+          x_idx = i3;
+          p += 4;
+          v += 4;
+          usize -= 4;
+        }
+        while (usize-- != 0) {
+          x_idx += *p++;
+          acc += (*v++) * x[x_idx];
+        }
+        break;
+      case DeltaClass::kU16:
+        acc += (*v++) * x[x_idx];
+        while (--usize != 0) {
+          x_idx += load_u16(p);
+          p += 2;
+          acc += (*v++) * x[x_idx];
+        }
+        break;
+      case DeltaClass::kU32:
+        acc += (*v++) * x[x_idx];
+        while (--usize != 0) {
+          x_idx += load_u32(p);
+          p += 4;
+          acc += (*v++) * x[x_idx];
+        }
+        break;
+      case DeltaClass::kU64:
+        acc += (*v++) * x[x_idx];
+        while (--usize != 0) {
+          x_idx += load_u64(p);
+          p += 8;
+          acc += (*v++) * x[x_idx];
+        }
+        break;
+    }
+  }
+  if (active) {
+    y[row] = acc;
+  }
+}
+
 void spmv_csr_vi_range(const CsrVi& m, const value_t* x, value_t* y,
                        index_t row_begin, index_t row_end) {
   switch (m.width()) {
@@ -412,7 +510,111 @@ void spmv_du_vi_impl(const CsrDu::Slice& s,
   }
 }
 
+// Accumulating twin of spmv_du_vi_impl for the column-tiled stores —
+// same contract as spmv_du_acc above.
+template <typename IndT>
+void spmv_du_vi_acc_impl(const CsrDu::Slice& s,
+                         const IndT* __restrict val_ind,
+                         const value_t* __restrict uniq, const value_t* x,
+                         value_t* y) {
+  const std::uint8_t* p = s.ctl;
+  const std::uint8_t* const end = s.ctl_end;
+  usize_t k = s.val_offset;
+  std::int64_t row = s.row_state;
+  std::uint64_t x_idx = 0;
+  value_t acc = 0.0;
+  bool active = false;
+
+  while (p < end) {
+    const std::uint8_t uflags = *p++;
+    std::uint32_t usize = *p++;
+    if (uflags & kDuNewRow) {
+      if (active) {
+        y[row] = acc;
+      }
+      std::uint64_t extra = 0;
+      if (uflags & kDuRJmp) {
+        extra = varint_decode(p);
+      }
+      row += 1 + static_cast<std::int64_t>(extra);
+      x_idx = 0;
+      acc = y[row];
+      active = true;
+    }
+    x_idx += varint_decode(p);
+
+    if (uflags & kDuRle) {
+      const std::uint64_t stride = varint_decode(p);
+      std::uint64_t idx = x_idx;
+      for (std::uint32_t i = 0; i < usize; ++i) {
+        acc += uniq[val_ind[k + i]] * x[idx];
+        idx += stride;
+      }
+      k += usize;
+      x_idx = idx - stride;
+      continue;
+    }
+    switch (static_cast<DeltaClass>(uflags & kDuClassMask)) {
+      case DeltaClass::kU8:
+        acc += uniq[val_ind[k++]] * x[x_idx];
+        while (--usize != 0) {
+          x_idx += *p++;
+          acc += uniq[val_ind[k++]] * x[x_idx];
+        }
+        break;
+      case DeltaClass::kU16:
+        acc += uniq[val_ind[k++]] * x[x_idx];
+        while (--usize != 0) {
+          x_idx += load_u16(p);
+          p += 2;
+          acc += uniq[val_ind[k++]] * x[x_idx];
+        }
+        break;
+      case DeltaClass::kU32:
+        acc += uniq[val_ind[k++]] * x[x_idx];
+        while (--usize != 0) {
+          x_idx += load_u32(p);
+          p += 4;
+          acc += uniq[val_ind[k++]] * x[x_idx];
+        }
+        break;
+      case DeltaClass::kU64:
+        acc += uniq[val_ind[k++]] * x[x_idx];
+        while (--usize != 0) {
+          x_idx += load_u64(p);
+          p += 8;
+          acc += uniq[val_ind[k++]] * x[x_idx];
+        }
+        break;
+    }
+  }
+  if (active) {
+    y[row] = acc;
+  }
+}
+
 }  // namespace
+
+void spmv_du_vi_acc_slice(const CsrDu::Slice& s,
+                          const std::uint8_t* val_ind,
+                          const value_t* vals_unique, const value_t* x,
+                          value_t* y) {
+  spmv_du_vi_acc_impl(s, val_ind, vals_unique, x, y);
+}
+
+void spmv_du_vi_acc_slice(const CsrDu::Slice& s,
+                          const std::uint16_t* val_ind,
+                          const value_t* vals_unique, const value_t* x,
+                          value_t* y) {
+  spmv_du_vi_acc_impl(s, val_ind, vals_unique, x, y);
+}
+
+void spmv_du_vi_acc_slice(const CsrDu::Slice& s,
+                          const std::uint32_t* val_ind,
+                          const value_t* vals_unique, const value_t* x,
+                          value_t* y) {
+  spmv_du_vi_acc_impl(s, val_ind, vals_unique, x, y);
+}
 
 void spmv_du_vi_slice(const CsrDu::Slice& s, const std::uint8_t* val_ind,
                       const value_t* vals_unique, const value_t* x,

@@ -84,6 +84,52 @@ void spmv_csr_prefetch_range(const BasicCsr<ColIndexT>& m,
   }
 }
 
+// ------------------------------------------------- column-tiled CSR(-VI) ---
+
+/// Segment kernel for the column-tiled stores (spmv/tiling.hpp): each
+/// segment [seg_ptr[s], seg_ptr[s+1]) is one row's run within one
+/// stripe, and *accumulates* into y[seg_row[s]] — the caller pre-zeroes
+/// the block's y rows and executes the block's segments in order
+/// (stripes ascending), so each row's elements are summed left-to-right
+/// exactly as the untiled kernel would: results are bit-identical at
+/// the scalar tier (a store/load of a double between stripes is exact).
+inline void spmv_csr_seg_acc(const index_t* __restrict seg_ptr,
+                             const index_t* __restrict seg_row,
+                             const std::uint32_t* __restrict col_ind,
+                             const value_t* __restrict values,
+                             const value_t* x, value_t* y,
+                             usize_t seg_begin, usize_t seg_end) {
+  for (usize_t s = seg_begin; s < seg_end; ++s) {
+    const index_t r = seg_row[s];
+    value_t acc = y[r];
+    const index_t end = seg_ptr[s + 1];
+    for (index_t j = seg_ptr[s]; j < end; ++j) {
+      acc += values[j] * x[col_ind[j]];
+    }
+    y[r] = acc;
+  }
+}
+
+/// CSR-VI variant: values come through the value-index table.
+template <typename IndT>
+void spmv_csr_vi_seg_acc(const index_t* __restrict seg_ptr,
+                         const index_t* __restrict seg_row,
+                         const std::uint32_t* __restrict col_ind,
+                         const IndT* __restrict val_ind,
+                         const value_t* __restrict vals_unique,
+                         const value_t* x, value_t* y, usize_t seg_begin,
+                         usize_t seg_end) {
+  for (usize_t s = seg_begin; s < seg_end; ++s) {
+    const index_t r = seg_row[s];
+    value_t acc = y[r];
+    const index_t end = seg_ptr[s + 1];
+    for (index_t j = seg_ptr[s]; j < end; ++j) {
+      acc += vals_unique[val_ind[j]] * x[col_ind[j]];
+    }
+    y[r] = acc;
+  }
+}
+
 // ---------------------------------------------------------------- COO ---
 
 /// Serial COO kernel. Writes the full y (zero-fills first).
@@ -164,6 +210,14 @@ inline void spmv(const CsrDu& m, const value_t* x, value_t* y) {
   spmv(m.full(), x, y);
 }
 
+/// Accumulating DU slice decode for the column-tiled stores: identical
+/// decode loop, but each row's accumulator *starts from* y[row] and is
+/// stored back at row end, and skipped/trailing rows are left untouched
+/// (the tiled caller pre-zeroes the block's y rows once and runs the
+/// block's tiles in ascending stripe order). Per-row element order
+/// matches the untiled stream, so scalar results stay bit-identical.
+void spmv_du_acc(const CsrDu::Slice& s, const value_t* x, value_t* y);
+
 // ------------------------------------------------------------- CSR-VI ---
 
 /// Row-range CSR-VI kernel (Fig 5 of the paper), templated on the value
@@ -210,6 +264,20 @@ void spmv_du_vi_slice(const CsrDu::Slice& s,
                       const std::uint32_t* val_ind,
                       const value_t* vals_unique, const value_t* x,
                       value_t* y);
+
+/// Accumulating DU-VI decode (see spmv_du_acc) for the tiled stores.
+void spmv_du_vi_acc_slice(const CsrDu::Slice& s,
+                          const std::uint8_t* val_ind,
+                          const value_t* vals_unique, const value_t* x,
+                          value_t* y);
+void spmv_du_vi_acc_slice(const CsrDu::Slice& s,
+                          const std::uint16_t* val_ind,
+                          const value_t* vals_unique, const value_t* x,
+                          value_t* y);
+void spmv_du_vi_acc_slice(const CsrDu::Slice& s,
+                          const std::uint32_t* val_ind,
+                          const value_t* vals_unique, const value_t* x,
+                          value_t* y);
 
 /// DU slice decode with value indirection. `slice.val_offset` selects the
 /// starting position in the val_ind stream.

@@ -1,0 +1,374 @@
+// Column-tiling correctness: the tiled execution layer (spmv/tiling.hpp)
+// re-orders each block's non-zeros stripe-major and accumulates partial
+// y across stripes, but at the scalar tier it must reproduce the untiled
+// left-to-right per-row accumulation order exactly — tiled and untiled
+// results are held to bit-identity, not a tolerance. Vector tiers
+// reassociate per-row sums into lane partials (tiled or not), so they
+// get the usual relative-error bound.
+//
+// Also covers the config surface (SPC_TILE parsing, the auto planner's
+// decline reasons) and the degenerate stripe shapes: one-column stripes,
+// a matrix narrower than one stripe, and stripes with no non-zeros.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "spc/gen/generators.hpp"
+#include "spc/spmv/dispatch.hpp"
+#include "spc/spmv/instance.hpp"
+#include "spc/spmv/tiling.hpp"
+#include "test_util.hpp"
+
+namespace spc {
+namespace {
+
+constexpr double kVectorTol = 1e-12;
+
+// Tests that drive tiling through InstanceOptions must not let an outer
+// SPC_TILE (the CI matrix sets off / forced legs) override the option
+// under test. Clears the variable for the test's scope.
+class ScopedUnsetEnv {
+ public:
+  explicit ScopedUnsetEnv(const char* name) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::unsetenv(name);
+  }
+  ~ScopedUnsetEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    }
+  }
+  ScopedUnsetEnv(const ScopedUnsetEnv&) = delete;
+  ScopedUnsetEnv& operator=(const ScopedUnsetEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+// The dispatch_fuzz_test swarm shapes, re-seeded: dense-ish random,
+// ragged, banded, rmat, fem blocks, long dense rows, degenerate.
+Triplets fuzz_matrix(int seed) {
+  Rng rng(7300 + seed);
+  switch (seed % 7) {
+    case 0:
+      return test::random_triplets(
+          1 + static_cast<index_t>(rng.next_below(300)),
+          1 + static_cast<index_t>(rng.next_below(300)),
+          rng.next_below(5000), rng,
+          static_cast<std::uint32_t>(rng.next_below(200)));
+    case 1:
+      return gen_ragged(1 + static_cast<index_t>(rng.next_below(250)),
+                        1 + static_cast<index_t>(rng.next_below(250)),
+                        1 + static_cast<index_t>(rng.next_below(30)),
+                        0.4 * rng.next_double(), rng,
+                        ValueModel::pooled(12));
+    case 2:
+      return gen_banded(32 + static_cast<index_t>(rng.next_below(300)),
+                        1 + static_cast<index_t>(rng.next_below(50)),
+                        1 + static_cast<index_t>(rng.next_below(10)), rng,
+                        ValueModel::random());
+    case 3:
+      return gen_rmat(6 + static_cast<std::uint32_t>(rng.next_below(4)),
+                      400 + rng.next_below(3000), rng,
+                      ValueModel::pooled(6));
+    case 4:
+      return gen_fem_blocks(
+          4 + static_cast<index_t>(rng.next_below(30)),
+          1 + static_cast<index_t>(rng.next_below(4)),
+          1 + static_cast<index_t>(rng.next_below(5)), rng,
+          ValueModel::random());
+    case 5: {
+      const index_t n = 4 + static_cast<index_t>(rng.next_below(8));
+      Triplets t(n, 512);
+      for (index_t r = 0; r < n; ++r) {
+        for (index_t c = 0; c < 512; ++c) {
+          t.add(r, c, rng.next_double(-2.0, 2.0));
+        }
+      }
+      t.sort_and_combine();
+      return t;
+    }
+    default: {
+      switch (seed % 3) {
+        case 0:
+          return test::random_triplets(1, 97, 60, rng);
+        case 1:
+          return test::random_triplets(97, 1, 60, rng);
+        default:
+          return test::random_triplets(1, 1, 1, rng);
+      }
+    }
+  }
+}
+
+const std::vector<Format>& tiled_formats() {
+  static const std::vector<Format> kFormats = {
+      Format::kCsr, Format::kCsrVi, Format::kCsrDu, Format::kCsrDuVi};
+  return kFormats;
+}
+
+class TileFuzz : public ::testing::TestWithParam<int> {};
+
+// Every tiled format, serial and multithreaded, across forced stripe
+// widths (narrow enough that the fuzz matrices really split) and auto:
+// bit-identical to the untiled run at SPC_ISA=scalar.
+TEST_P(TileFuzz, TiledMatchesUntiledBitwiseAtScalar) {
+  const Triplets t = fuzz_matrix(GetParam());
+  if (t.nnz() == 0) {
+    GTEST_SKIP() << "degenerate draw";
+  }
+  Rng xr(9300 + GetParam());
+  const Vector x = random_vector(t.ncols(), xr);
+
+  test::ScopedEnv isa("SPC_ISA", "scalar");
+  InstanceOptions opts;
+  opts.pin_threads = false;
+  for (const Format f : tiled_formats()) {
+    for (const std::size_t threads : {1u, 4u}) {
+      Vector y_off(t.nrows(), 0.0);
+      {
+        test::ScopedEnv tile("SPC_TILE", "off");
+        SpmvInstance inst(t, f, threads, opts);
+        EXPECT_FALSE(inst.tiling_active());
+        inst.run(x, y_off);
+      }
+      for (const char* width : {"256", "1k", "auto"}) {
+        test::ScopedEnv tile("SPC_TILE", width);
+        SpmvInstance inst(t, f, threads, opts);
+        Vector y(t.nrows(), std::numeric_limits<double>::quiet_NaN());
+        inst.run(x, y);
+        EXPECT_EQ(max_abs_diff(y_off, y), 0.0)
+            << format_name(f) << " x" << threads << " SPC_TILE=" << width
+            << " seed " << GetParam();
+      }
+    }
+  }
+}
+
+// The default test/CI invocation runs without SPC_TILE, where auto
+// declines these small matrices — so the tiled *vector* kernels would
+// only ever run under an SPC_TILE=... environment. Exercise them here:
+// forced tiling across every tier this host has, against the untiled
+// scalar result, with the usual reassociation tolerance.
+TEST_P(TileFuzz, TiledVectorTiersStayWithinReassociationTolerance) {
+  const Triplets t = fuzz_matrix(GetParam());
+  if (t.nnz() == 0) {
+    GTEST_SKIP() << "degenerate draw";
+  }
+  Rng xr(9400 + GetParam());
+  const Vector x = random_vector(t.ncols(), xr);
+  const Vector y_ref = test::reference_spmv(t, x);
+
+  ScopedUnsetEnv tile("SPC_TILE");
+  InstanceOptions opts;
+  opts.pin_threads = false;
+  opts.tiling = TileConfig{TileMode::kForced, 1u << 10};
+  for (const IsaTier tier : available_isa_tiers()) {
+    test::ScopedEnv isa("SPC_ISA", isa_tier_name(tier).c_str());
+    for (const Format f : tiled_formats()) {
+      for (const std::size_t threads : {1u, 4u}) {
+        SpmvInstance inst(t, f, threads, opts);
+        EXPECT_TRUE(inst.tiling_active()) << format_name(f);
+        Vector y(t.nrows(), std::numeric_limits<double>::quiet_NaN());
+        inst.run(x, y);
+        const std::string what = format_name(f) + " @" +
+                                 isa_tier_name(tier) + " x" +
+                                 std::to_string(threads) + " seed " +
+                                 std::to_string(GetParam());
+        if (tier == IsaTier::kScalar) {
+          EXPECT_EQ(max_abs_diff(y_ref, y), 0.0) << what;
+        } else {
+          EXPECT_LT(rel_error(y_ref, y), kVectorTol) << what;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Swarm, TileFuzz, ::testing::Range(0, 21));
+
+// --- degenerate stripe shapes -------------------------------------------
+
+void expect_tiled_matches_untiled(const Triplets& t, std::size_t stripe_bytes,
+                                  const char* what) {
+  Rng xr(424242);
+  const Vector x = random_vector(t.ncols(), xr);
+  test::ScopedEnv isa("SPC_ISA", "scalar");
+  ScopedUnsetEnv tile("SPC_TILE");
+  for (const Format f : tiled_formats()) {
+    for (const std::size_t threads : {1u, 3u}) {
+      InstanceOptions opts;
+      opts.pin_threads = false;
+      opts.tiling = TileConfig{TileMode::kOff, 0};
+      Vector y_off(t.nrows(), 0.0);
+      SpmvInstance off(t, f, threads, opts);
+      off.run(x, y_off);
+
+      opts.tiling = TileConfig{TileMode::kForced, stripe_bytes};
+      SpmvInstance tiled(t, f, threads, opts);
+      EXPECT_TRUE(tiled.tiling_active()) << what << " " << format_name(f);
+      Vector y(t.nrows(), std::numeric_limits<double>::quiet_NaN());
+      tiled.run(x, y);
+      EXPECT_EQ(max_abs_diff(y_off, y), 0.0)
+          << what << " " << format_name(f) << " x" << threads;
+    }
+  }
+}
+
+// stripe_bytes below sizeof(value_t) rounds to one column per stripe —
+// every element is the first of its (row, stripe) run.
+TEST(TilingEdge, SingleColumnStripes) {
+  Rng rng(51);
+  const Triplets t = test::random_triplets(40, 24, 300, rng, 8);
+  expect_tiled_matches_untiled(t, 1, "1-col stripe");
+}
+
+// ncols far below one stripe: forced tiling engages with one stripe
+// spanning the whole matrix (the caller asked for the layout).
+TEST(TilingEdge, MatrixNarrowerThanOneStripe) {
+  Rng rng(52);
+  const Triplets t = test::random_triplets(200, 6, 800, rng);
+  expect_tiled_matches_untiled(t, 64u << 10, "narrow matrix");
+}
+
+// Columns concentrated at the extremes: all interior stripes hold no
+// non-zeros, and rows touch non-adjacent stripes.
+TEST(TilingEdge, EmptyInteriorStripes) {
+  Triplets t(64, 40000);
+  Rng rng(53);
+  for (index_t r = 0; r < 64; ++r) {
+    for (int k = 0; k < 6; ++k) {
+      t.add(r, static_cast<index_t>(rng.next_below(20)),
+            rng.next_double(-2.0, 2.0));
+      t.add(r, 39980 + static_cast<index_t>(rng.next_below(20)),
+            rng.next_double(-2.0, 2.0));
+    }
+  }
+  t.sort_and_combine();
+  // 512-byte stripes -> 64 columns per stripe -> ~625 stripes, nearly
+  // all empty.
+  expect_tiled_matches_untiled(t, 512, "empty stripes");
+}
+
+// Empty rows inside a tiled block must stay exactly what the untiled
+// kernel writes for them (zero), not skipped garbage.
+TEST(TilingEdge, EmptyRows) {
+  Triplets t(50, 2000);
+  Rng rng(54);
+  for (index_t r = 0; r < 50; r += 7) {
+    for (int k = 0; k < 20; ++k) {
+      t.add(r, static_cast<index_t>(rng.next_below(2000)),
+            rng.next_double(-2.0, 2.0));
+    }
+  }
+  t.sort_and_combine();
+  expect_tiled_matches_untiled(t, 1u << 10, "empty rows");
+}
+
+// --- config / planner units ---------------------------------------------
+
+TEST(TileConfigParse, AcceptsCanonicalForms) {
+  TileConfig c;
+  EXPECT_TRUE(parse_tile_config("auto", &c));
+  EXPECT_EQ(c.mode, TileMode::kAuto);
+  EXPECT_TRUE(parse_tile_config("off", &c));
+  EXPECT_EQ(c.mode, TileMode::kOff);
+  EXPECT_TRUE(parse_tile_config("0", &c));
+  EXPECT_EQ(c.mode, TileMode::kOff);
+  EXPECT_TRUE(parse_tile_config("16384", &c));
+  EXPECT_EQ(c.mode, TileMode::kForced);
+  EXPECT_EQ(c.stripe_bytes, 16384u);
+  EXPECT_TRUE(parse_tile_config("16k", &c));
+  EXPECT_EQ(c.stripe_bytes, 16u << 10);
+  EXPECT_TRUE(parse_tile_config("2M", &c));
+  EXPECT_EQ(c.stripe_bytes, 2u << 20);
+}
+
+TEST(TileConfigParse, RejectsGarbageLeavingOutputUntouched) {
+  TileConfig c;
+  c.mode = TileMode::kForced;
+  c.stripe_bytes = 123;
+  EXPECT_FALSE(parse_tile_config("", &c));
+  EXPECT_FALSE(parse_tile_config("fast", &c));
+  EXPECT_FALSE(parse_tile_config("-4k", &c));
+  EXPECT_FALSE(parse_tile_config("4q", &c));
+  EXPECT_EQ(c.mode, TileMode::kForced);
+  EXPECT_EQ(c.stripe_bytes, 123u);
+}
+
+TEST(TileConfigParse, NameRoundTrips) {
+  TileConfig c;
+  ASSERT_TRUE(parse_tile_config("auto", &c));
+  EXPECT_EQ(tile_config_name(c), "auto");
+  ASSERT_TRUE(parse_tile_config("off", &c));
+  EXPECT_EQ(tile_config_name(c), "off");
+  ASSERT_TRUE(parse_tile_config("16384", &c));
+  EXPECT_EQ(tile_config_name(c), "16384");
+}
+
+TEST(TilePlanner, ForcedAlwaysEngages) {
+  const TileConfig cfg{TileMode::kForced, 8u << 10};
+  const TilePlan p =
+      plan_tiles(cfg, 100, 100, 500, /*mean_row_span_cols=*/4.0,
+                 /*l1d=*/32u << 10, /*l2=*/1u << 20);
+  EXPECT_TRUE(p.active);
+  EXPECT_EQ(p.stripe_cols, static_cast<index_t>((8u << 10) / sizeof(value_t)));
+}
+
+TEST(TilePlanner, AutoDeclinesWhenXFitsCache) {
+  const TileConfig cfg{TileMode::kAuto, 0};
+  // ncols * 8 well under 2 * l2.
+  const TilePlan p = plan_tiles(cfg, 1u << 16, 1u << 14, 1u << 20, 5000.0,
+                                32u << 10, 1u << 20);
+  EXPECT_FALSE(p.active);
+  EXPECT_STREQ(p.decline_reason, "x fits cache");
+}
+
+TEST(TilePlanner, AutoDeclinesBandedRows) {
+  const TileConfig cfg{TileMode::kAuto, 0};
+  // x overflows cache but rows span only a few columns.
+  const TilePlan p = plan_tiles(cfg, 1u << 20, 1u << 20, 1u << 22,
+                                /*mean_row_span_cols=*/16.0, 32u << 10,
+                                256u << 10);
+  EXPECT_FALSE(p.active);
+  EXPECT_STREQ(p.decline_reason, "banded rows");
+}
+
+TEST(TilePlanner, AutoEngagesOnWideIrregularMatrices) {
+  const TileConfig cfg{TileMode::kAuto, 0};
+  const TilePlan p = plan_tiles(cfg, 1u << 20, 1u << 20, 1u << 22,
+                                /*mean_row_span_cols=*/500000.0, 32u << 10,
+                                256u << 10);
+  EXPECT_TRUE(p.active);
+  EXPECT_GE(p.nstripes, 2u);
+  // clamp(l1d/2, 8k, 256k) with l1d = 32 KiB -> 16 KiB stripes.
+  EXPECT_EQ(p.stripe_bytes, 16u << 10);
+}
+
+// The tiled store swaps the execution arrays but must still represent
+// the same matrix bytes-wise in the compression report: a forced-tiled
+// CSR instance reports the segment arrays, which can exceed plain CSR
+// (extra seg_ptr/seg_row entries) but never lose elements.
+TEST(TilingEdge, MatrixBytesCoverTiledArrays) {
+  Rng rng(55);
+  const Triplets t = test::random_triplets(300, 3000, 6000, rng, 16);
+  ScopedUnsetEnv tile("SPC_TILE");
+  InstanceOptions opts;
+  opts.pin_threads = false;
+  opts.tiling = TileConfig{TileMode::kForced, 1u << 10};
+  SpmvInstance tiled(t, Format::kCsr, 1, opts);
+  ASSERT_TRUE(tiled.tiling_active());
+  // At minimum the elements themselves: nnz * (col + val).
+  EXPECT_GE(tiled.matrix_bytes(), t.nnz() * (sizeof(std::uint32_t) +
+                                             sizeof(value_t)));
+  EXPECT_GE(tiled.tile_stripes(), 2u);
+  EXPECT_EQ(tiled.tile_stripe_bytes(), 1u << 10);
+}
+
+}  // namespace
+}  // namespace spc
