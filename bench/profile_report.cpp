@@ -37,7 +37,9 @@ struct Record {
   std::string numa;
   std::string schedule;
   std::string tiling;
+  std::string tuned;
   std::size_t threads = 1;
+  std::uint64_t probe_ns = 0;
   double mflops = 0.0;
   double speedup = 0.0;  ///< 0 when absent
   double imbalance = 0.0;
@@ -98,6 +100,13 @@ bool parse_record(const std::string& line, Record& r) {
   if (r.tiling.empty()) {
     r.tiling = "off";
   }
+  // Records predating the autotuner were all hand-picked cells.
+  r.tuned = str(j, "tuned");
+  if (r.tuned.empty()) {
+    r.tuned = "no";
+  }
+  r.probe_ns =
+      j.find("probe_ns") != nullptr ? j.find("probe_ns")->as_u64() : 0;
   r.threads = static_cast<std::size_t>(num(j, "threads", 1));
   r.mflops = num(j, "mflops");
   r.speedup = num(j, "speedup_vs_csr");
@@ -193,17 +202,20 @@ int main(int argc, char** argv) {
   // 1. Per-(format, threads) aggregate — the Fig. 7/8 summary view.
   struct Agg {
     MaybeMean mflops, speedup, ipc, cycles_per_nnz, misses_per_knnz,
-        imbalance, bytes_per_nnz, frac_roofline;
+        imbalance, bytes_per_nnz, frac_roofline, probe_ms;
     std::size_t runs = 0;
   };
   std::map<std::tuple<std::string, std::string, std::string, std::string,
-                      std::string, std::size_t>,
+                      std::string, std::string, std::size_t>,
            Agg>
       by_cell;
   for (const Record& r : records) {
-    Agg& a =
-        by_cell[{r.format, r.isa, r.numa, r.schedule, r.tiling, r.threads}];
+    Agg& a = by_cell[{r.format, r.isa, r.numa, r.schedule, r.tiling,
+                      r.tuned, r.threads}];
     ++a.runs;
+    if (r.tuned == "yes") {
+      a.probe_ms.add(static_cast<double>(r.probe_ns) * 1e-6);
+    }
     a.mflops.add(r.mflops);
     if (r.speedup > 0.0) {
       a.speedup.add(r.speedup);
@@ -226,23 +238,23 @@ int main(int argc, char** argv) {
     }
   }
   spc::TextTable summary({"format", "isa", "numa", "sched", "tile",
-                          "threads", "runs", "MFLOPS", "speedup", "IPC",
-                          "cyc/nnz", "miss/knnz", "B/nnz", "roofline",
-                          "imbalance"});
+                          "tuned", "threads", "runs", "MFLOPS", "speedup",
+                          "IPC", "cyc/nnz", "miss/knnz", "B/nnz",
+                          "roofline", "probe_ms", "imbalance"});
   bool any_roofline = false;
   for (const auto& [key, a] : by_cell) {
     any_roofline = any_roofline || a.frac_roofline.n > 0;
     summary.add_row({std::get<0>(key), std::get<1>(key), std::get<2>(key),
-                     std::get<3>(key), std::get<4>(key),
-                     std::to_string(std::get<5>(key)),
+                     std::get<3>(key), std::get<4>(key), std::get<5>(key),
+                     std::to_string(std::get<6>(key)),
                      std::to_string(a.runs), a.mflops.fmt(1),
                      a.speedup.fmt(2), a.ipc.fmt(2),
                      a.cycles_per_nnz.fmt(1), a.misses_per_knnz.fmt(2),
                      a.bytes_per_nnz.fmt(1), a.frac_roofline.fmt(2),
-                     a.imbalance.fmt(2)});
+                     a.probe_ms.fmt(2), a.imbalance.fmt(2)});
   }
-  std::cout
-      << "per-(format, isa, numa, schedule, tiling, threads) aggregate:\n";
+  std::cout << "per-(format, isa, numa, schedule, tiling, tuned, threads) "
+               "aggregate:\n";
   summary.print(std::cout);
 
   // 2. Per-matrix detail at the highest thread count, sorted by speedup

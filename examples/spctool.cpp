@@ -4,8 +4,9 @@
 //       print statistics, the §II-B working-set model and per-format sizes
 //   spctool convert  <matrix> <out.spcm> [--format csr|csr-du|csr-vi] [--rcm]
 //       encode (optionally RCM-reordered) and write an .spcm container
-//   spctool spmv     <matrix> [--format F] [--threads N] [--iters K]
-//       time y = A*x (the paper's measurement protocol)
+//   spctool spmv     <matrix> [--format F|auto] [--threads N] [--iters K]
+//       time y = A*x (the paper's measurement protocol); --format auto
+//       (or SPC_TUNE=1 with no --format) runs the spc::tune autotuner
 //   spctool reorder  <in> <out.mtx>
 //       write the RCM-reordered matrix in Matrix Market form
 //
@@ -26,6 +27,7 @@
 #include "spc/spmv/instance.hpp"
 #include "spc/support/strutil.hpp"
 #include "spc/support/timing.hpp"
+#include "spc/tune/tuner.hpp"
 
 using namespace spc;
 
@@ -159,20 +161,36 @@ int cmd_convert(std::vector<std::string> args) {
 }
 
 int cmd_spmv(std::vector<std::string> args) {
-  const std::string fmt = flag_value(args, "--format", "csr");
+  // No explicit --format defers to SPC_TUNE; an explicit hand-picked
+  // format is always honored as written.
+  std::string fmt = flag_value(args, "--format", "");
+  if (fmt.empty()) {
+    fmt = tune::tune_enabled() ? "auto" : "csr";
+  }
   const std::size_t threads =
       std::stoull(flag_value(args, "--threads", "1"));
   const std::size_t iters = std::stoull(flag_value(args, "--iters", "128"));
   if (args.empty()) {
     std::fprintf(stderr,
-                 "usage: spctool spmv <matrix> [--format F] [--threads N] "
-                 "[--iters K]\n");
+                 "usage: spctool spmv <matrix> [--format F|auto] "
+                 "[--threads N] [--iters K]\n");
     return 2;
   }
   const Triplets t = load_any(args[0]);
   InstanceOptions opts;
   opts.pin_threads = false;
-  SpmvInstance inst(t, parse_format(fmt), threads, opts);
+  const bool auto_fmt = fmt == "auto";
+  tune::TuneReport rep;
+  SpmvInstance inst =
+      auto_fmt ? tune::auto_instance(t, threads, opts, {}, &rep)
+               : SpmvInstance(t, parse_format(fmt), threads, opts);
+  if (auto_fmt) {
+    fmt = "auto:" + format_name(inst.format());
+    std::printf("autotuner chose %s (%s%s, %.1f ms tuning)\n",
+                format_name(inst.format()).c_str(), rep.source.c_str(),
+                rep.cache_hit ? ", cache hit" : "",
+                static_cast<double>(rep.probe_ns) * 1e-6);
+  }
   const double secs = time_spmv(inst, iters, 2);
   std::printf("%s  %s  x%zu: %zu ops in %.3fs — %.1f MFLOPS, %.3f ms/op, "
               "matrix %s\n",

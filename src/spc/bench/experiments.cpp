@@ -1,10 +1,12 @@
 #include "spc/bench/experiments.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <ostream>
 
 #include "spc/support/strutil.hpp"
+#include "spc/tune/cost.hpp"
 
 namespace spc {
 
@@ -322,7 +324,8 @@ void run_working_set_report(const BenchConfig& cfg, std::ostream& os) {
       {"4k", 4u << 10}, {"16k", 16u << 10}, {"64k", 64u << 10}};
   TextTable table({"matrix", "set", "nrows", "nnz", "ws", "ttu",
                    "u8-delta%", "u8%@4k", "u8%@16k", "u8%@64k", "csr",
-                   "csr-du", "csr-vi", "csr-du-vi", "dcsr"});
+                   "csr-du", "csr-vi", "csr-du-vi", "dcsr", "pick",
+                   "pred-B/nnz", "meas-B/nnz", "err%"});
   std::vector<std::vector<std::string>> csv_rows;
   for_each_matrix(
       cfg,
@@ -365,11 +368,40 @@ void run_working_set_report(const BenchConfig& cfg, std::ostream& os) {
                                rel(Format::kCsrVi),
                                rel(Format::kCsrDuVi),
                                rel(Format::kDcsr)});
+        // Cost-model check (§II-B): the tuner's predicted streamed
+        // bytes/nnz for its top pick, next to the same figure recomputed
+        // from the actually-encoded instance. A drifting err% means the
+        // closed-form model has fallen out of sync with the encoders.
+        const tune::TuneFeatures feats = tune::extract_features(mc.mat);
+        Format pick = Format::kCsr;
+        double pred_streamed = std::numeric_limits<double>::infinity();
+        for (const tune::CandidatePrediction& c :
+             tune::predict_candidates(feats)) {
+          if (c.applicable && c.streamed_bytes_per_nnz < pred_streamed) {
+            pred_streamed = c.streamed_bytes_per_nnz;
+            pick = c.format;
+          }
+        }
+        SpmvInstance pick_inst(mc.mat, pick);
+        const double nnz_d =
+            static_cast<double>(std::max<std::uint64_t>(1, mc.stats.nnz));
+        const double vec_b = static_cast<double>(sizeof(value_t)) *
+                             static_cast<double>(mc.stats.nrows +
+                                                 mc.stats.ncols) /
+                             nnz_d;
+        const double meas_streamed =
+            static_cast<double>(pick_inst.matrix_bytes()) / nnz_d + vec_b;
+        const double err_pct =
+            meas_streamed > 0.0
+                ? 100.0 * (pred_streamed - meas_streamed) / meas_streamed
+                : 0.0;
+        row.insert(row.end(), {format_name(pick), f2(pred_streamed),
+                               f2(meas_streamed), f1(err_pct)});
         table.add_row(row);
         // CSV row: table columns plus the u16/u32 shares per width.
         std::vector<std::string> csv_row(row.begin(), row.begin() + 7);
         csv_row.insert(csv_row.end(), stripe_csv.begin(), stripe_csv.end());
-        csv_row.insert(csv_row.end(), row.end() - 5, row.end());
+        csv_row.insert(csv_row.end(), row.end() - 9, row.end());
         csv_rows.push_back(std::move(csv_row));
       },
       /*apply_rejection=*/false);
@@ -379,7 +411,7 @@ void run_working_set_report(const BenchConfig& cfg, std::ostream& os) {
              "u8_pct_4k", "u16_pct_4k", "u32_pct_4k", "u8_pct_16k",
              "u16_pct_16k", "u32_pct_16k", "u8_pct_64k", "u16_pct_64k",
              "u32_pct_64k", "csr_bytes", "du_rel", "vi_rel", "duvi_rel",
-             "dcsr_rel"},
+             "dcsr_rel", "pick", "pred_b_nnz", "meas_b_nnz", "err_pct"},
             csv_rows);
   os << "data: working_set_report.csv\n\n";
 }

@@ -12,32 +12,13 @@
 #include "spc/obs/metrics.hpp"
 #include "spc/obs/metrics_io.hpp"
 #include "spc/obs/trace.hpp"
+#include "spc/support/env.hpp"
 #include "spc/support/strutil.hpp"
 #include "spc/support/timing.hpp"
 
 namespace spc {
 
 namespace {
-
-std::optional<std::string> env_str(const char* name) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') {
-    return std::nullopt;
-  }
-  return std::string(v);
-}
-
-std::optional<std::uint64_t> env_u64(const char* name) {
-  const auto s = env_str(name);
-  if (!s) {
-    return std::nullopt;
-  }
-  try {
-    return std::stoull(*s);
-  } catch (...) {
-    return std::nullopt;
-  }
-}
 
 // SPC_PAD_NS_PER_ITER test hook: spin this many extra ns per timed
 // iteration. Re-read on every timed run so in-process setenv works
@@ -263,16 +244,8 @@ RunMetrics time_spmv_metrics(SpmvInstance& inst, std::size_t iters,
 bool metrics_enabled() { return obs::MetricsSink::global().enabled(); }
 
 double roofline_gbps() {
-  const auto s = env_str("SPC_ROOFLINE_GBPS");
-  if (!s) {
-    return 0.0;
-  }
-  try {
-    const double g = std::stod(*s);
-    return g > 0.0 ? g : 0.0;
-  } catch (...) {
-    return 0.0;
-  }
+  const double g = env_double("SPC_ROOFLINE_GBPS").value_or(0.0);
+  return g > 0.0 ? g : 0.0;
 }
 
 obs::Json make_metrics_record(
@@ -313,6 +286,18 @@ obs::Json make_metrics_record(
   } else if (const char* why = inst.tile_plan().decline_reason;
              why != nullptr && *why != '\0') {
     rec.set("tiling_declined", std::string(why));
+  }
+  // Tuning provenance: whether spc::tune chose this cell, what the
+  // choice cost, and whether the tuning cache supplied it. The ledger
+  // key splits on "tuned" so auto-selected rows never pool with
+  // hand-picked baselines of the same format.
+  const SpmvInstance::TuneProvenance& tp = inst.tune_provenance();
+  rec.set("tuned", std::string(tp.tuned ? "yes" : "no"));
+  if (tp.tuned) {
+    rec.set("tune_source", tp.source);
+    rec.set("probe_ns", tp.probe_ns);
+    rec.set("cache_hit", tp.cache_hit);
+    rec.set("matrix_fp", tp.fingerprint);
   }
   rec.set("threads", static_cast<std::uint64_t>(m.threads));
   const SpmvInstance::NumaResidency res = inst.matrix_residency();

@@ -43,6 +43,11 @@ double MatrixStats::u8_delta_fraction() const {
                : 0.0;
 }
 
+double MatrixStats::delta1_fraction() const {
+  return nnz ? static_cast<double>(delta1_count) / static_cast<double>(nnz)
+             : 0.0;
+}
+
 MatrixStats compute_stats(const Triplets& t) {
   SPC_CHECK_MSG(t.is_sorted_unique(),
                 "compute_stats requires sorted/combined triplets");
@@ -80,6 +85,9 @@ MatrixStats compute_stats(const Triplets& t) {
         (e.row == prev_row) ? static_cast<std::uint64_t>(e.col - prev_col)
                             : static_cast<std::uint64_t>(e.col);
     ++s.delta_class_count[static_cast<std::uint8_t>(delta_class_for(delta))];
+    if (e.row == prev_row && delta == 1) {
+      ++s.delta1_count;
+    }
     const std::uint64_t dist =
         e.col >= e.row ? static_cast<std::uint64_t>(e.col - e.row)
                        : static_cast<std::uint64_t>(e.row - e.col);

@@ -131,7 +131,7 @@ std::string LedgerRecord::key() const {
   std::ostringstream os;
   os << bench << '|' << matrix << '|' << format << '|' << isa << '|'
      << numa << '|' << schedule << '|' << tiling << '|' << stripe_bytes
-     << '|' << threads;
+     << '|' << tuned << '|' << threads;
   return os.str();
 }
 
@@ -165,6 +165,15 @@ bool parse_ledger_record(const Json& j, LedgerRecord* out) {
     r.tiling = "off";
   }
   r.stripe_bytes = json_u64(j, "stripe_bytes");
+  // Pre-tuner records were all hand-picked cells.
+  r.tuned = json_str(j, "tuned");
+  if (r.tuned.empty()) {
+    r.tuned = "no";
+  }
+  r.probe_ns = json_u64(j, "probe_ns");
+  if (const Json* hit = j.find("cache_hit")) {
+    r.cache_hit = hit->as_bool();
+  }
   r.threads = static_cast<std::size_t>(json_u64(j, "threads", 1));
   r.machine_id = json_str(j, "machine_id");
   r.git_sha = json_str(j, "git_sha");

@@ -1,9 +1,8 @@
 #include "spc/parallel/schedule.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
 
+#include "spc/support/env.hpp"
 #include "spc/support/error.hpp"
 #include "spc/support/strutil.hpp"
 
@@ -34,20 +33,13 @@ bool parse_schedule(const std::string& name, Schedule* out) {
 }
 
 Schedule schedule_from_env(Schedule fallback) {
-  const char* env = std::getenv("SPC_SCHED");
-  if (env == nullptr || *env == '\0') {
+  const auto env = env_str("SPC_SCHED");
+  if (!env) {
     return fallback;
   }
   Schedule s = fallback;
-  if (!parse_schedule(env, &s)) {
-    static bool warned = false;
-    if (!warned) {
-      warned = true;
-      std::fprintf(stderr,
-                   "spc: ignoring unparseable SPC_SCHED=%s (want "
-                   "static|chunked|steal)\n",
-                   env);
-    }
+  if (!parse_schedule(*env, &s)) {
+    env_warn_once("SPC_SCHED", *env, "static|chunked|steal");
   }
   return s;
 }
@@ -64,24 +56,15 @@ usize_t chunk_target_nnz(std::size_t l2_bytes) {
 }
 
 usize_t chunk_nnz_from_env(usize_t fallback) {
-  const char* env = std::getenv("SPC_CHUNK_NNZ");
-  if (env == nullptr || *env == '\0') {
+  const auto v = env_u64("SPC_CHUNK_NNZ");
+  if (!v) {
     return fallback;
   }
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(env, &end, 10);
-  if (end == env || *end != '\0' || v == 0) {
-    static bool warned = false;
-    if (!warned) {
-      warned = true;
-      std::fprintf(stderr,
-                   "spc: ignoring unparseable SPC_CHUNK_NNZ=%s (want a "
-                   "positive integer)\n",
-                   env);
-    }
+  if (*v == 0) {
+    env_warn_once("SPC_CHUNK_NNZ", "0", "a positive integer");
     return fallback;
   }
-  return static_cast<usize_t>(v);
+  return static_cast<usize_t>(*v);
 }
 
 ChunkPlan plan_chunks(const aligned_vector<index_t>& row_ptr,

@@ -1,9 +1,7 @@
 #include "spc/spmv/dispatch.hpp"
 
-#include <cstdio>
-#include <cstdlib>
-
 #include "spc/spmv/dispatch_tables.hpp"
+#include "spc/support/env.hpp"
 #include "spc/support/strutil.hpp"
 
 namespace spc {
@@ -69,20 +67,13 @@ IsaTier detect_isa_tier() {
 
 IsaTier active_isa_tier() {
   const IsaTier detected = detect_isa_tier();
-  const char* env = std::getenv("SPC_ISA");
-  if (env == nullptr || *env == '\0') {
+  const auto env = env_str("SPC_ISA");
+  if (!env) {
     return detected;
   }
   IsaTier requested;
-  if (!parse_isa_tier(env, &requested)) {
-    static bool warned = false;
-    if (!warned) {
-      warned = true;
-      std::fprintf(stderr,
-                   "spc: ignoring unknown SPC_ISA value '%s' "
-                   "(expected scalar, sse42, or avx2)\n",
-                   env);
-    }
+  if (!parse_isa_tier(*env, &requested)) {
+    env_warn_once("SPC_ISA", *env, "scalar|sse42|avx2");
     return detected;
   }
   // The override can only narrow: asking for a wider ISA than the host

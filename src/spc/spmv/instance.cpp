@@ -1731,6 +1731,20 @@ void SpmvInstance::run(const Vector& x, Vector& y) {
   }
 }
 
+std::uint64_t SpmvInstance::run_probe(const Vector& x, Vector& y) {
+  SPC_CHECK_MSG(x.size() == ncols_, "x has wrong dimension");
+  SPC_CHECK_MSG(y.size() == nrows_, "y has wrong dimension");
+  const std::uint64_t t0 = now_ns();
+  if (nthreads_ == 1) {
+    run_serial(x.data(), y.data());
+  } else {
+    run_parallel(x, y);
+  }
+  const std::uint64_t t1 = now_ns();
+  runs_counter_->add();
+  return t1 >= t0 ? t1 - t0 : 0;
+}
+
 void SpmvInstance::run_serial(const value_t* x, value_t* y) {
   if (binding_.bound()) {
     binding_.serial(x, y);

@@ -225,6 +225,27 @@ class SpmvInstance {
   /// Number of column stripes (0 when untiled).
   index_t tile_stripes() const { return tiled_ ? tile_plan_.nstripes : 0; }
 
+  /// How this instance's configuration was chosen. Hand-constructed
+  /// instances carry the default (tuned == false); spc::tune stamps the
+  /// instances it returns so the bench harness can record the tuning
+  /// provenance (tuned / cache_hit / probe_ns / source) into the JSONL
+  /// metrics without depending on the tuner.
+  struct TuneProvenance {
+    bool tuned = false;
+    bool cache_hit = false;       ///< winner came from the tuning cache
+    std::uint64_t probe_ns = 0;   ///< wall time spent probing (0 on hit)
+    std::string source;           ///< "cache" | "probe" | "cost-model"
+    std::string fingerprint;      ///< matrix content hash (16-hex)
+  };
+  const TuneProvenance& tune_provenance() const { return tune_; }
+  void set_tune_provenance(TuneProvenance p) { tune_ = std::move(p); }
+
+  /// Probe hook for the autotuner: one y = A*x pass under the wall
+  /// clock, returning its duration in nanoseconds. Identical work to
+  /// run(); the instance-side timestamping keeps every candidate's
+  /// measurement loop the same few instructions regardless of caller.
+  std::uint64_t run_probe(const Vector& x, Vector& y);
+
  private:
   void run_serial(const value_t* x, value_t* y);
   void run_parallel(const Vector& x, Vector& y);
@@ -345,6 +366,7 @@ class SpmvInstance {
     value_t* y = nullptr;
   };
   RunArgs run_args_;
+  TuneProvenance tune_;
   /// Static executor jobs for dispatch_raw (ctx = the instance). The
   /// raw-callable path keeps the per-run cost at one function-pointer
   /// call per worker — no std::function allocation on the timed path.

@@ -1,9 +1,8 @@
 #include "spc/spmv/tiling.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
 
+#include "spc/support/env.hpp"
 #include "spc/support/error.hpp"
 #include "spc/support/strutil.hpp"
 
@@ -65,20 +64,13 @@ bool parse_tile_config(const std::string& s, TileConfig* out) {
 }
 
 TileConfig tile_config_from_env(const TileConfig& cfg) {
-  const char* env = std::getenv("SPC_TILE");
-  if (env == nullptr || *env == '\0') {
+  const auto env = env_str("SPC_TILE");
+  if (!env) {
     return cfg;
   }
   TileConfig out = cfg;
-  if (!parse_tile_config(env, &out)) {
-    static bool warned = false;
-    if (!warned) {
-      warned = true;
-      std::fprintf(stderr,
-                   "spc: ignoring unparseable SPC_TILE=%s "
-                   "(want auto|off|<bytes>[k|m])\n",
-                   env);
-    }
+  if (!parse_tile_config(*env, &out)) {
+    env_warn_once("SPC_TILE", *env, "auto|off|<bytes>[k|m]");
   }
   return out;
 }

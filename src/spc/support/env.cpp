@@ -1,0 +1,89 @@
+#include "spc/support/env.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+
+#include "spc/support/strutil.hpp"
+
+namespace spc {
+
+std::optional<std::string> env_str(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return std::nullopt;
+  }
+  return std::string(v);
+}
+
+bool env_warn_once(const char* name, const std::string& value,
+                   const char* expected) {
+  static std::mutex mu;
+  // Leaked on purpose: diagnostics may fire during static destruction
+  // (atexit-registered flushes read the environment too).
+  static std::set<std::string>* warned = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(mu);
+  if (!warned->insert(name).second) {
+    return false;
+  }
+  std::fprintf(stderr, "spc: ignoring unparseable %s=%s (want %s)\n", name,
+               value.c_str(), expected);
+  return true;
+}
+
+std::optional<std::uint64_t> env_u64(const char* name) {
+  const auto s = env_str(name);
+  if (!s) {
+    return std::nullopt;
+  }
+  // strtoull silently wraps negatives; reject them up front.
+  const char* p = s->c_str();
+  while (*p == ' ' || *p == '\t') {
+    ++p;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(p, &end, 10);
+  if (*p == '-' || end == p || *end != '\0' || errno == ERANGE) {
+    env_warn_once(name, *s, "a non-negative integer");
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::optional<double> env_double(const char* name) {
+  const auto s = env_str(name);
+  if (!s) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s->c_str(), &end);
+  if (end == s->c_str() || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(v)) {
+    env_warn_once(name, *s, "a finite number");
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<bool> env_flag(const char* name) {
+  const auto s = env_str(name);
+  if (!s) {
+    return std::nullopt;
+  }
+  const std::string v = to_lower(*s);
+  if (v == "1" || v == "true" || v == "on" || v == "yes") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "off" || v == "no") {
+    return false;
+  }
+  env_warn_once(name, *s, "0|1|true|false|on|off|yes|no");
+  return std::nullopt;
+}
+
+}  // namespace spc

@@ -1,0 +1,42 @@
+// Shared SPC_* environment-variable access.
+//
+// Every runtime knob (SPC_SCHED, SPC_TILE, SPC_NUMA, SPC_ISA, SPC_TUNE,
+// the harness SPC_ITERS family, ...) reads the environment through these
+// helpers instead of hand-rolled getenv + strto* + static-bool-warned
+// blocks. Unset and empty both mean "not configured"; an unparseable
+// value is diagnosed on stderr once per variable name for the whole
+// process (not once per call site) and then treated as unset, so a typo
+// in a job script produces exactly one line of noise, never silence and
+// never a flood.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace spc {
+
+/// Raw lookup: nullopt when the variable is unset or empty.
+std::optional<std::string> env_str(const char* name);
+
+/// Base-10 unsigned integer. Unparseable (including negative or
+/// overflowing) values warn once and read as unset.
+std::optional<std::uint64_t> env_u64(const char* name);
+
+/// Finite double. Unparseable values warn once and read as unset.
+std::optional<double> env_double(const char* name);
+
+/// Boolean flag: 1|true|on|yes → true, 0|false|off|no → false
+/// (case-insensitive). Anything else warns once and reads as unset.
+std::optional<bool> env_flag(const char* name);
+
+/// One-shot diagnostic: the first call per `name` prints
+///   spc: ignoring unparseable NAME=value (want EXPECTED)
+/// to stderr; later calls for the same name are silent. Callers with
+/// domain checks beyond syntax (e.g. "must be positive") reuse this so
+/// their diagnostics share the once-per-key ledger. Returns whether
+/// this call printed.
+bool env_warn_once(const char* name, const std::string& value,
+                   const char* expected);
+
+}  // namespace spc

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "spc/support/env.hpp"
 #include "spc/support/error.hpp"
 #include "spc/support/strutil.hpp"
 
@@ -66,20 +67,14 @@ bool parse_numa_policy(const std::string& name, NumaPolicy* out) {
 }
 
 NumaPolicy numa_policy_from_env(NumaPolicy fallback) {
-  const char* env = std::getenv("SPC_NUMA");
-  if (env == nullptr || *env == '\0') {
+  const auto env = env_str("SPC_NUMA");
+  if (!env) {
     return fallback;
   }
   NumaPolicy p = fallback;
-  if (!parse_numa_policy(env, &p)) {
-    static bool warned = false;
-    if (!warned) {
-      warned = true;
-      std::fprintf(stderr,
-                   "spc: ignoring unparseable SPC_NUMA=%s (want "
-                   "auto|off|local|replicate|interleaved)\n",
-                   env);
-    }
+  if (!parse_numa_policy(*env, &p)) {
+    env_warn_once("SPC_NUMA", *env,
+                  "auto|off|local|replicate|interleaved");
   }
   return p;
 }

@@ -1,0 +1,103 @@
+#include "spc/tune/features.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <unordered_set>
+
+#include "spc/spmv/tiling.hpp"
+#include "spc/support/error.hpp"
+
+namespace spc::tune {
+
+namespace {
+
+class Fnv1a {
+ public:
+  void add_bytes(const void* p, std::size_t n) {
+    const unsigned char* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= b[i];
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  void add_u64(std::uint64_t v) {
+    // Fixed-width little-endian feed: the hash must not depend on host
+    // integer widths or struct padding.
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) {
+      b[i] = static_cast<unsigned char>(v >> (8 * i));
+    }
+    add_bytes(b, sizeof(b));
+  }
+  std::string hex() const {
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h_));
+    return std::string(buf);
+  }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace
+
+std::string matrix_fingerprint(const Triplets& t) {
+  SPC_CHECK_MSG(t.is_sorted_unique(),
+                "matrix_fingerprint requires sorted/combined triplets");
+  Fnv1a h;
+  h.add_u64(t.nrows());
+  h.add_u64(t.ncols());
+  h.add_u64(t.nnz());
+  for (const Entry& e : t.entries()) {
+    h.add_u64(e.row);
+    h.add_u64(e.col);
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(e.val));
+    std::memcpy(&bits, &e.val, sizeof(bits));
+    h.add_u64(bits);
+  }
+  return h.hex();
+}
+
+TuneFeatures extract_features(const Triplets& t) {
+  TuneFeatures f;
+  f.stats = compute_stats(t);
+  std::uint64_t total = 0;
+  for (const auto c : f.stats.delta_class_count) {
+    total += c;
+  }
+  if (total > 0) {
+    for (int i = 0; i < 4; ++i) {
+      f.delta_share[i] = static_cast<double>(f.stats.delta_class_count[i]) /
+                         static_cast<double>(total);
+    }
+  }
+  f.delta1_frac = f.stats.delta1_fraction();
+  f.mean_row_span = mean_row_span_cols(t);
+  f.row_cv = f.stats.row_len_mean > 0.0
+                 ? f.stats.row_len_stddev / f.stats.row_len_mean
+                 : 0.0;
+
+  if (t.nrows() == t.ncols() && t.nnz() > 0) {
+    std::unordered_set<std::uint64_t> pattern;
+    pattern.reserve(t.nnz());
+    for (const Entry& e : t.entries()) {
+      pattern.insert((static_cast<std::uint64_t>(e.row) << 32) | e.col);
+    }
+    bool sym = true;
+    for (const Entry& e : t.entries()) {
+      if (pattern.find((static_cast<std::uint64_t>(e.col) << 32) | e.row) ==
+          pattern.end()) {
+        sym = false;
+        break;
+      }
+    }
+    f.structurally_symmetric = sym;
+  }
+
+  f.fingerprint = matrix_fingerprint(t);
+  return f;
+}
+
+}  // namespace spc::tune

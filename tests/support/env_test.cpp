@@ -1,0 +1,116 @@
+// Tests for the shared SPC_* environment access helpers: parse
+// semantics (unset/empty/garbage), and the once-per-variable-name
+// diagnostic ledger.
+//
+// Variable names are unique per assertion where the warn ledger matters:
+// env_warn_once is once per name for the whole process, so a name reused
+// across tests would make outcomes order-dependent.
+#include "spc/support/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace spc {
+namespace {
+
+TEST(EnvStr, UnsetAndEmptyReadAsNotConfigured) {
+  ::unsetenv("SPC_TEST_STR_A");
+  EXPECT_FALSE(env_str("SPC_TEST_STR_A").has_value());
+  test::ScopedEnv empty("SPC_TEST_STR_A", "");
+  EXPECT_FALSE(env_str("SPC_TEST_STR_A").has_value());
+}
+
+TEST(EnvStr, ReturnsValueVerbatim) {
+  test::ScopedEnv v("SPC_TEST_STR_B", "  spaced value ");
+  ASSERT_TRUE(env_str("SPC_TEST_STR_B").has_value());
+  EXPECT_EQ(*env_str("SPC_TEST_STR_B"), "  spaced value ");
+}
+
+TEST(EnvU64, ParsesDecimal) {
+  test::ScopedEnv v("SPC_TEST_U64_A", "42");
+  EXPECT_EQ(env_u64("SPC_TEST_U64_A"), 42u);
+  test::ScopedEnv z("SPC_TEST_U64_B", "0");
+  EXPECT_EQ(env_u64("SPC_TEST_U64_B"), 0u);
+}
+
+TEST(EnvU64, RejectsNegativeGarbageAndOverflow) {
+  {
+    test::ScopedEnv v("SPC_TEST_U64_NEG", "-3");
+    EXPECT_FALSE(env_u64("SPC_TEST_U64_NEG").has_value());
+  }
+  {
+    test::ScopedEnv v("SPC_TEST_U64_GARBAGE", "abc");
+    EXPECT_FALSE(env_u64("SPC_TEST_U64_GARBAGE").has_value());
+  }
+  {
+    test::ScopedEnv v("SPC_TEST_U64_TRAIL", "12x");
+    EXPECT_FALSE(env_u64("SPC_TEST_U64_TRAIL").has_value());
+  }
+  {
+    test::ScopedEnv v("SPC_TEST_U64_OVER", "99999999999999999999999");
+    EXPECT_FALSE(env_u64("SPC_TEST_U64_OVER").has_value());
+  }
+}
+
+TEST(EnvDouble, ParsesFiniteRejectsTheRest) {
+  {
+    test::ScopedEnv v("SPC_TEST_DBL_A", "1.5");
+    EXPECT_DOUBLE_EQ(env_double("SPC_TEST_DBL_A").value(), 1.5);
+  }
+  {
+    test::ScopedEnv v("SPC_TEST_DBL_B", "1e3");
+    EXPECT_DOUBLE_EQ(env_double("SPC_TEST_DBL_B").value(), 1000.0);
+  }
+  {
+    test::ScopedEnv v("SPC_TEST_DBL_NAN", "nan");
+    EXPECT_FALSE(env_double("SPC_TEST_DBL_NAN").has_value());
+  }
+  {
+    test::ScopedEnv v("SPC_TEST_DBL_INF", "inf");
+    EXPECT_FALSE(env_double("SPC_TEST_DBL_INF").has_value());
+  }
+  {
+    test::ScopedEnv v("SPC_TEST_DBL_GARBAGE", "fast");
+    EXPECT_FALSE(env_double("SPC_TEST_DBL_GARBAGE").has_value());
+  }
+}
+
+TEST(EnvFlag, AcceptedSpellings) {
+  const char* truthy[] = {"1", "true", "on", "yes", "TRUE", "On", "YES"};
+  for (const char* s : truthy) {
+    test::ScopedEnv v("SPC_TEST_FLAG_T", s);
+    EXPECT_EQ(env_flag("SPC_TEST_FLAG_T"), true) << s;
+  }
+  const char* falsy[] = {"0", "false", "off", "no", "FALSE", "Off", "NO"};
+  for (const char* s : falsy) {
+    test::ScopedEnv v("SPC_TEST_FLAG_F", s);
+    EXPECT_EQ(env_flag("SPC_TEST_FLAG_F"), false) << s;
+  }
+  test::ScopedEnv v("SPC_TEST_FLAG_BAD", "maybe");
+  EXPECT_FALSE(env_flag("SPC_TEST_FLAG_BAD").has_value());
+  ::unsetenv("SPC_TEST_FLAG_UNSET");
+  EXPECT_FALSE(env_flag("SPC_TEST_FLAG_UNSET").has_value());
+}
+
+TEST(EnvWarnOnce, FirstCallPerNamePrintsLaterCallsAreSilent) {
+  EXPECT_TRUE(env_warn_once("SPC_TEST_WARN_A", "junk", "a number"));
+  EXPECT_FALSE(env_warn_once("SPC_TEST_WARN_A", "junk", "a number"));
+  EXPECT_FALSE(env_warn_once("SPC_TEST_WARN_A", "other-junk", "a number"));
+  // A different variable gets its own first warning.
+  EXPECT_TRUE(env_warn_once("SPC_TEST_WARN_B", "junk", "a number"));
+}
+
+TEST(EnvU64, WarnsExactlyOncePerName) {
+  // The parse failure above warns through the same ledger: the first
+  // bad read printed, so a manual warn for that name is now silent.
+  {
+    test::ScopedEnv v("SPC_TEST_U64_ONCE", "bogus");
+    EXPECT_FALSE(env_u64("SPC_TEST_U64_ONCE").has_value());
+  }
+  EXPECT_FALSE(
+      env_warn_once("SPC_TEST_U64_ONCE", "bogus", "a non-negative integer"));
+}
+
+}  // namespace
+}  // namespace spc
