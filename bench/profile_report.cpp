@@ -51,6 +51,11 @@ struct Record {
   double misses_per_knnz = 0.0;
   double bytes_per_nnz = 0.0;    ///< 0 when absent (pre-ledger record)
   double frac_roofline = 0.0;    ///< 0 when no roofline attribution
+  /// Symmetric-format runs only: the reduction phase's share of the
+  /// timed loop, and the window-rows fraction (reduce_ns / seconds).
+  bool has_sym = false;
+  double reduce_share = 0.0;
+  double sym_window_frac = 0.0;
 };
 
 double num(const spc::obs::Json& j, const char* key, double dflt = 0.0) {
@@ -123,6 +128,21 @@ bool parse_record(const std::string& line, Record& r) {
     }
   }
   r.bytes_per_nnz = num(j, "bytes_per_nnz");
+  if (j.find("reduce_ns") != nullptr) {
+    r.has_sym = true;
+    const double seconds = num(j, "seconds");
+    r.reduce_share =
+        seconds > 0.0
+            ? static_cast<double>(j.find("reduce_ns")->as_u64()) * 1e-9 /
+                  seconds
+            : 0.0;
+    r.sym_window_frac = num(j, "sym_window_frac");
+    // Window and private runs of one cell are different reduction
+    // layouts — keep them apart the way tiled/untiled rows are.
+    if (const std::string mode = str(j, "sym_reduce"); !mode.empty()) {
+      r.schedule += "+" + mode;
+    }
+  }
   if (const spc::obs::Json* roof = j.find("roofline");
       roof != nullptr && roof->is_object()) {
     r.frac_roofline = num(*roof, "frac");
@@ -202,7 +222,7 @@ int main(int argc, char** argv) {
   // 1. Per-(format, threads) aggregate — the Fig. 7/8 summary view.
   struct Agg {
     MaybeMean mflops, speedup, ipc, cycles_per_nnz, misses_per_knnz,
-        imbalance, bytes_per_nnz, frac_roofline, probe_ms;
+        imbalance, bytes_per_nnz, frac_roofline, probe_ms, reduce_share;
     std::size_t runs = 0;
   };
   std::map<std::tuple<std::string, std::string, std::string, std::string,
@@ -236,11 +256,15 @@ int main(int argc, char** argv) {
     if (r.frac_roofline > 0.0) {
       a.frac_roofline.add(r.frac_roofline);
     }
+    if (r.has_sym) {
+      a.reduce_share.add(r.reduce_share);
+    }
   }
   spc::TextTable summary({"format", "isa", "numa", "sched", "tile",
                           "tuned", "threads", "runs", "MFLOPS", "speedup",
                           "IPC", "cyc/nnz", "miss/knnz", "B/nnz",
-                          "roofline", "probe_ms", "imbalance"});
+                          "roofline", "probe_ms", "red share",
+                          "imbalance"});
   bool any_roofline = false;
   for (const auto& [key, a] : by_cell) {
     any_roofline = any_roofline || a.frac_roofline.n > 0;
@@ -251,7 +275,8 @@ int main(int argc, char** argv) {
                      a.speedup.fmt(2), a.ipc.fmt(2),
                      a.cycles_per_nnz.fmt(1), a.misses_per_knnz.fmt(2),
                      a.bytes_per_nnz.fmt(1), a.frac_roofline.fmt(2),
-                     a.probe_ms.fmt(2), a.imbalance.fmt(2)});
+                     a.probe_ms.fmt(2), a.reduce_share.fmt(2),
+                     a.imbalance.fmt(2)});
   }
   std::cout << "per-(format, isa, numa, schedule, tiling, tuned, threads) "
                "aggregate:\n";

@@ -79,6 +79,11 @@ int main() {
   // --- SpMV in every format, serial and multithreaded ---
   Vector x = {1, 2, 3, 4, 5, 6};
   for (const Format f : all_formats()) {
+    if (format_requires_symmetry(f) && !SymCsr::applicable(t)) {
+      std::printf("%-10s skipped: matrix is not symmetric\n",
+                  format_name(f).c_str());
+      continue;
+    }
     for (const std::size_t threads : {1u, 4u}) {
       InstanceOptions opts;
       opts.pin_threads = false;

@@ -181,6 +181,7 @@ RunMetrics time_spmv_metrics(SpmvInstance& inst, std::size_t iters,
   ThreadPool* pool = inst.pool();
   std::unique_ptr<obs::PerfSession> serial_session;
   inst.sched_reset();  // count chunks/steals over the timed loop only
+  inst.sym_reset();    // likewise the symmetric reduction-phase clock
   if (pool != nullptr) {
     pool->busy_reset();
     pool->counters_start();
@@ -216,6 +217,10 @@ RunMetrics time_spmv_metrics(SpmvInstance& inst, std::size_t iters,
   if (inst.schedule() != Schedule::kStatic) {
     m.sched_chunks = inst.sched_chunks();
     m.steals = inst.sched_steals_total();
+  }
+  if (inst.sym_active()) {
+    m.sym_window_frac = inst.sym_window_frac();
+    m.reduce_ns = inst.sym_reduce_ns_total();
   }
 
   if (pool != nullptr) {
@@ -274,6 +279,14 @@ obs::Json make_metrics_record(
   if (inst.schedule() != Schedule::kStatic) {
     rec.set("sched_chunks", static_cast<std::uint64_t>(m.sched_chunks));
     rec.set("steals", m.steals);
+  }
+  // Symmetric-format provenance: how much conflict-window state the run
+  // carried and what the reduction phase cost (profile_report turns the
+  // latter into a share of the timed loop).
+  if (inst.sym_active()) {
+    rec.set("sym_reduce", sym_reduce_name(inst.sym_reduce()));
+    rec.set("sym_window_frac", m.sym_window_frac);
+    rec.set("reduce_ns", m.reduce_ns);
   }
   // Column-tiling provenance: tiled and untiled runs of one cell are
   // different layouts; the ledger key splits on these fields so their

@@ -112,6 +112,11 @@ struct RunMetrics {
   std::size_t sched_chunks = 0;
   /// Chunks executed by non-owners over the timed loop (steal schedule).
   std::uint64_t steals = 0;
+  /// Symmetric formats only: window rows as a fraction of the private-y
+  /// scheme's rows (1.0 = private fallback, 0 = sym inactive), and the
+  /// wall time of the reduction phase over the timed loop.
+  double sym_window_frac = 0.0;
+  std::uint64_t reduce_ns = 0;
   obs::CounterReadings counters;
 };
 

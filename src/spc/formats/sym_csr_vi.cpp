@@ -1,0 +1,158 @@
+#include "spc/formats/sym_csr_vi.hpp"
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "spc/formats/sym_csr.hpp"
+
+namespace spc {
+
+namespace {
+
+std::uint64_t value_bits(value_t v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+bool SymCsrVi::applicable(const Triplets& t) { return SymCsr::applicable(t); }
+
+SymCsrVi SymCsrVi::from_triplets(const Triplets& t) {
+  SPC_CHECK_MSG(t.is_sorted_unique(),
+                "SymCsrVi construction requires sorted/combined triplets");
+  if (!applicable(t)) {
+    throw InvalidArgument(
+        "SymCsrVi requires a numerically symmetric matrix");
+  }
+  SymCsrVi m;
+  m.n_ = t.nrows();
+  m.nnz_full_ = t.nnz();
+  m.row_ptr_.assign(t.nrows() + 1, 0);
+
+  // Materialize the dense diagonal first (0.0 where absent) so implicit
+  // diagonal zeros join the census like any other stored value.
+  std::vector<value_t> diag(t.nrows(), 0.0);
+  usize_t lower = 0;
+  for (const Entry& e : t.entries()) {
+    if (e.row == e.col) {
+      diag[e.row] = e.val;
+    } else if (e.col < e.row) {
+      ++m.row_ptr_[e.row + 1];
+      ++lower;
+    }
+  }
+  for (index_t r = 0; r < t.nrows(); ++r) {
+    m.row_ptr_[r + 1] += m.row_ptr_[r];
+  }
+
+  // Pass 1: census of unique values (bit-pattern identity) across the
+  // diagonal then the strict lower triangle, first-occurrence order,
+  // through one shared table.
+  std::unordered_map<std::uint64_t, std::uint32_t> index_of;
+  index_of.reserve(static_cast<std::size_t>(t.nrows()) + lower);
+  std::vector<std::uint32_t> dense_diag(t.nrows());
+  std::vector<std::uint32_t> dense_ind(lower);
+  const auto census = [&](value_t v) {
+    const auto [it, inserted] = index_of.emplace(
+        value_bits(v), static_cast<std::uint32_t>(m.vals_unique_.size()));
+    if (inserted) {
+      m.vals_unique_.push_back(v);
+    }
+    return it->second;
+  };
+  for (index_t r = 0; r < t.nrows(); ++r) {
+    dense_diag[r] = census(diag[r]);
+  }
+  m.col_ind_.resize(lower);
+  usize_t k = 0;
+  for (const Entry& e : t.entries()) {
+    if (e.col < e.row) {
+      m.col_ind_[k] = e.col;
+      dense_ind[k] = census(e.val);
+      ++k;
+    }
+  }
+
+  // Pass 2: narrow both index streams to the final width.
+  m.width_ = vi_width_for(m.vals_unique_.size());
+  m.diag_ind_.resize(static_cast<usize_t>(t.nrows()) *
+                     static_cast<usize_t>(m.width_));
+  m.val_ind_.resize(lower * static_cast<usize_t>(m.width_));
+  const auto narrow = [&](const std::vector<std::uint32_t>& src,
+                          std::uint8_t* dst) {
+    switch (m.width_) {
+      case ViWidth::kU8:
+        for (usize_t i = 0; i < src.size(); ++i) {
+          dst[i] = static_cast<std::uint8_t>(src[i]);
+        }
+        break;
+      case ViWidth::kU16: {
+        auto* p = reinterpret_cast<std::uint16_t*>(dst);
+        for (usize_t i = 0; i < src.size(); ++i) {
+          p[i] = static_cast<std::uint16_t>(src[i]);
+        }
+        break;
+      }
+      case ViWidth::kU32: {
+        auto* p = reinterpret_cast<std::uint32_t*>(dst);
+        for (usize_t i = 0; i < src.size(); ++i) {
+          p[i] = src[i];
+        }
+        break;
+      }
+    }
+  };
+  narrow(dense_diag, m.diag_ind_.data());
+  narrow(dense_ind, m.val_ind_.data());
+  return m;
+}
+
+value_t SymCsrVi::value_at(usize_t k) const {
+  SPC_CHECK(k < col_ind_.size());
+  switch (width_) {
+    case ViWidth::kU8:
+      return vals_unique_[val_ind_[k]];
+    case ViWidth::kU16:
+      return vals_unique_[val_ind_as<std::uint16_t>()[k]];
+    case ViWidth::kU32:
+      return vals_unique_[val_ind_as<std::uint32_t>()[k]];
+  }
+  return 0.0;
+}
+
+value_t SymCsrVi::diag_at(index_t r) const {
+  SPC_CHECK(r < n_);
+  switch (width_) {
+    case ViWidth::kU8:
+      return vals_unique_[diag_ind_[r]];
+    case ViWidth::kU16:
+      return vals_unique_[diag_ind_as<std::uint16_t>()[r]];
+    case ViWidth::kU32:
+      return vals_unique_[diag_ind_as<std::uint32_t>()[r]];
+  }
+  return 0.0;
+}
+
+Triplets SymCsrVi::to_triplets() const {
+  Triplets t(n_, n_);
+  t.reserve(nnz_full_);
+  for (index_t r = 0; r < n_; ++r) {
+    const value_t d = diag_at(r);
+    if (d != 0.0) {
+      t.add(r, r, d);
+    }
+    for (index_t j = row_ptr_[r]; j < row_ptr_[r + 1]; ++j) {
+      const value_t v = value_at(j);
+      t.add(r, col_ind_[j], v);
+      t.add(col_ind_[j], r, v);
+    }
+  }
+  t.sort_and_combine();
+  return t;
+}
+
+}  // namespace spc

@@ -122,6 +122,28 @@ using CsrViSegKernelFn = void (*)(const index_t* seg_ptr,
                                   const value_t* x, value_t* y,
                                   usize_t seg_begin, usize_t seg_end);
 
+/// Symmetric (SSS) row-range kernel with the conflict-window scatter
+/// split (spmv/kernels.hpp): columns >= direct_begin update the shared
+/// y, the rest land in win[c - win_begin]. direct_begin == 0 with a
+/// private/serial y reproduces the classic paths.
+using SymKernelFn = void (*)(const index_t* row_ptr,
+                             const index_t* col_ind, const value_t* values,
+                             const value_t* diag, const value_t* x,
+                             value_t* y, value_t* win, index_t win_begin,
+                             index_t direct_begin, index_t row_begin,
+                             index_t row_end);
+
+/// Symmetric CSR-VI kernel, one per value-index width; diagonal and
+/// lower-triangle values resolve through one shared table.
+template <typename IndT>
+using SymViKernelFn = void (*)(const index_t* row_ptr,
+                               const index_t* col_ind, const IndT* val_ind,
+                               const IndT* diag_ind,
+                               const value_t* vals_unique, const value_t* x,
+                               value_t* y, value_t* win, index_t win_begin,
+                               index_t direct_begin, index_t row_begin,
+                               index_t row_end);
+
 struct KernelTable {
   IsaTier tier = IsaTier::kScalar;
   CsrKernelFn csr = nullptr;
@@ -143,6 +165,13 @@ struct KernelTable {
   DuViKernelFn<std::uint8_t> du_vi_acc_u8 = nullptr;
   DuViKernelFn<std::uint16_t> du_vi_acc_u16 = nullptr;
   DuViKernelFn<std::uint32_t> du_vi_acc_u32 = nullptr;
+  // Symmetric formats. The vector tiers vectorize the dot-product side
+  // (the lower-triangle row gather); the scatter side stays scalar —
+  // it is bounded by the window/store dependences, not by arithmetic.
+  SymKernelFn sym_csr = nullptr;
+  SymViKernelFn<std::uint8_t> sym_csr_vi_u8 = nullptr;
+  SymViKernelFn<std::uint16_t> sym_csr_vi_u16 = nullptr;
+  SymViKernelFn<std::uint32_t> sym_csr_vi_u32 = nullptr;
 };
 
 /// The kernel table for a tier, clamped to what this binary compiled and

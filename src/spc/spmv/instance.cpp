@@ -1,6 +1,8 @@
 #include "spc/spmv/instance.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 #include <tuple>
@@ -117,6 +119,73 @@ void SpmvInstance::steal_job(void* ctx, std::size_t tid) {
   }
 }
 
+void SpmvInstance::sym_compute_job(void* ctx, std::size_t tid) {
+  auto* self = static_cast<SpmvInstance*>(ctx);
+  // Zero this worker's conflict window (or full private scratch) before
+  // its rows run; the kernels accumulate into it.
+  if (self->sym_reduce_ == SymReduce::kWindow) {
+    value_t* const win = self->sym_win_ptr_[tid];
+    const index_t len = self->partition_.row_begin(tid) -
+                        self->sym_plan_.win_begin[tid];
+    std::fill(win, win + len, 0.0);
+  } else {
+    Vector& s = self->csc_scratch_[tid];
+    std::fill(s.begin(), s.end(), 0.0);
+  }
+  const value_t* const x = self->worker_x(tid);
+  value_t* const y = self->run_args_.y;
+  if (self->sched_ != Schedule::kStatic &&
+      !self->binding_.per_chunk.empty()) {
+    // kChunked only: every chunk stays on its owner (ascending row
+    // order), so the window writes match the static schedule exactly.
+    const std::uint32_t b = self->chunk_plan_.owner_begin[tid];
+    const std::uint32_t e = self->chunk_plan_.owner_begin[tid + 1];
+    for (std::uint32_t c = b; c < e; ++c) {
+      self->binding_.per_chunk[c](x, y);
+    }
+    self->sched_slots_[tid].executed += e - b;
+  } else {
+    self->binding_.per_thread[tid](x, y);
+  }
+}
+
+void SpmvInstance::sym_reduce_job(void* ctx, std::size_t tid) {
+  auto* self = static_cast<SpmvInstance*>(ctx);
+  value_t* const y = self->run_args_.y;
+  if (self->sym_reduce_ == SymReduce::kWindow) {
+    // Fold the overlapping windows into this worker's own compute rows
+    // (cache/NUMA-local — it just wrote them). Ascending thread order
+    // keeps the accumulation deterministic. Thread 0's window is always
+    // empty (nothing below row 0), so the fold starts at 1.
+    const index_t r0 = self->partition_.row_begin(tid);
+    const index_t r1 = self->partition_.row_end(tid);
+    for (std::size_t t = 1; t < self->nthreads_; ++t) {
+      const index_t wb = self->sym_plan_.win_begin[t];
+      const index_t we = self->partition_.row_begin(t);
+      const index_t lo = std::max(r0, wb);
+      const index_t hi = std::min(r1, we);
+      if (lo >= hi) {
+        continue;
+      }
+      const value_t* const win = self->sym_win_ptr_[t];
+      for (index_t r = lo; r < hi; ++r) {
+        y[r] += win[r - wb];
+      }
+    }
+  } else {
+    // Private-y fallback: even row split sums the full-length copies.
+    const index_t r0 = self->csc_reduce_rows_.row_begin(tid);
+    const index_t r1 = self->csc_reduce_rows_.row_end(tid);
+    std::fill(y + r0, y + r1, 0.0);
+    for (const Vector& s : self->csc_scratch_) {
+      const value_t* const sp = s.data();
+      for (index_t r = r0; r < r1; ++r) {
+        y[r] += sp[r];
+      }
+    }
+  }
+}
+
 std::string format_name(Format f) {
   switch (f) {
     case Format::kCsr:
@@ -145,6 +214,10 @@ std::string format_name(Format f) {
       return "csr-du-vi";
     case Format::kDcsr:
       return "dcsr";
+    case Format::kSymCsr:
+      return "sym-csr";
+    case Format::kSymCsrVi:
+      return "sym-csr-vi";
   }
   return "?";
 }
@@ -165,9 +238,13 @@ const std::vector<Format>& all_formats() {
       Format::kCsc,      Format::kBcsr,  Format::kEll,
       Format::kDia,      Format::kJds,   Format::kCsrDu,
       Format::kCsrDuRle, Format::kCsrVi, Format::kCsrDuVi,
-      Format::kDcsr,
+      Format::kDcsr,     Format::kSymCsr, Format::kSymCsrVi,
   };
   return kAll;
+}
+
+bool format_requires_symmetry(Format f) {
+  return f == Format::kSymCsr || f == Format::kSymCsrVi;
 }
 
 SpmvInstance::~SpmvInstance() = default;
@@ -240,6 +317,12 @@ SpmvInstance::SpmvInstance(const Triplets& t, Format format,
     case Format::kDcsr:
       matrix_.emplace<Dcsr>(Dcsr::from_triplets(t));
       break;
+    case Format::kSymCsr:
+      matrix_.emplace<SymCsr>(SymCsr::from_triplets(t));
+      break;
+    case Format::kSymCsrVi:
+      matrix_.emplace<SymCsrVi>(SymCsrVi::from_triplets(t));
+      break;
   }
 
   // Partition work. CSC partitions columns (§II-C); everything else rows.
@@ -277,10 +360,34 @@ SpmvInstance::SpmvInstance(const Triplets& t, Format format,
       partition_ = opts.balance_by_nnz
                        ? partition_rows_by_nnz(pptr, nthreads)
                        : partition_rows_even(t.nrows(), nthreads);
+    } else if (format_requires_symmetry(format)) {
+      // Balance by stored (lower-triangle) elements, not full nnz.
+      const aligned_vector<index_t>& rp =
+          format == Format::kSymCsr
+              ? std::get<SymCsr>(matrix_).row_ptr()
+              : std::get<SymCsrVi>(matrix_).row_ptr();
+      partition_ = opts.balance_by_nnz
+                       ? partition_rows_by_nnz(rp, nthreads)
+                       : partition_rows_even(t.nrows(), nthreads);
     } else {
       partition_ = opts.balance_by_nnz
                        ? partition_rows_by_nnz(t, nthreads)
                        : partition_rows_even(t.nrows(), nthreads);
+    }
+    if (format_requires_symmetry(format)) {
+      const bool vi = format == Format::kSymCsrVi;
+      const aligned_vector<index_t>& rp =
+          vi ? std::get<SymCsrVi>(matrix_).row_ptr()
+             : std::get<SymCsr>(matrix_).row_ptr();
+      const aligned_vector<index_t>& ci =
+          vi ? std::get<SymCsrVi>(matrix_).col_ind()
+             : std::get<SymCsr>(matrix_).col_ind();
+      sym_plan_ = plan_sym_windows(rp.data(), ci.data(), partition_,
+                                   nthreads, nrows_,
+                                   sym_reduce_from_env(opts.sym_reduce));
+      sym_reduce_ = sym_plan_.use_window ? SymReduce::kWindow
+                                         : SymReduce::kPrivate;
+      sym_active_ = true;
     }
     // Precompute per-thread slices for the streaming formats.
     if (const auto* du = std::get_if<CsrDu>(&matrix_)) {
@@ -330,6 +437,28 @@ SpmvInstance::SpmvInstance(const Triplets& t, Format format,
         setup_numa(topo);
       }
     }
+    if (sym_active_) {
+      if (sym_reduce_ == SymReduce::kWindow) {
+        // setup_numa fills sym_win_ptr_ from arena blocks; otherwise
+        // fall back to master-touched per-thread window buffers.
+        if (sym_win_ptr_.empty()) {
+          sym_win_ptr_.resize(nthreads);
+          sym_win_store_.reserve(nthreads);
+          for (std::size_t th = 0; th < nthreads; ++th) {
+            sym_win_store_.emplace_back(
+                partition_.row_begin(th) - sym_plan_.win_begin[th], 0.0);
+            sym_win_ptr_[th] = sym_win_store_[th].data();
+          }
+        }
+      } else {
+        csc_scratch_.assign(nthreads, Vector(t.nrows(), 0.0));
+        csc_reduce_rows_ = partition_rows_even(nrows_, nthreads);
+      }
+      auto& reg = obs::Registry::global();
+      sym_reduce_counter_ = &reg.counter("spc.sym.reduce_ns");
+      reg.gauge("spc.sym.window_rows")
+          .set(static_cast<double>(sym_window_rows()));
+    }
   }
 
   if (nthreads == 1) {
@@ -339,7 +468,7 @@ SpmvInstance::SpmvInstance(const Triplets& t, Format format,
 }
 
 void SpmvInstance::setup_schedule(const Triplets& t, const Topology& topo) {
-  const Schedule requested = schedule_from_env(opts_.schedule);
+  Schedule requested = schedule_from_env(opts_.schedule);
   if (requested == Schedule::kStatic) {
     return;
   }
@@ -356,6 +485,23 @@ void SpmvInstance::setup_schedule(const Triplets& t, const Topology& topo) {
     case Format::kCsrDuVi:
     case Format::kBcsr:
     case Format::kEll:
+      break;
+    case Format::kSymCsr:
+    case Format::kSymCsrVi:
+      // A stolen symmetric chunk would scatter into the owner's conflict
+      // window concurrently with the owner — a data race the window
+      // scheme cannot absorb. Chunked keeps every chunk on its owner
+      // (run in ascending order), so it stays bit-identical and safe.
+      if (requested == Schedule::kSteal) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+          std::fprintf(stderr,
+                       "spc: schedule=steal is unsafe for the symmetric "
+                       "formats (concurrent window scatters); running "
+                       "schedule=chunked instead\n");
+        }
+        requested = Schedule::kChunked;
+      }
       break;
     default:
       return;
@@ -379,6 +525,14 @@ void SpmvInstance::setup_schedule(const Triplets& t, const Topology& topo) {
   // (rebuilt from the triplets — the DU family has no row_ptr).
   if (format_ == Format::kBcsr) {
     chunk_plan_ = plan_chunks(std::get<Bcsr>(matrix_).block_row_ptr(),
+                              partition_, target);
+  } else if (format_ == Format::kSymCsr) {
+    // Budget stored (lower-triangle) elements — the sym kernels never
+    // touch the mirrored upper half.
+    chunk_plan_ = plan_chunks(std::get<SymCsr>(matrix_).row_ptr(),
+                              partition_, target);
+  } else if (format_ == Format::kSymCsrVi) {
+    chunk_plan_ = plan_chunks(std::get<SymCsrVi>(matrix_).row_ptr(),
                               partition_, target);
   } else {
     aligned_vector<index_t> rp(nrows_ + 1, 0);
@@ -594,6 +748,8 @@ void SpmvInstance::setup_numa(const Topology& topo) {
     case Format::kCsrDuVi:
     case Format::kBcsr:
     case Format::kEll:
+    case Format::kSymCsr:
+    case Format::kSymCsrVi:
       break;
     default:
       return;
@@ -633,6 +789,8 @@ void SpmvInstance::setup_numa(const Topology& topo) {
   struct ThreadPlan {
     FirstTouchArena::Handle rp, ci, val, vi;
     FirstTouchArena::Handle sr;  ///< tiled CSR family: seg_row copy
+    FirstTouchArena::Handle diag;  ///< sym formats: diagonal slice
+    FirstTouchArena::Handle win;   ///< sym window mode: conflict buffer
     index_t b = 0, e = 0;  ///< row (or block-row) range
     usize_t n0 = 0;        ///< first absolute value/ctl position
     usize_t n = 0;         ///< value (or ctl-byte) count
@@ -776,6 +934,33 @@ void SpmvInstance::setup_numa(const Topology& topo) {
         p.n = static_cast<usize_t>(p.e - p.b) * w;
         p.ci = arena_->reserve<index_t>(t, p.n);
         p.val = arena_->reserve<value_t>(t, p.n);
+      }
+      break;
+    }
+    case Format::kSymCsr:
+    case Format::kSymCsrVi: {
+      // Lower-triangle CSR slice plus the row range's diagonal slice,
+      // and — in window mode — the thread's conflict buffer, so the
+      // reduction's hot stores land on the owner's node too.
+      const bool vi = format_ == Format::kSymCsrVi;
+      std::size_t diag_elem = sizeof(value_t);
+      if (vi) {
+        const auto& m = std::get<SymCsrVi>(matrix_);
+        diag_elem = static_cast<std::size_t>(m.width());
+        plan_csr_like(m.row_ptr().data(), sizeof(index_t), 0, diag_elem);
+      } else {
+        const auto& m = std::get<SymCsr>(matrix_);
+        plan_csr_like(m.row_ptr().data(), sizeof(index_t),
+                      sizeof(value_t), 0);
+      }
+      for (std::size_t t = 0; t < nthreads_; ++t) {
+        ThreadPlan& p = plan[t];
+        p.diag = arena_->reserve<std::uint8_t>(
+            t, static_cast<usize_t>(p.e - p.b) * diag_elem);
+        if (sym_reduce_ == SymReduce::kWindow) {
+          p.win = arena_->reserve<value_t>(
+              t, static_cast<usize_t>(p.b - sym_plan_.win_begin[t]));
+        }
       }
       break;
     }
@@ -1067,6 +1252,62 @@ void SpmvInstance::setup_numa(const Topology& topo) {
                     p.n * sizeof(value_t));
         ns.values = rebase_ptr<const value_t>(
             lv, static_cast<std::ptrdiff_t>(p.n0));
+      }
+      break;
+    }
+    case Format::kSymCsr: {
+      const auto& m = std::get<SymCsr>(matrix_);
+      copy_csr_like(m.row_ptr().data(), m.col_ind().data(),
+                    sizeof(index_t), m.values().data(), nullptr, 0);
+      if (sym_reduce_ == SymReduce::kWindow) {
+        sym_win_ptr_.assign(nthreads_, nullptr);
+      }
+      for (std::size_t t = 0; t < nthreads_; ++t) {
+        const ThreadPlan& p = plan[t];
+        NumaSlice& ns = numa_slices_[t];
+        value_t* ld = arena_->data<value_t>(p.diag);
+        std::memcpy(ld, m.diag().data() + p.b,
+                    static_cast<usize_t>(p.e - p.b) * sizeof(value_t));
+        ns.diag = rebase_ptr<const value_t>(ld, p.b);
+        if (sym_reduce_ == SymReduce::kWindow) {
+          sym_win_ptr_[t] = arena_->data<value_t>(p.win);
+        }
+      }
+      break;
+    }
+    case Format::kSymCsrVi: {
+      const auto& m = std::get<SymCsrVi>(matrix_);
+      const std::size_t w = static_cast<std::size_t>(m.width());
+      copy_csr_like(m.row_ptr().data(), m.col_ind().data(),
+                    sizeof(index_t), nullptr, m.val_ind_raw().data(), w);
+      if (sym_reduce_ == SymReduce::kWindow) {
+        sym_win_ptr_.assign(nthreads_, nullptr);
+      }
+      for (std::size_t t = 0; t < nthreads_; ++t) {
+        const ThreadPlan& p = plan[t];
+        NumaSlice& ns = numa_slices_[t];
+        std::uint8_t* ld = arena_->data<std::uint8_t>(p.diag);
+        std::memcpy(ld,
+                    m.diag_ind_raw().data() +
+                        static_cast<usize_t>(p.b) * w,
+                    static_cast<usize_t>(p.e - p.b) * w);
+        // Rebase in the index type so kernels keep absolute rows.
+        switch (m.width()) {
+          case ViWidth::kU8:
+            ns.diag = rebase_ptr<const std::uint8_t>(ld, p.b);
+            break;
+          case ViWidth::kU16:
+            ns.diag = rebase_ptr<const std::uint16_t>(
+                reinterpret_cast<std::uint16_t*>(ld), p.b);
+            break;
+          case ViWidth::kU32:
+            ns.diag = rebase_ptr<const std::uint32_t>(
+                reinterpret_cast<std::uint32_t*>(ld), p.b);
+            break;
+        }
+        if (sym_reduce_ == SymReduce::kWindow) {
+          sym_win_ptr_[t] = arena_->data<value_t>(p.win);
+        }
       }
       break;
     }
@@ -1532,6 +1773,143 @@ void SpmvInstance::prepare() {
                   arrays_of);
       break;
     }
+    case Format::kSymCsr:
+    case Format::kSymCsrVi: {
+      // The sym closures carry the window parameterization (see
+      // kernels.hpp): per-thread closures write their own rows directly
+      // into the shared y and scatter conflicts into the thread's window
+      // (private mode: everything into the thread's full-length scratch).
+      // run_parallel wraps them in the zero/compute/reduce phases — the
+      // generic dispatch path never runs them bare.
+      const auto bind_sym = [&](auto fn, auto shared, auto arrays_of) {
+        binding_.serial = [=](const value_t* x, value_t* y) {
+          std::apply(
+              [&](const auto*... a) {
+                fn(a..., x, y, nullptr, index_t{0}, index_t{0}, index_t{0},
+                   nrows);
+              },
+              shared);
+        };
+        if (nthreads_ <= 1) {
+          return;
+        }
+        const bool window = sym_reduce_ == SymReduce::kWindow;
+        const auto owner_arrays = [&](std::size_t t) {
+          auto arrs = shared;
+          if (t < numa_slices_.size()) {
+            const auto local = arrays_of(numa_slices_[t]);
+            if (std::get<0>(local) != nullptr) {
+              arrs = local;
+            }
+          }
+          return arrs;
+        };
+        for (std::size_t th = 0; th < partition_.nthreads(); ++th) {
+          const index_t b = partition_.row_begin(th);
+          const index_t e = partition_.row_end(th);
+          const auto arrs = owner_arrays(th);
+          if (window) {
+            value_t* const win = sym_win_ptr_[th];
+            const index_t wb = sym_plan_.win_begin[th];
+            binding_.per_thread.push_back(
+                [=](const value_t* x, value_t* y) {
+                  std::apply(
+                      [&](const auto*... a) {
+                        fn(a..., x, y, win, wb, b, b, e);
+                      },
+                      arrs);
+                });
+          } else {
+            value_t* const sp = csc_scratch_[th].data();
+            binding_.per_thread.push_back(
+                [=](const value_t* x, value_t*) {
+                  std::apply(
+                      [&](const auto*... a) {
+                        fn(a..., x, sp, nullptr, index_t{0}, index_t{0}, b,
+                           e);
+                      },
+                      arrs);
+                });
+          }
+        }
+        if (want_chunks) {
+          binding_.per_chunk.reserve(chunk_plan_.nchunks());
+          for (std::size_t c = 0; c < chunk_plan_.nchunks(); ++c) {
+            const std::size_t t = chunk_plan_.owner[c];
+            const index_t b = chunk_plan_.row_begin(c);
+            const index_t e = chunk_plan_.row_end(c);
+            const auto arrs = owner_arrays(t);
+            if (window) {
+              value_t* const win = sym_win_ptr_[t];
+              const index_t wb = sym_plan_.win_begin[t];
+              const index_t db = partition_.row_begin(t);
+              binding_.per_chunk.push_back(
+                  [=](const value_t* x, value_t* y) {
+                    std::apply(
+                        [&](const auto*... a) {
+                          fn(a..., x, y, win, wb, db, b, e);
+                        },
+                        arrs);
+                  });
+            } else {
+              value_t* const sp = csc_scratch_[t].data();
+              binding_.per_chunk.push_back(
+                  [=](const value_t* x, value_t*) {
+                    std::apply(
+                        [&](const auto*... a) {
+                          fn(a..., x, sp, nullptr, index_t{0}, index_t{0},
+                             b, e);
+                        },
+                        arrs);
+                  });
+            }
+          }
+        }
+      };
+      if (format_ == Format::kSymCsr) {
+        const auto& m = std::get<SymCsr>(matrix_);
+        const auto arrays_of = [](const NumaSlice& s) {
+          return std::make_tuple(s.row_ptr,
+                                 static_cast<const index_t*>(s.col_ind),
+                                 s.values,
+                                 static_cast<const value_t*>(s.diag));
+        };
+        bind_sym(kt.sym_csr,
+                 std::make_tuple(m.row_ptr().data(), m.col_ind().data(),
+                                 m.values().data(), m.diag().data()),
+                 arrays_of);
+      } else {
+        const auto& m = std::get<SymCsrVi>(matrix_);
+        const value_t* const uq = m.vals_unique().data();
+        const auto bind_vi = [&](auto fn, const auto* vi, const auto* di) {
+          const auto arrays_of = [uq, vi, di](const NumaSlice& s) {
+            return std::make_tuple(
+                s.row_ptr, static_cast<const index_t*>(s.col_ind),
+                static_cast<decltype(vi)>(s.val_ind),
+                static_cast<decltype(di)>(s.diag), uq);
+          };
+          bind_sym(fn,
+                   std::make_tuple(m.row_ptr().data(), m.col_ind().data(),
+                                   vi, di, uq),
+                   arrays_of);
+        };
+        switch (m.width()) {
+          case ViWidth::kU8:
+            bind_vi(kt.sym_csr_vi_u8, m.val_ind_raw().data(),
+                    m.diag_ind_raw().data());
+            break;
+          case ViWidth::kU16:
+            bind_vi(kt.sym_csr_vi_u16, m.val_ind_as<std::uint16_t>(),
+                    m.diag_ind_as<std::uint16_t>());
+            break;
+          case ViWidth::kU32:
+            bind_vi(kt.sym_csr_vi_u32, m.val_ind_as<std::uint32_t>(),
+                    m.diag_ind_as<std::uint32_t>());
+            break;
+        }
+      }
+      break;
+    }
     case Format::kDia:
     case Format::kJds:
       // Format-object kernels; executed via the run_parallel switch.
@@ -1695,6 +2073,19 @@ void SpmvInstance::bind_tiled(const KernelTable& kt) {
   }
 }
 
+double SpmvInstance::sym_window_frac() const {
+  if (!sym_active_) {
+    return 0.0;
+  }
+  if (sym_reduce_ == SymReduce::kPrivate) {
+    return 1.0;
+  }
+  const double denom =
+      static_cast<double>(nthreads_) * static_cast<double>(nrows_);
+  return denom > 0.0 ? static_cast<double>(sym_plan_.total_rows) / denom
+                     : 0.0;
+}
+
 usize_t SpmvInstance::matrix_bytes() const {
   if (tiled_) {
     // The tiled store replaces the matrix's execution arrays; the VI
@@ -1756,6 +2147,43 @@ void SpmvInstance::run_serial(const value_t* x, value_t* y) {
 void SpmvInstance::run_parallel(const Vector& x, Vector& y) {
   const value_t* const xp = x.data();
   value_t* const yp = y.data();
+
+  // Symmetric formats: two-phase execution — zero+compute (direct rows
+  // into the shared y, conflicts into the per-thread windows or private
+  // copies), then the reduction. When the window plan has no conflict
+  // rows at all, the reduction phase is skipped entirely.
+  if (sym_active_) {
+    run_args_.x = xp;
+    run_args_.y = yp;
+    const bool reduce_needed = sym_reduce_ == SymReduce::kPrivate ||
+                               sym_plan_.total_rows > 0;
+    if (pool_ == nullptr) {
+      // OpenMP backend: same phases as parallel regions.
+      dispatch([&](std::size_t th) { sym_compute_job(this, th); });
+      if (reduce_needed) {
+        const std::uint64_t t0 = now_ns();
+        dispatch([&](std::size_t th) { sym_reduce_job(this, th); });
+        const std::uint64_t t1 = now_ns();
+        const std::uint64_t dt = t1 >= t0 ? t1 - t0 : 0;
+        sym_reduce_ns_ += dt;
+        sym_reduce_counter_->add(dt);
+      }
+      return;
+    }
+    if (!numa_x_copy_.empty()) {
+      dispatch_raw(&SpmvInstance::xcopy_job);
+    }
+    dispatch_raw(&SpmvInstance::sym_compute_job);
+    if (reduce_needed) {
+      const std::uint64_t t0 = now_ns();
+      dispatch_raw(&SpmvInstance::sym_reduce_job);
+      const std::uint64_t t1 = now_ns();
+      const std::uint64_t dt = t1 >= t0 ? t1 - t0 : 0;
+      sym_reduce_ns_ += dt;
+      sym_reduce_counter_->add(dt);
+    }
+    return;
+  }
 
   // Dispatch-bound formats: everything was fixed by prepare(); the
   // timed path is the raw-callable pool dispatch — one function-pointer
@@ -1843,7 +2271,10 @@ void SpmvInstance::run_parallel(const Vector& x, Vector& y) {
     case Format::kCsrVi:
     case Format::kCsrDuVi:
     case Format::kDcsr:
-      // Always bound by prepare(); handled above.
+    case Format::kSymCsr:
+    case Format::kSymCsrVi:
+      // Always bound by prepare() (sym: handled by the two-phase path
+      // above).
       SPC_CHECK_MSG(false, "dispatch-bound format reached the switch");
       break;
   }

@@ -25,6 +25,8 @@
 #include "spc/formats/dia.hpp"
 #include "spc/formats/ell.hpp"
 #include "spc/formats/jds.hpp"
+#include "spc/formats/sym_csr.hpp"
+#include "spc/formats/sym_csr_vi.hpp"
 #include "spc/mm/triplets.hpp"
 #include "spc/mm/vector.hpp"
 #include "spc/obs/metrics.hpp"
@@ -34,6 +36,7 @@
 #include "spc/parallel/schedule.hpp"
 #include "spc/parallel/thread_pool.hpp"
 #include "spc/spmv/dispatch.hpp"
+#include "spc/spmv/sym_spmv.hpp"
 #include "spc/spmv/tiling.hpp"
 #include "spc/support/first_touch.hpp"
 
@@ -54,6 +57,8 @@ enum class Format {
   kCsrVi,     ///< CSR-VI value compression (the paper's §V)
   kCsrDuVi,   ///< combined index+value compression
   kDcsr,      ///< simplified Willcock–Lumsdaine comparator
+  kSymCsr,    ///< symmetric SSS storage (§III-C), conflict-window MT
+  kSymCsrVi,  ///< symmetric storage + value compression (§III-C + §V)
 };
 
 /// Canonical lower-case name ("csr-du", "csr-vi", ...).
@@ -64,6 +69,11 @@ Format parse_format(const std::string& name);
 
 /// All formats in presentation order.
 const std::vector<Format>& all_formats();
+
+/// True for the symmetric formats, whose encoders refuse matrices that
+/// are not numerically symmetric — callers iterating all_formats()
+/// should pair this with SymCsr::applicable().
+bool format_requires_symmetry(Format f);
 
 /// Multithreaded execution backend.
 enum class Backend {
@@ -106,6 +116,11 @@ struct InstanceOptions {
   /// matrix's x working set and row spans make it profitable, and stays
   /// off (zero overhead) otherwise. See spmv/tiling.hpp.
   TileConfig tiling;
+  /// Conflict-reduction strategy for the symmetric formats (overridable
+  /// via SPC_SYM_REDUCE): kAuto uses the bounded conflict windows unless
+  /// the plan degenerates toward full-length windows, where the classic
+  /// private-y path is cheaper. See spmv/sym_spmv.hpp.
+  SymReduce sym_reduce = SymReduce::kAuto;
 };
 
 /// True when the library was compiled with OpenMP support.
@@ -225,6 +240,35 @@ class SpmvInstance {
   /// Number of column stripes (0 when untiled).
   index_t tile_stripes() const { return tiled_ ? tile_plan_.nstripes : 0; }
 
+  /// True when a symmetric format's scatter/reduce execution path is
+  /// active (multithreaded pool runs of kSymCsr / kSymCsrVi).
+  bool sym_active() const { return sym_active_; }
+
+  /// The conflict-reduction strategy actually in effect (kWindow or
+  /// kPrivate; kAuto never survives resolution). Meaningful only when
+  /// sym_active(). Recorded into the JSONL metrics as "sym_reduce".
+  SymReduce sym_reduce() const { return sym_reduce_; }
+
+  /// Total conflict-window rows across threads (0 in private mode).
+  usize_t sym_window_rows() const {
+    return sym_active_ && sym_reduce_ == SymReduce::kWindow
+               ? sym_plan_.total_rows
+               : 0;
+  }
+
+  /// Reduction traffic relative to the private-y sweep's nthreads*nrows:
+  /// the window span fraction under kWindow, 1.0 under kPrivate, 0.0
+  /// when no symmetric reduction runs at all.
+  double sym_window_frac() const;
+
+  /// Nanoseconds of reduction-phase wall time accumulated since the last
+  /// sym_reset() (summed over runs; 0 when the reduction is skipped).
+  std::uint64_t sym_reduce_ns_total() const { return sym_reduce_ns_; }
+
+  /// Zeroes the reduction-phase timer (the bench harness calls this next
+  /// to sched_reset() so the timed loop's figure excludes warmup).
+  void sym_reset() { sym_reduce_ns_ = 0; }
+
   /// How this instance's configuration was chosen. Hand-constructed
   /// instances carry the default (tuned == false); spc::tune stamps the
   /// instances it returns so the bench harness can record the tuning
@@ -284,12 +328,14 @@ class SpmvInstance {
   InstanceOptions opts_;
 
   std::variant<Csr, Csr16, Coo, Csc, Bcsr, Ell, Dia, Jds, CsrDu, CsrVi,
-               CsrDuVi, Dcsr>
+               CsrDuVi, Dcsr, SymCsr, SymCsrVi>
       matrix_;
   RowPartition partition_;               ///< row ranges (or column ranges for CSC)
   std::vector<CsrDu::Slice> du_slices_;  ///< per-thread DU slices
   std::vector<Dcsr::Slice> dcsr_slices_;
-  std::vector<Vector> csc_scratch_;      ///< per-thread private y for CSC
+  /// Per-thread private y for CSC and for the symmetric formats'
+  /// private-y fallback mode.
+  std::vector<Vector> csc_scratch_;
   std::unique_ptr<ThreadPool> pool_;
   // Prepared by prepare(): dispatch tier, bound kernels, and per-format
   // precomputation that would otherwise sit on the timed path.
@@ -313,6 +359,9 @@ class SpmvInstance {
     const void* col_ind = nullptr;  ///< element type is per-format
     const value_t* values = nullptr;
     const void* val_ind = nullptr;  ///< CSR-VI / CSR-DU-VI value indices
+    /// Symmetric formats: the rebased diagonal (value_t for sym-csr,
+    /// width-typed diag indices for sym-csr-vi).
+    const void* diag = nullptr;
   };
   std::vector<NumaSlice> numa_slices_;
   std::vector<const value_t*> numa_x_ptr_;  ///< per-thread x replica
@@ -366,6 +415,17 @@ class SpmvInstance {
     value_t* y = nullptr;
   };
   RunArgs run_args_;
+  // Symmetric conflict-window execution (kSymCsr / kSymCsrVi, pool
+  // backend): the resolved reduction strategy, the per-thread window
+  // plan, the window buffers (arena-backed under NUMA, heap otherwise;
+  // private mode reuses csc_scratch_), and the reduction-phase timer.
+  bool sym_active_ = false;
+  SymReduce sym_reduce_ = SymReduce::kWindow;
+  SymWindowPlan sym_plan_;
+  std::vector<Vector> sym_win_store_;
+  std::vector<value_t*> sym_win_ptr_;  ///< one per worker
+  std::uint64_t sym_reduce_ns_ = 0;
+  obs::Counter* sym_reduce_counter_ = nullptr;
   TuneProvenance tune_;
   /// Static executor jobs for dispatch_raw (ctx = the instance). The
   /// raw-callable path keeps the per-run cost at one function-pointer
@@ -374,6 +434,12 @@ class SpmvInstance {
   static void chunked_job(void* ctx, std::size_t tid);
   static void steal_job(void* ctx, std::size_t tid);
   static void xcopy_job(void* ctx, std::size_t tid);
+  /// Symmetric-path executors: the compute job zeroes the worker's
+  /// window (or private scratch) then runs its rows — statically or as
+  /// its owned chunks under kChunked; the reduce job folds the
+  /// overlapping windows (or sums the private copies) into y.
+  static void sym_compute_job(void* ctx, std::size_t tid);
+  static void sym_reduce_job(void* ctx, std::size_t tid);
   /// The x pointer worker `th` should read (its NUMA replica when the
   /// replicate policy is active, the caller's x otherwise).
   const value_t* worker_x(std::size_t th) const {

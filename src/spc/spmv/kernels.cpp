@@ -417,6 +417,38 @@ void spmv_csr_vi_range(const CsrVi& m, const value_t* x, value_t* y,
   }
 }
 
+void spmv(const SymCsr& m, const value_t* x, value_t* y) {
+  spmv_sym_csr_win(m.row_ptr().data(), m.col_ind().data(),
+                   m.values().data(), m.diag().data(), x, y,
+                   /*win=*/nullptr, /*win_begin=*/0, /*direct_begin=*/0, 0,
+                   m.nrows());
+}
+
+void spmv(const SymCsrVi& m, const value_t* x, value_t* y) {
+  switch (m.width()) {
+    case ViWidth::kU8:
+      spmv_sym_csr_vi_win(m.row_ptr().data(), m.col_ind().data(),
+                          m.val_ind_raw().data(), m.diag_ind_raw().data(),
+                          m.vals_unique().data(), x, y, /*win=*/nullptr,
+                          /*win_begin=*/0, /*direct_begin=*/0, 0, m.nrows());
+      break;
+    case ViWidth::kU16:
+      spmv_sym_csr_vi_win(m.row_ptr().data(), m.col_ind().data(),
+                          m.val_ind_as<std::uint16_t>(),
+                          m.diag_ind_as<std::uint16_t>(),
+                          m.vals_unique().data(), x, y, /*win=*/nullptr,
+                          /*win_begin=*/0, /*direct_begin=*/0, 0, m.nrows());
+      break;
+    case ViWidth::kU32:
+      spmv_sym_csr_vi_win(m.row_ptr().data(), m.col_ind().data(),
+                          m.val_ind_as<std::uint32_t>(),
+                          m.diag_ind_as<std::uint32_t>(),
+                          m.vals_unique().data(), x, y, /*win=*/nullptr,
+                          /*win_begin=*/0, /*direct_begin=*/0, 0, m.nrows());
+      break;
+  }
+}
+
 namespace {
 
 // Shared DU-VI slice decode, templated on the value-index width.

@@ -23,6 +23,8 @@
 #include "spc/formats/dia.hpp"
 #include "spc/formats/ell.hpp"
 #include "spc/formats/jds.hpp"
+#include "spc/formats/sym_csr.hpp"
+#include "spc/formats/sym_csr_vi.hpp"
 #include "spc/support/types.hpp"
 
 namespace spc {
@@ -287,6 +289,88 @@ void spmv(const CsrDuVi& m, const CsrDu::Slice& s, const value_t* x,
 inline void spmv(const CsrDuVi& m, const value_t* x, value_t* y) {
   spmv(m, m.du().full(), x, y);
 }
+
+// ------------------------------------------------------------ SYM-CSR ---
+
+/// Unified symmetric row-range kernel (§III-C storage) with a bounded
+/// conflict window (Batista et al., arXiv:1003.0952). For each row r in
+/// [row_begin, row_end): acc = diag[r]*x[r] + the lower-triangle dot
+/// product; the mirrored upper-triangle contribution v*x[r] scatters to
+/// y[c] when c >= direct_begin, else into the compact window buffer at
+/// win[c - win_begin]; the row ends with the *assignment* y[r] = acc.
+/// The assignment is safe in every mode because scatters only target
+/// columns strictly below the scattering row: no scatter ever lands on a
+/// row of the range before that row's assignment.
+///
+/// Modes by parameterization (one kernel, bit-identical accumulation):
+///   window  — direct_begin = row_begin: own-range scatters go straight
+///             to the shared y, cross-thread conflicts into `win`.
+///   private — direct_begin = 0, y = the thread's zeroed full-length
+///             scratch: every scatter lands in the scratch; `win` is
+///             never touched (may be nullptr).
+///   serial  — direct_begin = 0 over the full range: scatters hit rows
+///             already assigned, so y needs no pre-zeroing.
+inline void spmv_sym_csr_win(const index_t* __restrict row_ptr,
+                             const index_t* __restrict col_ind,
+                             const value_t* __restrict values,
+                             const value_t* __restrict diag,
+                             const value_t* x, value_t* y,
+                             value_t* __restrict win, index_t win_begin,
+                             index_t direct_begin, index_t row_begin,
+                             index_t row_end) {
+  for (index_t r = row_begin; r < row_end; ++r) {
+    value_t acc = diag[r] * x[r];
+    const index_t end = row_ptr[r + 1];
+    const value_t xr = x[r];
+    for (index_t j = row_ptr[r]; j < end; ++j) {
+      const index_t c = col_ind[j];
+      const value_t v = values[j];
+      acc += v * x[c];  // lower-triangle element (r, c)
+      if (c >= direct_begin) {
+        y[c] += v * xr;  // mirrored upper-triangle element (c, r)
+      } else {
+        win[c - win_begin] += v * xr;  // cross-thread conflict
+      }
+    }
+    y[r] = acc;
+  }
+}
+
+/// SymCsrVi variant: diagonal and lower-triangle values both resolve
+/// through the shared unique-value table.
+template <typename IndT>
+void spmv_sym_csr_vi_win(const index_t* __restrict row_ptr,
+                         const index_t* __restrict col_ind,
+                         const IndT* __restrict val_ind,
+                         const IndT* __restrict diag_ind,
+                         const value_t* __restrict vals_unique,
+                         const value_t* x, value_t* y,
+                         value_t* __restrict win, index_t win_begin,
+                         index_t direct_begin, index_t row_begin,
+                         index_t row_end) {
+  for (index_t r = row_begin; r < row_end; ++r) {
+    value_t acc = vals_unique[diag_ind[r]] * x[r];
+    const index_t end = row_ptr[r + 1];
+    const value_t xr = x[r];
+    for (index_t j = row_ptr[r]; j < end; ++j) {
+      const index_t c = col_ind[j];
+      const value_t v = vals_unique[val_ind[j]];
+      acc += v * x[c];
+      if (c >= direct_begin) {
+        y[c] += v * xr;
+      } else {
+        win[c - win_begin] += v * xr;
+      }
+    }
+    y[r] = acc;
+  }
+}
+
+/// Serial kernels: y = A*x for the full (symmetric) matrix. No
+/// zero-filling needed — every row is assigned and scatters only reach
+/// already-assigned rows.
+void spmv(const SymCsr& m, const value_t* x, value_t* y);
+void spmv(const SymCsrVi& m, const value_t* x, value_t* y);
 
 // --------------------------------------------------------------- DCSR ---
 

@@ -512,6 +512,151 @@ void csr_vi_seg_avx2(const index_t* __restrict seg_ptr,
   }
 }
 
+// ------------------------------------------------- symmetric (SSS) ------
+
+// The symmetric kernels split each row into a dot side (the lower
+// triangle's gather-multiply — same shape as csr_avx2) and a scatter
+// side (the mirrored upper triangle's y[c]/win updates). Only the dot
+// side vectorizes: the scatter is a chain of read-modify-write stores to
+// data-dependent addresses, which AVX2 cannot express (no scatter
+// instruction, and lanes may collide). Long rows run the 4-wide gather
+// dot sweep then a scalar scatter sweep over the same (L1-hot) span;
+// short rows take one combined scalar pass.
+
+inline void sym_scatter(const index_t* __restrict col_ind,
+                        const value_t* __restrict values, index_t j0,
+                        index_t j1, value_t xr, value_t* y,
+                        value_t* __restrict win, index_t win_begin,
+                        index_t direct_begin) {
+  for (index_t j = j0; j < j1; ++j) {
+    const index_t c = col_ind[j];
+    if (c >= direct_begin) {
+      y[c] += values[j] * xr;
+    } else {
+      win[c - win_begin] += values[j] * xr;
+    }
+  }
+}
+
+void sym_csr_avx2(const index_t* __restrict row_ptr,
+                  const index_t* __restrict col_ind,
+                  const value_t* __restrict values,
+                  const value_t* __restrict diag, const value_t* x,
+                  value_t* y, value_t* __restrict win, index_t win_begin,
+                  index_t direct_begin, index_t row_begin,
+                  index_t row_end) {
+  for (index_t r = row_begin; r < row_end; ++r) {
+    index_t j = row_ptr[r];
+    const index_t end = row_ptr[r + 1];
+    const value_t xr = x[r];
+    value_t acc = diag[r] * xr;
+    if (end - j < kVectorMinRow) {
+      for (; j < end; ++j) {
+        const index_t c = col_ind[j];
+        const value_t v = values[j];
+        acc += v * x[c];
+        if (c >= direct_begin) {
+          y[c] += v * xr;
+        } else {
+          win[c - win_begin] += v * xr;
+        }
+      }
+      y[r] = acc;
+      continue;
+    }
+    const index_t j0 = j;
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (; j + 8 <= end; j += 8) {
+      __builtin_prefetch(col_ind + j + 64, 0, 1);
+      __builtin_prefetch(values + j + 32, 0, 1);
+      const __m256d x0 = _mm256_i32gather_pd(x, load_idx4(col_ind + j), 8);
+      const __m256d x1 =
+          _mm256_i32gather_pd(x, load_idx4(col_ind + j + 4), 8);
+      acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(values + j), x0, acc0);
+      acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(values + j + 4), x1, acc1);
+    }
+    for (; j + 4 <= end; j += 4) {
+      const __m256d x0 = _mm256_i32gather_pd(x, load_idx4(col_ind + j), 8);
+      acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(values + j), x0, acc0);
+    }
+    acc += hsum256(_mm256_add_pd(acc0, acc1));
+    for (; j < end; ++j) {
+      acc += values[j] * x[col_ind[j]];
+    }
+    sym_scatter(col_ind, values, j0, end, xr, y, win, win_begin,
+                direct_begin);
+    y[r] = acc;
+  }
+}
+
+template <typename IndT>
+void sym_csr_vi_avx2(const index_t* __restrict row_ptr,
+                     const index_t* __restrict col_ind,
+                     const IndT* __restrict val_ind,
+                     const IndT* __restrict diag_ind,
+                     const value_t* __restrict vals_unique,
+                     const value_t* x, value_t* y, value_t* __restrict win,
+                     index_t win_begin, index_t direct_begin,
+                     index_t row_begin, index_t row_end) {
+  for (index_t r = row_begin; r < row_end; ++r) {
+    index_t j = row_ptr[r];
+    const index_t end = row_ptr[r + 1];
+    const value_t xr = x[r];
+    value_t acc = vals_unique[diag_ind[r]] * xr;
+    if (end - j < kVectorMinRow) {
+      for (; j < end; ++j) {
+        const index_t c = col_ind[j];
+        const value_t v = vals_unique[val_ind[j]];
+        acc += v * x[c];
+        if (c >= direct_begin) {
+          y[c] += v * xr;
+        } else {
+          win[c - win_begin] += v * xr;
+        }
+      }
+      y[r] = acc;
+      continue;
+    }
+    const index_t j0 = j;
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (; j + 8 <= end; j += 8) {
+      __builtin_prefetch(col_ind + j + 64, 0, 1);
+      __builtin_prefetch(val_ind + j + 64, 0, 1);
+      const __m256d v0 =
+          _mm256_i32gather_pd(vals_unique, load_idx4(val_ind + j), 8);
+      const __m256d v1 =
+          _mm256_i32gather_pd(vals_unique, load_idx4(val_ind + j + 4), 8);
+      const __m256d x0 = _mm256_i32gather_pd(x, load_idx4(col_ind + j), 8);
+      const __m256d x1 =
+          _mm256_i32gather_pd(x, load_idx4(col_ind + j + 4), 8);
+      acc0 = _mm256_fmadd_pd(v0, x0, acc0);
+      acc1 = _mm256_fmadd_pd(v1, x1, acc1);
+    }
+    for (; j + 4 <= end; j += 4) {
+      const __m256d v0 =
+          _mm256_i32gather_pd(vals_unique, load_idx4(val_ind + j), 8);
+      const __m256d x0 = _mm256_i32gather_pd(x, load_idx4(col_ind + j), 8);
+      acc0 = _mm256_fmadd_pd(v0, x0, acc0);
+    }
+    acc += hsum256(_mm256_add_pd(acc0, acc1));
+    for (; j < end; ++j) {
+      acc += vals_unique[val_ind[j]] * x[col_ind[j]];
+    }
+    for (index_t s = j0; s < end; ++s) {
+      const index_t c = col_ind[s];
+      const value_t v = vals_unique[val_ind[s]];
+      if (c >= direct_begin) {
+        y[c] += v * xr;
+      } else {
+        win[c - win_begin] += v * xr;
+      }
+    }
+    y[r] = acc;
+  }
+}
+
 }  // namespace
 
 const KernelTable& avx2_table() {
@@ -535,6 +680,10 @@ const KernelTable& avx2_table() {
     t.du_vi_acc_u8 = &du_vi_acc_avx2<std::uint8_t>;
     t.du_vi_acc_u16 = &du_vi_acc_avx2<std::uint16_t>;
     t.du_vi_acc_u32 = &du_vi_acc_avx2<std::uint32_t>;
+    t.sym_csr = &sym_csr_avx2;
+    t.sym_csr_vi_u8 = &sym_csr_vi_avx2<std::uint8_t>;
+    t.sym_csr_vi_u16 = &sym_csr_vi_avx2<std::uint16_t>;
+    t.sym_csr_vi_u32 = &sym_csr_vi_avx2<std::uint32_t>;
     return t;
   }();
   return table;

@@ -54,6 +54,10 @@ const KernelTable& scalar_table() {
     t.du_vi_acc_u8 = &du_vi_acc_scalar<std::uint8_t>;
     t.du_vi_acc_u16 = &du_vi_acc_scalar<std::uint16_t>;
     t.du_vi_acc_u32 = &du_vi_acc_scalar<std::uint32_t>;
+    t.sym_csr = &spmv_sym_csr_win;
+    t.sym_csr_vi_u8 = &spmv_sym_csr_vi_win<std::uint8_t>;
+    t.sym_csr_vi_u16 = &spmv_sym_csr_vi_win<std::uint16_t>;
+    t.sym_csr_vi_u32 = &spmv_sym_csr_vi_win<std::uint32_t>;
     return t;
   }();
   return table;

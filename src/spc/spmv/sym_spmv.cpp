@@ -3,26 +3,97 @@
 #include <algorithm>
 #include <cstring>
 
+#include "spc/support/env.hpp"
 #include "spc/support/topology.hpp"
 
 namespace spc {
+
+const char* sym_reduce_name(SymReduce r) {
+  switch (r) {
+    case SymReduce::kAuto:
+      return "auto";
+    case SymReduce::kWindow:
+      return "window";
+    case SymReduce::kPrivate:
+      return "private";
+  }
+  return "auto";
+}
+
+bool parse_sym_reduce(const std::string& name, SymReduce* out) {
+  if (name == "auto") {
+    *out = SymReduce::kAuto;
+    return true;
+  }
+  if (name == "window") {
+    *out = SymReduce::kWindow;
+    return true;
+  }
+  if (name == "private") {
+    *out = SymReduce::kPrivate;
+    return true;
+  }
+  return false;
+}
+
+SymReduce sym_reduce_from_env(SymReduce requested) {
+  const auto v = env_str("SPC_SYM_REDUCE");
+  if (!v) {
+    return requested;
+  }
+  SymReduce r;
+  if (parse_sym_reduce(*v, &r)) {
+    return r;
+  }
+  env_warn_once("SPC_SYM_REDUCE", *v, "auto|window|private");
+  return requested;
+}
+
+SymWindowPlan plan_sym_windows(const index_t* row_ptr,
+                               const index_t* col_ind,
+                               const RowPartition& partition,
+                               std::size_t nthreads, index_t nrows,
+                               SymReduce requested) {
+  SymWindowPlan plan;
+  plan.win_begin.resize(nthreads);
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    const index_t b = partition.row_begin(t);
+    const index_t e = partition.row_end(t);
+    index_t wb = b;
+    for (index_t r = b; r < e; ++r) {
+      if (row_ptr[r] < row_ptr[r + 1]) {
+        wb = std::min(wb, col_ind[row_ptr[r]]);
+      }
+    }
+    plan.win_begin[t] = wb;
+    plan.total_rows += static_cast<usize_t>(b - wb);
+  }
+  switch (requested) {
+    case SymReduce::kWindow:
+      plan.use_window = true;
+      break;
+    case SymReduce::kPrivate:
+      plan.use_window = false;
+      break;
+    case SymReduce::kAuto:
+      // The private sweep moves ~(2*nthreads+1)*nrows values per run
+      // (zero + read each copy, write y); the windows move ~4x their
+      // total span (zero, scatter, read, add). Cross over at half the
+      // private figure so a borderline plan keeps a 2x margin.
+      plan.use_window =
+          plan.total_rows <=
+          static_cast<usize_t>(nthreads) * static_cast<usize_t>(nrows) / 2;
+      break;
+  }
+  return plan;
+}
 
 void spmv_sym_rows_raw(const index_t* row_ptr, const index_t* col_ind,
                        const value_t* values, const value_t* diag,
                        const value_t* x, value_t* y, index_t row_begin,
                        index_t row_end) {
-  for (index_t r = row_begin; r < row_end; ++r) {
-    value_t acc = diag[r] * x[r];
-    const index_t end = row_ptr[r + 1];
-    const value_t xr = x[r];
-    for (index_t j = row_ptr[r]; j < end; ++j) {
-      const index_t c = col_ind[j];
-      const value_t v = values[j];
-      acc += v * x[c];   // lower-triangle element (r, c)
-      y[c] += v * xr;    // mirrored upper-triangle element (c, r)
-    }
-    y[r] += acc;
-  }
+  spmv_sym_csr_win(row_ptr, col_ind, values, diag, x, y, /*win=*/nullptr,
+                   /*win_begin=*/0, /*direct_begin=*/0, row_begin, row_end);
 }
 
 void spmv_sym_rows(const SymCsr& m, const value_t* x, value_t* y,
@@ -32,19 +103,20 @@ void spmv_sym_rows(const SymCsr& m, const value_t* x, value_t* y,
                     row_end);
 }
 
-void spmv(const SymCsr& m, const value_t* x, value_t* y) {
-  std::fill(y, y + m.nrows(), 0.0);
-  spmv_sym_rows(m, x, y, 0, m.nrows());
-}
-
 SymSpmv::SymSpmv(const Triplets& t, std::size_t nthreads, bool pin_threads,
-                 NumaPolicy numa)
-    : m_(SymCsr::from_triplets(t)), nthreads_(std::max<std::size_t>(1, nthreads)) {
+                 NumaPolicy numa, SymReduce reduce)
+    : m_(SymCsr::from_triplets(t)),
+      nthreads_(std::max<std::size_t>(1, nthreads)) {
   if (nthreads_ <= 1) {
     return;
   }
   // Balance by stored (lower-triangle) elements.
   partition_ = partition_rows_by_nnz(m_.row_ptr(), nthreads_);
+  plan_ = plan_sym_windows(m_.row_ptr().data(), m_.col_ind().data(),
+                           partition_, nthreads_, m_.nrows(),
+                           sym_reduce_from_env(reduce));
+  reduce_mode_ = plan_.use_window ? SymReduce::kWindow : SymReduce::kPrivate;
+
   Topology topo;
   std::vector<int> plan;
   if (pin_threads) {
@@ -53,21 +125,30 @@ SymSpmv::SymSpmv(const Triplets& t, std::size_t nthreads, bool pin_threads,
   }
   pool_ = std::make_unique<ThreadPool>(nthreads_, plan);
 
+  const auto buffer_len = [&](std::size_t th) -> usize_t {
+    if (reduce_mode_ == SymReduce::kPrivate) {
+      return m_.nrows();
+    }
+    return partition_.row_begin(th) - plan_.win_begin[th];
+  };
+
   NumaPolicy policy = NumaPolicy::kOff;
   if (!plan.empty()) {
     policy = resolve_numa_policy(numa_policy_from_env(numa),
                                  topo.num_nodes());
   }
   if (policy == NumaPolicy::kOff) {
-    scratch_.assign(nthreads_, Vector(m_.nrows(), 0.0));
+    scratch_.reserve(nthreads_);
+    for (std::size_t th = 0; th < nthreads_; ++th) {
+      scratch_.emplace_back(buffer_len(th), 0.0);
+    }
     return;
   }
 
   // Repack each thread's row slice — rebased row_ptr, 0-based
-  // col_ind/values, rebased diag — plus its full-length private-y
-  // scratch into a block first-touched by the owner. Copies preserve
+  // col_ind/values, rebased diag — plus its window (or full private-y)
+  // buffer into a block first-touched by the owner. Copies preserve
   // values and order exactly, so results stay bit-identical.
-  const index_t nrows = m_.nrows();
   const index_t* rp = m_.row_ptr().data();
   arena_ = std::make_unique<FirstTouchArena>(nthreads_);
   struct Plan {
@@ -82,7 +163,7 @@ SymSpmv::SymSpmv(const Triplets& t, std::size_t nthreads, bool pin_threads,
     ph[th].ci = arena_->reserve<index_t>(th, nnz);
     ph[th].val = arena_->reserve<value_t>(th, nnz);
     ph[th].diag = arena_->reserve<value_t>(th, e - b);
-    ph[th].scratch = arena_->reserve<value_t>(th, nrows);
+    ph[th].scratch = arena_->reserve<value_t>(th, buffer_len(th));
   }
   arena_->allocate();
   pool_->run([&](std::size_t th) { arena_->first_touch(th); });
@@ -120,17 +201,67 @@ void SymSpmv::run(const Vector& x, Vector& y) {
   const index_t nrows = m_.nrows();
   const value_t* const xp = x.data();
   value_t* const yp = y.data();
+  const index_t* const rp0 = m_.row_ptr().data();
+  const index_t* const ci0 = m_.col_ind().data();
+  const value_t* const val0 = m_.values().data();
+  const value_t* const diag0 = m_.diag().data();
+
+  if (reduce_mode_ == SymReduce::kWindow) {
+    pool_->run([&](std::size_t th) {
+      const index_t b = partition_.row_begin(th);
+      const index_t e = partition_.row_end(th);
+      value_t* const win = scratch_ptr(th);
+      const index_t wb = plan_.win_begin[th];
+      std::fill(win, win + (b - wb), 0.0);
+      if (numa_.empty()) {
+        spmv_sym_csr_win(rp0, ci0, val0, diag0, xp, yp, win, wb,
+                         /*direct_begin=*/b, b, e);
+      } else {
+        const ThreadArrays& a = numa_[th];
+        spmv_sym_csr_win(a.row_ptr, a.col_ind, a.values, a.diag, xp, yp,
+                         win, wb, /*direct_begin=*/b, b, e);
+      }
+    });
+    if (plan_.total_rows == 0) {
+      return;  // no conflicts at all — nothing to reduce
+    }
+    // Each thread folds the overlapping windows into the compute rows it
+    // just wrote (cache/NUMA-local). Windows are folded in ascending
+    // thread order so the accumulation order is deterministic.
+    pool_->run([&](std::size_t th) {
+      const index_t r0 = partition_.row_begin(th);
+      const index_t r1 = partition_.row_end(th);
+      for (std::size_t t = 1; t < nthreads_; ++t) {
+        const index_t wb = plan_.win_begin[t];
+        const index_t we = partition_.row_begin(t);
+        const index_t lo = std::max(r0, wb);
+        const index_t hi = std::min(r1, we);
+        if (lo >= hi) {
+          continue;
+        }
+        const value_t* const win = scratch_ptr(t);
+        for (index_t r = lo; r < hi; ++r) {
+          yp[r] += win[r - wb];
+        }
+      }
+    });
+    return;
+  }
+
+  // Private-y fallback: every scatter lands in the thread's full-length
+  // scratch, then an even row split sums the copies.
   pool_->run([&](std::size_t th) {
-    value_t* const sp =
-        numa_.empty() ? scratch_[th].data() : numa_[th].scratch;
+    value_t* const sp = scratch_ptr(th);
     std::fill(sp, sp + nrows, 0.0);
     if (numa_.empty()) {
-      spmv_sym_rows(m_, xp, sp, partition_.row_begin(th),
-                    partition_.row_end(th));
+      spmv_sym_csr_win(rp0, ci0, val0, diag0, xp, sp, /*win=*/nullptr,
+                       /*win_begin=*/0, /*direct_begin=*/0,
+                       partition_.row_begin(th), partition_.row_end(th));
     } else {
       const ThreadArrays& a = numa_[th];
-      spmv_sym_rows_raw(a.row_ptr, a.col_ind, a.values, a.diag, xp, sp,
-                        partition_.row_begin(th), partition_.row_end(th));
+      spmv_sym_csr_win(a.row_ptr, a.col_ind, a.values, a.diag, xp, sp,
+                       /*win=*/nullptr, /*win_begin=*/0, /*direct_begin=*/0,
+                       partition_.row_begin(th), partition_.row_end(th));
     }
   });
   const RowPartition rows = partition_rows_even(nrows, nthreads_);
@@ -139,8 +270,7 @@ void SymSpmv::run(const Vector& x, Vector& y) {
     const index_t r1 = rows.row_end(th);
     std::fill(yp + r0, yp + r1, 0.0);
     for (std::size_t s = 0; s < nthreads_; ++s) {
-      const value_t* const sp =
-          numa_.empty() ? scratch_[s].data() : numa_[s].scratch;
+      const value_t* const sp = scratch_ptr(s);
       for (index_t r = r0; r < r1; ++r) {
         yp[r] += sp[r];
       }

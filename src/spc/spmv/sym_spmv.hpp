@@ -1,51 +1,97 @@
-// SpMV for the symmetric format (§III-C).
+// SpMV for the symmetric formats (§III-C).
 //
 // The implicit upper triangle makes the kernel scatter into y[col], so
-// row ranges no longer write disjoint y — the multithreaded runner gives
-// each thread a private y copy and reduces, the same pattern as column-
-// partitioned CSC (§II-C).
+// row ranges no longer write disjoint y. Instead of the classic fix — a
+// full private y copy per thread plus an O(nthreads x nrows) reduction —
+// the runners here use a *bounded conflict window* (Batista et al.,
+// arXiv:1003.0952): each thread writes its own row range directly into
+// the shared y and scatters only into a compact buffer covering
+// [win_begin, row_begin), the span its rows actually reach below its
+// partition. The reduction then touches only the window rows, shrinking
+// the reduction traffic from O(nthreads x nrows) to the conflict span —
+// near zero on banded matrices. When windows degenerate toward ~nrows
+// (e.g. a dense first column), the private-y path is still the cheaper
+// one and remains as fallback.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
-#include "spc/formats/sym_csr.hpp"
 #include "spc/mm/vector.hpp"
 #include "spc/parallel/partition.hpp"
 #include "spc/parallel/thread_pool.hpp"
+#include "spc/spmv/kernels.hpp"
 #include "spc/support/first_touch.hpp"
 
 namespace spc {
 
-/// Serial kernel: y = A*x for the full (symmetric) matrix.
-void spmv(const SymCsr& m, const value_t* x, value_t* y);
+/// Reduction strategy for the symmetric scatter conflicts.
+enum class SymReduce : std::uint8_t {
+  kAuto = 0,     ///< window unless the plan degenerates (see below)
+  kWindow = 1,   ///< force the conflict-window path
+  kPrivate = 2,  ///< force the full private-y path
+};
 
-/// Row-range partial kernel over raw arrays — the common core of the
-/// serial and per-thread paths. `row_ptr` and `diag` are indexed with
-/// absolute rows (repacked per-thread copies pass rebased pointers, see
-/// support/first_touch.hpp); `col_ind`/`values` with the positions
-/// `row_ptr` yields.
+/// Canonical lower-case name ("auto", "window", "private").
+const char* sym_reduce_name(SymReduce r);
+
+/// Parses a strategy name; returns false on unknown names, leaving *out
+/// untouched.
+bool parse_sym_reduce(const std::string& name, SymReduce* out);
+
+/// `requested` overridden by SPC_SYM_REDUCE when set (an unparseable
+/// value is diagnosed once to stderr and ignored).
+SymReduce sym_reduce_from_env(SymReduce requested);
+
+/// The per-thread conflict-window plan: thread t's scatters outside its
+/// own rows all land in [win_begin[t], row_begin(t)).
+struct SymWindowPlan {
+  std::vector<index_t> win_begin;  ///< per thread; == row_begin when empty
+  usize_t total_rows = 0;          ///< sum of window extents
+  bool use_window = true;          ///< resolved mode after degeneracy check
+};
+
+/// Computes window extents from the lower-triangle CSR arrays: because
+/// columns ascend within a row, a row's first entry is its minimum
+/// scatter target, so thread t's window start is the minimum first
+/// column over its rows (clamped to its row_begin). `requested` must
+/// already be env-resolved; kAuto picks the window path unless the total
+/// window span exceeds nthreads*nrows/2 — the point where the windows'
+/// zero+write+read traffic stops undercutting the private-y sweep's by a
+/// safe margin.
+SymWindowPlan plan_sym_windows(const index_t* row_ptr,
+                               const index_t* col_ind,
+                               const RowPartition& partition,
+                               std::size_t nthreads, index_t nrows,
+                               SymReduce requested);
+
+/// Row-range partial kernel over raw arrays (private/serial-mode
+/// parameterization of spmv_sym_csr_win; kept for callers of the
+/// pre-window API). y must be zeroed for rows outside the range that
+/// scatters can reach; rows inside the range are assigned.
 void spmv_sym_rows_raw(const index_t* row_ptr, const index_t* col_ind,
                        const value_t* values, const value_t* diag,
                        const value_t* x, value_t* y, index_t row_begin,
                        index_t row_end);
 
-/// Row-range partial kernel accumulating into y without zero-filling —
-/// building block of the multithreaded path (y must be zeroed by the
-/// caller; writes y[r] for r in range and scatters into y[c], c < r).
+/// Row-range partial kernel over the format object (same contract).
 void spmv_sym_rows(const SymCsr& m, const value_t* x, value_t* y,
                    index_t row_begin, index_t row_end);
 
-/// Prepared multithreaded symmetric SpMV (private-y + reduction).
+/// Prepared multithreaded symmetric SpMV (conflict-window reduction,
+/// private-y fallback).
 class SymSpmv {
  public:
   /// `numa` resolves like SpmvInstance's: on a pinned multi-node run the
-  /// per-thread row slices (and the private-y scratch) repack into
+  /// per-thread row slices (and the window/scratch buffers) repack into
   /// first-touched node-local blocks. The scatter path has no x mirror,
   /// so replicate/interleave degrade to local placement here.
   explicit SymSpmv(const Triplets& t, std::size_t nthreads = 1,
                    bool pin_threads = false,
-                   NumaPolicy numa = NumaPolicy::kAuto);
+                   NumaPolicy numa = NumaPolicy::kAuto,
+                   SymReduce reduce = SymReduce::kAuto);
 
   index_t nrows() const { return m_.nrows(); }
   usize_t matrix_bytes() const { return m_.bytes(); }
@@ -53,6 +99,12 @@ class SymSpmv {
 
   /// The placement actually in effect (kOff unless pinned and resolved).
   NumaPolicy numa_policy() const { return numa_policy_; }
+  /// The reduction path actually in effect (kWindow or kPrivate; kAuto
+  /// never survives resolution). Single-threaded runs report kWindow
+  /// with zero window rows.
+  SymReduce reduce_mode() const { return reduce_mode_; }
+  /// Total window rows across threads (0 in private mode).
+  usize_t window_rows() const { return plan_.total_rows; }
 
   void run(const Vector& x, Vector& y);
 
@@ -60,10 +112,14 @@ class SymSpmv {
   SymCsr m_;
   std::size_t nthreads_;
   RowPartition partition_;
+  SymReduce reduce_mode_ = SymReduce::kWindow;
+  SymWindowPlan plan_;
+  // Window mode: per-thread conflict buffers sized to the window span.
+  // Private mode: per-thread full-length y copies.
   std::vector<Vector> scratch_;
   std::unique_ptr<ThreadPool> pool_;
   // NUMA repack (see instance.cpp): per-thread rebased array pointers
-  // and arena-backed scratch replacing the master-touched Vectors.
+  // and arena-backed buffers replacing the master-touched Vectors.
   NumaPolicy numa_policy_ = NumaPolicy::kOff;
   std::unique_ptr<FirstTouchArena> arena_;
   struct ThreadArrays {
@@ -71,9 +127,13 @@ class SymSpmv {
     const index_t* col_ind = nullptr;
     const value_t* values = nullptr;
     const value_t* diag = nullptr;
-    value_t* scratch = nullptr;
+    value_t* scratch = nullptr;  ///< window buffer or private y
   };
   std::vector<ThreadArrays> numa_;
+
+  value_t* scratch_ptr(std::size_t th) {
+    return numa_.empty() ? scratch_[th].data() : numa_[th].scratch;
+  }
 };
 
 }  // namespace spc

@@ -107,6 +107,36 @@ CandidatePrediction predict_format(const TuneFeatures& f, Format fmt) {
       }
       p.matrix_bytes_per_nnz = c.du_ctl + c.vi_w + c.vi_table;
       break;
+    case Format::kSymCsr:
+    case Format::kSymCsrVi: {
+      // SSS stores only the strict lower triangle plus a dense diagonal;
+      // every lower element serves two non-zeros, so the per-nnz stream
+      // roughly halves on matrices with a sparse diagonal. The window
+      // reduction's extra traffic is bounded (sym_window_frac) and left
+      // to the probe.
+      if (!f.structurally_symmetric || !f.value_symmetric) {
+        p.applicable = false;
+        p.why = "matrix is not numerically symmetric";
+        p.matrix_bytes_per_nnz = kIdx + kVal + c.rp;
+        break;
+      }
+      const double n = static_cast<double>(s.nrows);
+      const double nnz_lower =
+          (c.nnz - static_cast<double>(f.ndiag)) / 2.0;
+      if (fmt == Format::kSymCsr) {
+        p.matrix_bytes_per_nnz =
+            c.rp + (nnz_lower * (kIdx + kVal) + n * kVal) / c.nnz;
+      } else {
+        if (s.ttu <= 5.0) {
+          p.applicable = false;
+          p.why = "ttu <= 5 (the §VI-E criterion)";
+        }
+        p.matrix_bytes_per_nnz =
+            c.rp + (nnz_lower * (kIdx + c.vi_w) + n * c.vi_w) / c.nnz +
+            c.vi_table;
+      }
+      break;
+    }
     default:
       // Outside the tuner's pool (COO, CSC, BCSR, ...): these trade
       // bytes for different access patterns the stream model cannot
@@ -124,7 +154,8 @@ std::vector<CandidatePrediction> predict_candidates(const TuneFeatures& f) {
   std::vector<CandidatePrediction> out;
   for (const Format fmt :
        {Format::kCsr, Format::kCsr16, Format::kCsrDu, Format::kCsrDuRle,
-        Format::kCsrVi, Format::kCsrDuVi}) {
+        Format::kCsrVi, Format::kCsrDuVi, Format::kSymCsr,
+        Format::kSymCsrVi}) {
     out.push_back(predict_format(f, fmt));
   }
   return out;

@@ -2,7 +2,7 @@
 
 #include <cstdio>
 #include <cstring>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "spc/spmv/tiling.hpp"
 #include "spc/support/error.hpp"
@@ -79,21 +79,45 @@ TuneFeatures extract_features(const Triplets& t) {
                  ? f.stats.row_len_stddev / f.stats.row_len_mean
                  : 0.0;
 
+  for (const Entry& e : t.entries()) {
+    if (e.row == e.col) {
+      ++f.ndiag;
+    }
+  }
+
   if (t.nrows() == t.ncols() && t.nnz() > 0) {
-    std::unordered_set<std::uint64_t> pattern;
+    // One map serves both symmetry checks: key = (row, col), payload =
+    // the value's bit pattern, so the mirror lookup can also decide
+    // value symmetry. Bitwise equality is a conservative proxy for
+    // SymCsr::applicable's value comparison (it differs only on ±0.0
+    // mirrors, where the tuner just declines the sym formats).
+    std::unordered_map<std::uint64_t, std::uint64_t> pattern;
     pattern.reserve(t.nnz());
     for (const Entry& e : t.entries()) {
-      pattern.insert((static_cast<std::uint64_t>(e.row) << 32) | e.col);
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(e.val));
+      std::memcpy(&bits, &e.val, sizeof(bits));
+      pattern.emplace((static_cast<std::uint64_t>(e.row) << 32) | e.col,
+                      bits);
     }
     bool sym = true;
+    bool vsym = true;
     for (const Entry& e : t.entries()) {
-      if (pattern.find((static_cast<std::uint64_t>(e.col) << 32) | e.row) ==
-          pattern.end()) {
+      const auto it = pattern.find(
+          (static_cast<std::uint64_t>(e.col) << 32) | e.row);
+      if (it == pattern.end()) {
         sym = false;
+        vsym = false;
         break;
+      }
+      std::uint64_t bits;
+      std::memcpy(&bits, &e.val, sizeof(bits));
+      if (it->second != bits) {
+        vsym = false;
       }
     }
     f.structurally_symmetric = sym;
+    f.value_symmetric = vsym;
   }
 
   f.fingerprint = matrix_fingerprint(t);

@@ -34,6 +34,12 @@ struct TuneFeatures {
   double row_cv = 0.0;
   /// Square matrix whose pattern equals its transpose's.
   bool structurally_symmetric = false;
+  /// Structurally symmetric with bitwise-equal mirrored values — the
+  /// precondition for the SSS symmetric formats (sym-csr, sym-csr-vi).
+  bool value_symmetric = false;
+  /// Number of stored diagonal entries; the symmetric cost model needs
+  /// it to size the strict lower triangle ((nnz - ndiag) / 2).
+  std::uint64_t ndiag = 0;
   /// 16-hex content hash — see matrix_fingerprint().
   std::string fingerprint;
 };

@@ -252,6 +252,36 @@ TEST(CostModel, PredictionsAreOrderedSanely) {
               8.0 * 2000.0 / 20000.0, 1e-9);
 }
 
+TEST(CostModel, SymmetricFormatsGateOnNumericSymmetry) {
+  // Asymmetric features: the sym pair must be pruned, never probed.
+  tune::TuneFeatures f = synthetic_features();
+  EXPECT_FALSE(tune::predict_format(f, Format::kSymCsr).applicable);
+  EXPECT_FALSE(tune::predict_format(f, Format::kSymCsrVi).applicable);
+  for (const Format fmt : tune::prune_candidates(f, 10)) {
+    EXPECT_FALSE(format_requires_symmetry(fmt)) << format_name(fmt);
+  }
+
+  // Structural symmetry alone is not enough — mirrored values must
+  // match too (SymCsr::applicable would throw otherwise).
+  f.structurally_symmetric = true;
+  f.value_symmetric = false;
+  EXPECT_FALSE(tune::predict_format(f, Format::kSymCsr).applicable);
+
+  f.value_symmetric = true;
+  f.ndiag = f.stats.nrows;
+  const auto sym = tune::predict_format(f, Format::kSymCsr);
+  const auto csr = tune::predict_format(f, Format::kCsr);
+  ASSERT_TRUE(sym.applicable);
+  // Half the off-diagonal stream plus a dense diagonal: well under CSR.
+  EXPECT_LT(sym.matrix_bytes_per_nnz, csr.matrix_bytes_per_nnz);
+
+  // sym-csr-vi keeps the §VI-E value-compression criterion on top.
+  EXPECT_TRUE(tune::predict_format(f, Format::kSymCsrVi).applicable);
+  f.stats.ttu = 2.0;
+  EXPECT_FALSE(tune::predict_format(f, Format::kSymCsrVi).applicable);
+  EXPECT_TRUE(tune::predict_format(f, Format::kSymCsr).applicable);
+}
+
 TEST(CostModel, PruningKeepsCsrAndRespectsCap) {
   const tune::TuneFeatures f = synthetic_features();
   for (const std::size_t cap : {1u, 2u, 4u, 10u}) {
@@ -312,6 +342,66 @@ TEST(Tuner, CacheHitSkipsProbeOnRepeatRuns) {
   tune::TuneReport other;
   tune::auto_instance(t, 2, opts, topts, &other);
   EXPECT_FALSE(other.cache_hit);
+}
+
+// A + A^T: numerically symmetric by construction, and pooled source
+// values keep the sum pool small so ttu stays CSR-VI friendly.
+Triplets symmetrized(const Triplets& a) {
+  Triplets s(a.nrows(), a.ncols());
+  for (const Entry& e : a.entries()) {
+    s.add(e.row, e.col, e.val);
+    s.add(e.col, e.row, e.val);
+  }
+  s.sort_and_combine();
+  return s;
+}
+
+TEST(Tuner, SymmetricMatrixSelectsSymFormatAndCachesIt) {
+  // A wide symmetric band, sized past L2: rows are long enough that the
+  // halved matrix stream dominates the scatter read-modify-write
+  // overhead, so the probe should crown a sym format even serially.
+  // Pinned to the scalar tier so the outcome is machine-stable (wide
+  // SIMD can hide CSR's extra stream on a lone core; SPC_ISA is part of
+  // the cache key, so this cell never leaks into native-tier runs).
+  test::ScopedEnv isa("SPC_ISA", "scalar");
+  Rng rng(88);
+  const Triplets t = symmetrized(
+      gen_banded(20000, 60, 30, rng, ValueModel::pooled(8)));
+  ASSERT_TRUE(SymCsr::applicable(t));
+  const tune::TuneFeatures f = tune::extract_features(t);
+  EXPECT_TRUE(f.structurally_symmetric);
+  EXPECT_TRUE(f.value_symmetric);
+  EXPECT_EQ(f.ndiag, t.nrows());
+
+  InstanceOptions opts;
+  opts.pin_threads = false;
+  tune::TuneOptions topts = fast_topts("tune_sym");
+  topts.rounds = 2;
+  topts.iters_per_round = 3;
+
+  tune::TuneReport cold;
+  SpmvInstance inst = tune::auto_instance(t, 1, opts, topts, &cold);
+  const bool sym_probed =
+      std::any_of(cold.candidates.begin(), cold.candidates.end(),
+                  format_requires_symmetry);
+  EXPECT_TRUE(sym_probed);
+  EXPECT_TRUE(format_requires_symmetry(cold.chosen))
+      << "probe chose " << format_name(cold.chosen);
+
+  // Warm rerun: the verdict comes from the cache without re-probing.
+  tune::TuneReport warm;
+  SpmvInstance again = tune::auto_instance(t, 1, opts, topts, &warm);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.probe_ns, 0u);
+  EXPECT_EQ(warm.chosen, cold.chosen);
+  EXPECT_EQ(again.format(), inst.format());
+
+  // And the auto instance computes what the hand instance computes.
+  Rng xr(77);
+  const Vector x = random_vector(t.ncols(), xr);
+  Vector y(t.nrows(), 0.0);
+  inst.run(x, y);
+  EXPECT_LT(rel_error(test::reference_spmv(t, x), y), 1e-12);
 }
 
 // 21-seed swarm: whatever format auto picks, the instance it returns
