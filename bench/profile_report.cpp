@@ -24,6 +24,7 @@
 
 #include "spc/bench/harness.hpp"
 #include "spc/obs/json.hpp"
+#include "spc/support/env.hpp"
 #include "spc/support/strutil.hpp"
 
 namespace {
@@ -172,9 +173,8 @@ int main(int argc, char** argv) {
   std::string path;
   if (argc > 1) {
     path = argv[1];
-  } else if (const char* env = std::getenv("SPC_METRICS");
-             env != nullptr && *env != '\0') {
-    path = env;
+  } else if (const auto env = spc::env_str("SPC_METRICS")) {
+    path = *env;
   } else {
     std::cerr << "usage: profile_report <metrics.jsonl>  (or set "
                  "SPC_METRICS)\n";

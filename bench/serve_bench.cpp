@@ -1,0 +1,294 @@
+// serve_bench — closed-loop load generator for the serving engine.
+//
+// Scenario: M resident matrices, C client threads firing y = A*x
+// requests back-to-back for a fixed wall duration. Two configurations
+// run over the identical workload:
+//
+//   dedicated  each client drives its own SpmvInstance (its own worker
+//              pool) directly — the pre-engine model, one pool per
+//              tenant, no admission control;
+//   engine     all clients go through one spc::engine::Engine sharing
+//              a single pool (register once, run_sync per request).
+//
+// Reported: total throughput (req/s) and client-observed p50/p99
+// latency for both, plus the engine's internal queue-wait share, then
+// an overload phase (2x clients against a tiny bounded queue) that must
+// produce rejections — never a hang — and a degraded-mode count.
+//
+// Flags:
+//   --smoke        tiny sizes/durations; exit code checks sanity only
+//                  (served == submitted-rejected, overload rejects,
+//                  engine serves every tenant) — CI runs this leg
+//   --gate         additionally require engine >= 0.9x dedicated
+//                  throughput (not CI-enforced: 1-CPU runners make the
+//                  ratio noise-dominated)
+//   --ms N         per-phase duration (default 2000, smoke 300)
+//   --clients N    client threads (default: one per tenant)
+//   --threads N    pool threads per pool (default: hardware)
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "spc/engine/engine.hpp"
+#include "spc/gen/generators.hpp"
+#include "spc/support/timing.hpp"
+
+using namespace spc;
+
+namespace {
+
+struct Workload {
+  std::string id;
+  Triplets t;
+};
+
+struct ClientResult {
+  std::uint64_t requests = 0;
+  std::vector<std::uint64_t> latency_ns;
+};
+
+std::uint64_t pct_ns(std::vector<std::uint64_t>& v, double q) {
+  if (v.empty()) {
+    return 0;
+  }
+  std::sort(v.begin(), v.end());
+  const std::size_t i = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1));
+  return v[i];
+}
+
+void report(const char* label, std::uint64_t total_reqs, std::uint64_t ms,
+            std::vector<std::uint64_t>& lat) {
+  const double rps = ms == 0 ? 0.0
+                             : static_cast<double>(total_reqs) * 1000.0 /
+                                   static_cast<double>(ms);
+  std::printf("%-10s %8llu req in %5llu ms  %10.0f req/s  p50 %7.1f us  "
+              "p99 %7.1f us\n",
+              label, static_cast<unsigned long long>(total_reqs),
+              static_cast<unsigned long long>(ms), rps,
+              static_cast<double>(pct_ns(lat, 0.50)) / 1e3,
+              static_cast<double>(pct_ns(lat, 0.99)) / 1e3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool gate = false;
+  std::uint64_t ms = 0;
+  std::size_t clients = 0;
+  std::size_t threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      smoke = true;
+    } else if (a == "--gate") {
+      gate = true;
+    } else if (a == "--ms" && i + 1 < argc) {
+      ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--clients" && i + 1 < argc) {
+      clients = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--threads" && i + 1 < argc) {
+      threads = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: serve_bench [--smoke] [--gate] [--ms N] "
+                   "[--clients N] [--threads N]\n");
+      return 2;
+    }
+  }
+  if (ms == 0) {
+    ms = smoke ? 300 : 2000;
+  }
+
+  const index_t side = smoke ? 48 : 192;
+  std::vector<Workload> work;
+  work.push_back({"lap-a", gen_laplacian_2d(side, side)});
+  work.push_back({"lap-b", gen_laplacian_2d(side + 16, side - 16)});
+  work.push_back({"lap-c", gen_laplacian_2d(side / 2, side * 2)});
+  if (clients == 0) {
+    clients = work.size();
+  }
+
+  // --- dedicated: one instance (and pool) per client, driven directly.
+  InstanceOptions iopts;
+  iopts.pin_threads = false;  // harness may run inside restricted cpusets
+  std::vector<ClientResult> ded(clients);
+  {
+    std::vector<std::unique_ptr<SpmvInstance>> insts;
+    for (std::size_t c = 0; c < clients; ++c) {
+      const Workload& w = work[c % work.size()];
+      insts.push_back(std::make_unique<SpmvInstance>(
+          w.t, Format::kCsr,
+          threads == 0 ? std::thread::hardware_concurrency() : threads,
+          iopts));
+    }
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> pool;
+    for (std::size_t c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        const Workload& w = work[c % work.size()];
+        const Vector x = const_vector(w.t.ncols(), 1.0);
+        Vector y(w.t.nrows(), 0.0);
+        while (!stop.load(std::memory_order_acquire)) {
+          const std::uint64_t t0 = now_ns();
+          insts[c]->run(x, y);
+          ded[c].latency_ns.push_back(now_ns() - t0);
+          ++ded[c].requests;
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    stop.store(true, std::memory_order_release);
+    for (auto& th : pool) {
+      th.join();
+    }
+  }
+
+  // --- engine: one shared pool behind the admission queue.
+  engine::EngineOptions eopts;
+  eopts.pool_threads = threads;
+  eopts.pin_threads = false;
+  eopts.overflow = engine::OverflowPolicy::kBlock;  // closed loop: no drops
+  engine::Engine eng(eopts);
+  for (const Workload& w : work) {
+    const Status st = eng.register_matrix(w.id, w.t);
+    if (!st.ok()) {
+      std::fprintf(stderr, "register %s: %s\n", w.id.c_str(),
+                   st.to_string().c_str());
+      return 1;
+    }
+    if (!eng.warm(w.id).ok()) {
+      return 1;
+    }
+  }
+  std::vector<ClientResult> srv(clients);
+  {
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> pool;
+    for (std::size_t c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        const Workload& w = work[c % work.size()];
+        const Vector x = const_vector(w.t.ncols(), 1.0);
+        Vector y;
+        while (!stop.load(std::memory_order_acquire)) {
+          const std::uint64_t t0 = now_ns();
+          if (eng.run_sync(w.id, x, &y).ok()) {
+            srv[c].latency_ns.push_back(now_ns() - t0);
+            ++srv[c].requests;
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    stop.store(true, std::memory_order_release);
+    for (auto& th : pool) {
+      th.join();
+    }
+    eng.drain();
+  }
+
+  std::uint64_t ded_total = 0, srv_total = 0;
+  std::vector<std::uint64_t> ded_lat, srv_lat;
+  for (std::size_t c = 0; c < clients; ++c) {
+    ded_total += ded[c].requests;
+    srv_total += srv[c].requests;
+    ded_lat.insert(ded_lat.end(), ded[c].latency_ns.begin(),
+                   ded[c].latency_ns.end());
+    srv_lat.insert(srv_lat.end(), srv[c].latency_ns.begin(),
+                   srv[c].latency_ns.end());
+  }
+  std::printf("serve_bench: %zu tenants, %zu clients, %zu pool threads%s\n",
+              work.size(), clients,
+              threads == 0
+                  ? static_cast<std::size_t>(
+                        std::thread::hardware_concurrency())
+                  : threads,
+              smoke ? " [smoke]" : "");
+  report("dedicated", ded_total, ms, ded_lat);
+  report("engine", srv_total, ms, srv_lat);
+  const double ratio = ded_total == 0
+                           ? 1.0
+                           : static_cast<double>(srv_total) /
+                                 static_cast<double>(ded_total);
+  const engine::Engine::Stats s1 = eng.stats();
+  std::printf("ratio engine/dedicated: %.3f  (serial fallbacks: %llu, "
+              "batches: %llu)\n",
+              ratio, static_cast<unsigned long long>(s1.serial_runs),
+              static_cast<unsigned long long>(s1.batches));
+
+  // Sanity: the closed loop with kBlock must not lose or reject anything.
+  bool ok = s1.rejected == 0 && s1.completed == s1.submitted;
+  for (std::size_t c = 0; c < clients; ++c) {
+    ok = ok && srv[c].requests > 0;  // every tenant made progress
+  }
+
+  // --- overload: 2x clients against a tiny bounded reject queue.
+  {
+    engine::EngineOptions oopts;
+    oopts.pool_threads = threads;
+    oopts.pin_threads = false;
+    oopts.queue_capacity = 4;
+    oopts.dispatchers = 1;
+    oopts.overflow = engine::OverflowPolicy::kReject;
+    engine::Engine oeng(oopts);
+    for (const Workload& w : work) {
+      if (!oeng.register_matrix(w.id, w.t).ok()) {
+        return 1;
+      }
+    }
+    const std::size_t oclients = 2 * clients;
+    std::atomic<std::uint64_t> served{0}, dropped{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> pool;
+    for (std::size_t c = 0; c < oclients; ++c) {
+      pool.emplace_back([&, c] {
+        const Workload& w = work[c % work.size()];
+        const Vector x = const_vector(w.t.ncols(), 1.0);
+        while (!stop.load(std::memory_order_acquire)) {
+          engine::Future f = oeng.submit(w.id, x);
+          if (f.status().ok()) {
+            served.fetch_add(1);
+          } else {
+            dropped.fetch_add(1);
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms / 2 + 1));
+    stop.store(true, std::memory_order_release);
+    for (auto& th : pool) {
+      th.join();
+    }
+    oeng.drain();
+    const engine::Engine::Stats s2 = oeng.stats();
+    std::printf("overload (%zu clients, queue 4): served %llu, rejected "
+                "%llu (%.1f%% shed)\n",
+                oclients, static_cast<unsigned long long>(served.load()),
+                static_cast<unsigned long long>(dropped.load()),
+                100.0 * static_cast<double>(dropped.load()) /
+                    static_cast<double>(
+                        std::max<std::uint64_t>(1, served + dropped)));
+    // Under 2x overload the bounded queue must shed load as prompt
+    // rejections (and still serve some), not buffer or block.
+    ok = ok && served.load() > 0 && dropped.load() > 0 &&
+         s2.rejected == dropped.load();
+  }
+
+  if (gate && ratio < 0.9) {
+    std::fprintf(stderr,
+                 "GATE FAIL: engine throughput %.3fx dedicated (< 0.9)\n",
+                 ratio);
+    return 1;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "serve_bench: sanity checks FAILED\n");
+    return 1;
+  }
+  std::printf("serve_bench: OK\n");
+  return 0;
+}

@@ -1,16 +1,15 @@
-// Quickstart: the library's public API on the paper's own 6x6 example
-// matrix (Fig 1).
+// Quickstart: the library's public API through its facade header, on the
+// paper's own 6x6 example matrix (Fig 1).
 //
 //  1. build a sparse matrix from triplets,
 //  2. inspect its CSR / CSR-DU / CSR-VI encodings (Fig 1, Table I, Fig 4),
-//  3. run y = A*x serially and with 4 threads in each format.
+//  3. run y = A*x directly through SpmvInstance in every format,
+//  4. serve the same matrix (and a generated second tenant) through
+//     spc::engine::Engine — register, submit, await futures, read stats.
 #include <cstdio>
 #include <cstdlib>
 
-#include "spc/formats/csr.hpp"
-#include "spc/formats/csr_du.hpp"
-#include "spc/formats/csr_vi.hpp"
-#include "spc/spmv/instance.hpp"
+#include "spc/spc.hpp"
 
 using namespace spc;
 
@@ -49,34 +48,15 @@ int main() {
               static_cast<unsigned long long>(du.unit_count()),
               static_cast<unsigned long long>(du.ctl_bytes()),
               static_cast<unsigned long long>(csr.nnz() * 4));
-  std::printf("unit | flags      | usize | ujmp | ucis\n");
-  for (const auto& u : du.decode_units()) {
-    std::printf("     | u%-2u%s%s | %5u | %4llu | ",
-                8u << static_cast<unsigned>(u.cls),
-                u.new_row ? ", NR" : "    ", u.rle ? ", RLE" : "",
-                u.usize, static_cast<unsigned long long>(u.ujmp));
-    for (const auto d : u.ucis) {
-      std::printf("%llu ", static_cast<unsigned long long>(d));
-    }
-    std::printf("\n");
-  }
 
   // --- CSR-VI value indirection (Fig 4) ---
   const CsrVi vi = CsrVi::from_triplets(t);
-  std::printf("\nCSR-VI: %llu unique values (ttu %.2f), index width %u "
-              "byte(s)\n vals_unique: ",
+  std::printf("CSR-VI: %llu unique values (ttu %.2f), index width %u "
+              "byte(s)\n\n",
               static_cast<unsigned long long>(vi.unique_count()), vi.ttu(),
               static_cast<unsigned>(vi.width()));
-  for (const auto v : vi.vals_unique()) {
-    std::printf("%.1f ", v);
-  }
-  std::printf("\n val_ind: ");
-  for (usize_t k = 0; k < vi.nnz(); ++k) {
-    std::printf("%u ", vi.val_ind_raw()[k]);
-  }
-  std::printf("\n\n");
 
-  // --- SpMV in every format, serial and multithreaded ---
+  // --- Direct execution: SpmvInstance in every format ---
   Vector x = {1, 2, 3, 4, 5, 6};
   for (const Format f : all_formats()) {
     if (format_requires_symmetry(f) && !SymCsr::applicable(t)) {
@@ -84,19 +64,79 @@ int main() {
                   format_name(f).c_str());
       continue;
     }
-    for (const std::size_t threads : {1u, 4u}) {
-      InstanceOptions opts;
-      opts.pin_threads = false;
-      SpmvInstance inst(t, f, threads, opts);
-      Vector y(6, 0.0);
-      inst.run(x, y);
-      std::printf("%-10s x%zu: y = [", format_name(f).c_str(), threads);
-      for (const auto v : y) {
-        std::printf(" %6.2f", v);
-      }
-      std::printf(" ]  (matrix %llu bytes)\n",
-                  static_cast<unsigned long long>(inst.matrix_bytes()));
+    InstanceOptions opts;
+    opts.pin_threads = false;
+    const Status vst = opts.validate();
+    if (!vst.ok()) {
+      std::printf("bad options: %s\n", vst.to_string().c_str());
+      return 1;
     }
+    SpmvInstance inst(t, f, 2, opts);
+    Vector y(6, 0.0);
+    inst.run(x, y);
+    std::printf("%-10s x2: y = [", format_name(f).c_str());
+    for (const auto v : y) {
+      std::printf(" %6.2f", v);
+    }
+    std::printf(" ]  (matrix %llu bytes)\n",
+                static_cast<unsigned long long>(inst.matrix_bytes()));
   }
+
+  // --- Serving: one engine, one shared pool, many matrices ---
+  engine::EngineOptions eopts;
+  eopts.pool_threads = 2;
+  eopts.pin_threads = false;  // example must run inside restricted cpusets
+  engine::Engine eng(eopts);
+
+  Status st = eng.register_matrix("fig1", t);
+  if (!st.ok()) {
+    std::printf("register fig1: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  // A second tenant from the generator suite, autotuned: the engine asks
+  // the tuner for the format, then prepares it against the shared pool.
+  engine::RegisterOptions ropts;
+  ropts.auto_format = true;
+  ropts.warm_runs = 1;
+  st = eng.register_matrix("lap2d", gen_laplacian_2d(16, 16), ropts);
+  if (!st.ok()) {
+    std::printf("register lap2d: %s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  // Async: submit returns a Future immediately.
+  engine::Future f1 = eng.submit("fig1", x);
+  engine::Future f2 = eng.submit("lap2d", const_vector(16 * 16, 1.0));
+  std::printf("\nengine fig1: status=%s y = [", f1.status().to_string().c_str());
+  for (const auto v : f1.value()) {
+    std::printf(" %6.2f", v);
+  }
+  std::printf(" ]\n");
+  std::printf("engine lap2d: status=%s (%zu elements, queued %llu ns)\n",
+              f2.status().to_string().c_str(), f2.value().size(),
+              static_cast<unsigned long long>(f2.queue_ns()));
+
+  // Sync convenience + error surfacing as Status, not exceptions.
+  Vector y;
+  st = eng.run_sync("fig1", x, &y);
+  std::printf("run_sync fig1: %s\n", st.to_string().c_str());
+  st = eng.run_sync("nope", x, &y);
+  std::printf("run_sync nope: %s\n", st.to_string().c_str());
+
+  engine::Engine::MatrixInfo info;
+  if (eng.matrix_info("lap2d", &info).ok()) {
+    std::printf("lap2d resolved to %s (tuned=%d source=%s), %llu runs\n",
+                format_name(info.format).c_str(), info.tuned ? 1 : 0,
+                info.tune_source.c_str(),
+                static_cast<unsigned long long>(info.runs));
+  }
+
+  eng.drain();
+  const engine::Engine::Stats stats = eng.stats();
+  std::printf("engine stats: submitted=%llu completed=%llu rejected=%llu\n",
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.rejected));
+  eng.shutdown();
   return 0;
 }

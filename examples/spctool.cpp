@@ -25,6 +25,7 @@
 #include "spc/mm/reorder.hpp"
 #include "spc/mm/stats.hpp"
 #include "spc/spmv/instance.hpp"
+#include "spc/support/env.hpp"
 #include "spc/support/strutil.hpp"
 #include "spc/support/timing.hpp"
 #include "spc/tune/tuner.hpp"
@@ -217,17 +218,29 @@ int cmd_reorder(std::vector<std::string> args) {
   return 0;
 }
 
+// Prints the SPC_* environment-variable table exactly as docs/API.md
+// embeds it — regenerate the doc by pasting this output between its
+// generated-table markers (api_surface_test enforces the match).
+int cmd_env_table() {
+  std::fputs(env_registry_markdown().c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: spctool <inspect|convert|spmv|reorder> ...\n");
+                 "usage: spctool <inspect|convert|spmv|reorder|env-table> "
+                 "...\n");
     return 2;
   }
   const std::string cmd = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
   try {
+    if (cmd == "env-table") {
+      return cmd_env_table();
+    }
     if (cmd == "inspect") {
       return cmd_inspect(std::move(args));
     }

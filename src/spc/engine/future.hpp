@@ -1,0 +1,120 @@
+// Completion handle for one submitted SpMV request.
+//
+// A Future is a shared view of the request's state: the engine's
+// dispatcher completes it (result vector + status + timing), any number
+// of client threads may wait on it. Copyable; all copies observe the
+// same completion exactly once.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "spc/mm/vector.hpp"
+#include "spc/support/status.hpp"
+
+namespace spc::engine {
+
+/// The engine-internal request record. Clients touch it only through
+/// Future; the dispatcher fills the result and timing fields before
+/// flipping `done` under the mutex.
+struct RequestState {
+  Vector x;  ///< moved-in input (owned for the request's lifetime)
+  Vector y;  ///< the result, valid once done && status.ok()
+  std::uint64_t submit_ns = 0;
+  std::uint64_t deadline_ns = 0;  ///< absolute; 0 = no deadline
+  std::atomic<bool> cancel_requested{false};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  std::uint64_t queue_ns = 0;  ///< submit -> execution start
+  std::uint64_t exec_ns = 0;   ///< execution start -> completion
+  bool ran_serial = false;     ///< degraded-mode run on a dispatcher thread
+
+  /// Called exactly once, by whoever finishes the request.
+  void complete(Status st) {
+    std::lock_guard<std::mutex> lk(mu);
+    status = std::move(st);
+    done = true;
+    cv.notify_all();
+  }
+};
+
+class Future {
+ public:
+  Future() = default;
+  explicit Future(std::shared_ptr<RequestState> s) : s_(std::move(s)) {}
+
+  /// False for a default-constructed (empty) future.
+  bool valid() const { return s_ != nullptr; }
+
+  /// True once the request has completed (never blocks).
+  bool done() const {
+    std::lock_guard<std::mutex> lk(s_->mu);
+    return s_->done;
+  }
+
+  /// Blocks until the request completes.
+  void wait() const {
+    std::unique_lock<std::mutex> lk(s_->mu);
+    s_->cv.wait(lk, [&] { return s_->done; });
+  }
+
+  /// Blocks up to `ms` milliseconds; true when the request completed.
+  bool wait_for_ms(std::uint64_t ms) const {
+    std::unique_lock<std::mutex> lk(s_->mu);
+    return s_->cv.wait_for(lk, std::chrono::milliseconds(ms),
+                           [&] { return s_->done; });
+  }
+
+  /// The completion status (waits). ok() means `value()` holds y = A*x.
+  Status status() const {
+    wait();
+    return s_->status;  // immutable after done
+  }
+
+  /// The result vector (waits). Meaningful only when status().ok().
+  const Vector& value() const {
+    wait();
+    return s_->y;
+  }
+
+  /// Moves the result out (waits). Call at most once, from one thread.
+  Vector take() {
+    wait();
+    return std::move(s_->y);
+  }
+
+  /// Best-effort cancellation: a request still queued completes with
+  /// kCancelled; one already executing finishes normally.
+  void cancel() { s_->cancel_requested.store(true, std::memory_order_relaxed); }
+
+  /// Nanoseconds queued before execution started (waits).
+  std::uint64_t queue_ns() const {
+    wait();
+    return s_->queue_ns;
+  }
+
+  /// Execution nanoseconds (waits; 0 for rejected/cancelled requests).
+  std::uint64_t exec_ns() const {
+    wait();
+    return s_->exec_ns;
+  }
+
+  /// True when the request ran in degraded serial mode (waits).
+  bool ran_serial() const {
+    wait();
+    return s_->ran_serial;
+  }
+
+ private:
+  std::shared_ptr<RequestState> s_;
+};
+
+}  // namespace spc::engine

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "spc/support/error.hpp"
+#include "spc/support/env.hpp"
 #include "spc/support/topology.hpp"
 
 #ifndef SPC_GIT_SHA
@@ -120,9 +121,8 @@ const MachineFingerprint& machine_fingerprint() {
 }
 
 std::string build_git_sha() {
-  if (const char* env = std::getenv("SPC_GIT_SHA");
-      env != nullptr && *env != '\0') {
-    return env;
+  if (const auto env = env_str("SPC_GIT_SHA")) {
+    return *env;
   }
   return SPC_GIT_SHA;
 }

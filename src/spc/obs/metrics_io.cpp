@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "spc/support/env.hpp"
+
 namespace spc::obs {
 
 namespace {
@@ -60,11 +62,11 @@ MetricsSink& MetricsSink::global() {
 }
 
 MetricsSink::MetricsSink() {
-  const char* path = std::getenv("SPC_METRICS");
-  if (path == nullptr || *path == '\0') {
+  const auto path = env_str("SPC_METRICS");
+  if (!path) {
     return;
   }
-  open_path(path, /*truncate=*/false);
+  open_path(*path, /*truncate=*/false);
 }
 
 MetricsSink::~MetricsSink() {

@@ -13,6 +13,8 @@
 #include <unistd.h>
 #endif
 
+#include "spc/support/env.hpp"
+
 namespace spc::obs {
 
 CounterReadings& CounterReadings::operator+=(const CounterReadings& o) {
@@ -34,8 +36,7 @@ CounterReadings& CounterReadings::operator+=(const CounterReadings& o) {
 }
 
 bool counters_enabled() {
-  const char* v = std::getenv("SPC_COUNTERS");
-  return v == nullptr || std::string(v) != "0";
+  return env_flag("SPC_COUNTERS").value_or(true);
 }
 
 namespace {

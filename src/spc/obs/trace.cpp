@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "spc/obs/json.hpp"
+#include "spc/support/env.hpp"
 #include "spc/support/timing.hpp"
 
 namespace spc::obs {
@@ -16,9 +17,8 @@ Tracer& Tracer::global() {
 }
 
 Tracer::Tracer() {
-  const char* path = std::getenv("SPC_TRACE");
-  if (path != nullptr && *path != '\0') {
-    path_ = path;
+  if (const auto path = env_str("SPC_TRACE")) {
+    path_ = *path;
     origin_ns_ = now_ns();
     enabled_.store(true, std::memory_order_relaxed);
   }

@@ -114,7 +114,27 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
 
 void ThreadPool::run(RawJob fn, void* ctx) {
   std::unique_lock<std::mutex> lk(mu_);
-  SPC_CHECK_MSG(remaining_ == 0, "ThreadPool::run is not reentrant");
+  cv_idle_.wait(lk, [&] { return !dispatching_; });
+  dispatch_locked(lk, fn, ctx);
+}
+
+bool ThreadPool::try_run(RawJob fn, void* ctx) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (dispatching_) {
+    return false;
+  }
+  dispatch_locked(lk, fn, ctx);
+  return true;
+}
+
+bool ThreadPool::busy() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dispatching_;
+}
+
+void ThreadPool::dispatch_locked(std::unique_lock<std::mutex>& lk,
+                                 RawJob fn, void* ctx) {
+  dispatching_ = true;
   job_fn_ = fn;
   job_ctx_ = ctx;
   remaining_ = workers_.size();
@@ -124,8 +144,16 @@ void ThreadPool::run(RawJob fn, void* ctx) {
   cv_done_.wait(lk, [&] { return remaining_ == 0; });
   job_fn_ = nullptr;
   job_ctx_ = nullptr;
-  if (first_error_) {
-    std::rethrow_exception(first_error_);
+  dispatching_ = false;
+  dispatch_count_.fetch_add(1, std::memory_order_relaxed);
+  std::exception_ptr err = std::move(first_error_);
+  first_error_ = nullptr;
+  lk.unlock();
+  // Wake exactly one queued caller; each finished dispatch admits the
+  // next, so every waiter eventually runs.
+  cv_idle_.notify_one();
+  if (err) {
+    std::rethrow_exception(err);
   }
 }
 

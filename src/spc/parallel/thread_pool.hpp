@@ -70,8 +70,29 @@ class ThreadPool {
   /// plus a context pointer, so per-run hot paths (SpmvInstance) never
   /// construct, copy, or indirect through a std::function. Same
   /// semantics as run(fn) otherwise.
+  ///
+  /// Safe to call from several threads at once: dispatches are
+  /// serialized, and a caller that finds the pool mid-dispatch waits
+  /// its turn (FIFO is not guaranteed across waiters).
   using RawJob = void (*)(void* ctx, std::size_t tid);
   void run(RawJob fn, void* ctx);
+
+  /// Non-blocking variant: dispatches and blocks until the job
+  /// completes when the pool is idle, returns false immediately (doing
+  /// nothing) when another caller's dispatch is in flight. Lets a
+  /// caller with a fallback path (e.g. serial execution) detect
+  /// saturation instead of queueing behind it.
+  bool try_run(RawJob fn, void* ctx);
+
+  /// True while some caller's dispatch is in flight. Advisory only: the
+  /// answer may be stale by the time the caller acts on it — pair with
+  /// try_run() when the decision has to be race-free.
+  bool busy() const;
+
+  /// Total dispatches completed since construction (both run overloads).
+  std::uint64_t dispatch_count() const {
+    return dispatch_count_.load(std::memory_order_relaxed);
+  }
 
   /// Busy nanoseconds worker `tid` spent inside the most recent run().
   std::uint64_t last_busy_ns(std::size_t tid) const;
@@ -107,6 +128,12 @@ class ThreadPool {
  private:
   void worker_main(std::size_t tid, int cpu);
 
+  /// Publishes the job, wakes workers, and blocks until all are done.
+  /// Expects `lk` held and `dispatching_` false; releases the lock
+  /// before rethrowing a worker exception so the pool stays usable.
+  void dispatch_locked(std::unique_lock<std::mutex>& lk, RawJob fn,
+                       void* ctx);
+
   /// Per-worker observability slot; padded so worker writes never share
   /// a cache line.
   struct alignas(kCacheLineBytes) WorkerSlot {
@@ -119,15 +146,18 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::vector<int> worker_cpus_;
   std::size_t shared_cpu_workers_ = 0;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
+  std::condition_variable cv_idle_;  ///< signalled when a dispatch ends
   RawJob job_fn_ = nullptr;
   void* job_ctx_ = nullptr;
   std::uint64_t generation_ = 0;
   std::size_t remaining_ = 0;
   std::size_t ready_ = 0;  ///< workers that completed startup
+  std::atomic<std::uint64_t> dispatch_count_{0};
   bool stop_ = false;
+  bool dispatching_ = false;  ///< a caller's dispatch is in flight
   bool fully_pinned_ = true;
   std::exception_ptr first_error_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <thread>
@@ -37,11 +38,11 @@ void SpmvInstance::dispatch(const std::function<void(std::size_t)>& body) {
     return;
   }
 #endif
-  pool_->run(body);
+  xpool_->run(body);
 }
 
 void SpmvInstance::dispatch_raw(ThreadPool::RawJob fn) {
-  pool_->run(fn, this);
+  xpool_->run(fn, this);
 }
 
 void SpmvInstance::xcopy_job(void* ctx, std::size_t tid) {
@@ -250,13 +251,71 @@ bool format_requires_symmetry(Format f) {
 SpmvInstance::~SpmvInstance() = default;
 SpmvInstance::SpmvInstance(SpmvInstance&&) noexcept = default;
 
+Status InstanceOptions::validate() const {
+  if (bcsr_block_rows < 1 || bcsr_block_cols < 1) {
+    return Status::Invalid(
+        "bcsr_block_rows/cols must be >= 1 (got " +
+        std::to_string(bcsr_block_rows) + "x" +
+        std::to_string(bcsr_block_cols) + ")");
+  }
+  if (!std::isfinite(ell_max_width_factor) || ell_max_width_factor < 0.0) {
+    return Status::Invalid(
+        "ell_max_width_factor must be a finite factor >= 0 (0 = "
+        "unguarded), got " +
+        std::to_string(ell_max_width_factor));
+  }
+  if (tiling.mode == TileMode::kForced && tiling.stripe_bytes == 0) {
+    return Status::Invalid(
+        "a forced tile stripe needs a byte width (stripe_bytes == 0; "
+        "use TileMode::kAuto for a derived width)");
+  }
+  return Status::Ok();
+}
+
+void SpmvInstance::note_decision(const std::string& aspect,
+                                 const std::string& requested,
+                                 const std::string& resolved,
+                                 const std::string& reason) {
+  for (const InstanceDecision& d : decisions_) {
+    if (d.aspect == aspect && d.resolved == resolved &&
+        d.reason == reason) {
+      return;
+    }
+  }
+  decisions_.push_back({aspect, requested, resolved, reason});
+}
+
 SpmvInstance::SpmvInstance(const Triplets& t, Format format,
                            std::size_t nthreads,
                            const InstanceOptions& opts)
     : format_(format), nthreads_(nthreads), opts_(opts) {
+  init(t);
+}
+
+SpmvInstance::SpmvInstance(const Triplets& t, Format format,
+                           std::shared_ptr<ThreadPool> pool,
+                           const InstanceOptions& opts)
+    : format_(format),
+      nthreads_(pool != nullptr ? pool->size() : 0),
+      opts_(opts),
+      shared_pool_(std::move(pool)) {
+  SPC_CHECK_MSG(shared_pool_ != nullptr,
+                "shared-pool SpmvInstance requires a pool");
+  // The pool already exists, so the knobs that shape pool construction
+  // don't apply; everything else (schedule, tiling, NUMA, ...) does.
+  opts_.backend = Backend::kPool;
+  init(t);
+}
+
+void SpmvInstance::init(const Triplets& t) {
+  const std::size_t nthreads = nthreads_;
+  const Format format = format_;
   SPC_CHECK_MSG(nthreads >= 1, "nthreads must be >= 1");
   SPC_CHECK_MSG(t.is_sorted_unique(),
                 "SpmvInstance requires sorted/combined triplets");
+  if (const Status st = opts_.validate(); !st.ok()) {
+    throw InvalidArgument("InstanceOptions: " + st.message());
+  }
   nrows_ = t.nrows();
   ncols_ = t.ncols();
   nnz_ = t.nnz();
@@ -283,27 +342,27 @@ SpmvInstance::SpmvInstance(const Triplets& t, Format format,
       matrix_.emplace<Csc>(Csc::from_triplets(t));
       break;
     case Format::kBcsr:
-      matrix_.emplace<Bcsr>(Bcsr::from_triplets(t, opts.bcsr_block_rows,
-                                                opts.bcsr_block_cols));
+      matrix_.emplace<Bcsr>(Bcsr::from_triplets(t, opts_.bcsr_block_rows,
+                                                opts_.bcsr_block_cols));
       break;
     case Format::kEll:
       matrix_.emplace<Ell>(
-          Ell::from_triplets(t, opts.ell_max_width_factor));
+          Ell::from_triplets(t, opts_.ell_max_width_factor));
       break;
     case Format::kDia:
-      matrix_.emplace<Dia>(Dia::from_triplets(t, opts.dia_max_diags));
+      matrix_.emplace<Dia>(Dia::from_triplets(t, opts_.dia_max_diags));
       break;
     case Format::kJds:
       matrix_.emplace<Jds>(Jds::from_triplets(t));
       break;
     case Format::kCsrDu: {
-      CsrDuOptions du = opts.du;
+      CsrDuOptions du = opts_.du;
       du.enable_rle = false;
       matrix_.emplace<CsrDu>(CsrDu::from_triplets(t, du));
       break;
     }
     case Format::kCsrDuRle: {
-      CsrDuOptions du = opts.du;
+      CsrDuOptions du = opts_.du;
       du.enable_rle = true;
       matrix_.emplace<CsrDu>(CsrDu::from_triplets(t, du));
       break;
@@ -312,7 +371,7 @@ SpmvInstance::SpmvInstance(const Triplets& t, Format format,
       matrix_.emplace<CsrVi>(CsrVi::from_triplets(t));
       break;
     case Format::kCsrDuVi:
-      matrix_.emplace<CsrDuVi>(CsrDuVi::from_triplets(t, opts.du));
+      matrix_.emplace<CsrDuVi>(CsrDuVi::from_triplets(t, opts_.du));
       break;
     case Format::kDcsr:
       matrix_.emplace<Dcsr>(Dcsr::from_triplets(t));
@@ -336,13 +395,13 @@ SpmvInstance::SpmvInstance(const Triplets& t, Format format,
       for (index_t c = 0; c < t.ncols(); ++c) {
         col_ptr[c + 1] += col_ptr[c];
       }
-      partition_ = opts.balance_by_nnz
+      partition_ = opts_.balance_by_nnz
                        ? partition_rows_by_nnz(col_ptr, nthreads)
                        : partition_rows_even(t.ncols(), nthreads);
       csc_scratch_.assign(nthreads, Vector(t.nrows(), 0.0));
     } else if (format == Format::kBcsr) {
       const auto& m = std::get<Bcsr>(matrix_);
-      partition_ = opts.balance_by_nnz
+      partition_ = opts_.balance_by_nnz
                        ? partition_rows_by_nnz(m.block_row_ptr(), nthreads)
                        : partition_rows_even(m.nblock_rows(), nthreads);
     } else if (format == Format::kJds) {
@@ -357,7 +416,7 @@ SpmvInstance::SpmvInstance(const Triplets& t, Format format,
       for (index_t i = 0; i < t.nrows(); ++i) {
         pptr[i + 1] = pptr[i] + len[m.perm()[i]];
       }
-      partition_ = opts.balance_by_nnz
+      partition_ = opts_.balance_by_nnz
                        ? partition_rows_by_nnz(pptr, nthreads)
                        : partition_rows_even(t.nrows(), nthreads);
     } else if (format_requires_symmetry(format)) {
@@ -366,11 +425,11 @@ SpmvInstance::SpmvInstance(const Triplets& t, Format format,
           format == Format::kSymCsr
               ? std::get<SymCsr>(matrix_).row_ptr()
               : std::get<SymCsrVi>(matrix_).row_ptr();
-      partition_ = opts.balance_by_nnz
+      partition_ = opts_.balance_by_nnz
                        ? partition_rows_by_nnz(rp, nthreads)
                        : partition_rows_even(t.nrows(), nthreads);
     } else {
-      partition_ = opts.balance_by_nnz
+      partition_ = opts_.balance_by_nnz
                        ? partition_rows_by_nnz(t, nthreads)
                        : partition_rows_even(t.nrows(), nthreads);
     }
@@ -384,7 +443,7 @@ SpmvInstance::SpmvInstance(const Triplets& t, Format format,
              : std::get<SymCsr>(matrix_).col_ind();
       sym_plan_ = plan_sym_windows(rp.data(), ci.data(), partition_,
                                    nthreads, nrows_,
-                                   sym_reduce_from_env(opts.sym_reduce));
+                                   sym_reduce_from_env(opts_.sym_reduce));
       sym_reduce_ = sym_plan_.use_window ? SymReduce::kWindow
                                          : SymReduce::kPrivate;
       sym_active_ = true;
@@ -409,19 +468,36 @@ SpmvInstance::SpmvInstance(const Triplets& t, Format format,
 
     // The OpenMP backend uses parallel regions instead of the pool
     // (thread binding is then the runtime's job, via OMP_PROC_BIND);
-    // without OpenMP support it silently degrades to the pool.
+    // without OpenMP support it degrades to the pool (see decisions()).
     if (opts_.backend == Backend::kOpenMP && openmp_available()) {
       opts_.pin_threads = false;
       setup_tiling(t);
     } else {
+      if (opts_.backend == Backend::kOpenMP) {
+        note_decision("backend", "openmp", "pool",
+                      "library built without OpenMP support");
+      }
       opts_.backend = Backend::kPool;
       Topology topo;
       std::vector<int> plan;
-      if (opts.pin_threads) {
+      if (shared_pool_ != nullptr) {
+        // Borrowed pool: placement facts come from its workers. An
+        // unpinned pool leaves every worker's node unknowable.
         topo = discover_topology();
-        plan = plan_placement(topo, nthreads, opts.placement);
+        const std::vector<int>& cpus = shared_pool_->worker_cpus();
+        if (!cpus.empty() && cpus[0] >= 0) {
+          plan = cpus;
+        }
+        xpool_ = shared_pool_.get();
+        run_mu_ = std::make_unique<std::mutex>();
+      } else {
+        if (opts_.pin_threads) {
+          topo = discover_topology();
+          plan = plan_placement(topo, nthreads, opts_.placement);
+        }
+        pool_ = std::make_unique<ThreadPool>(nthreads, plan);
+        xpool_ = pool_.get();
       }
-      pool_ = std::make_unique<ThreadPool>(nthreads, plan);
       // Schedule first, NUMA second: the chunk plan (and the DU chunk
       // slices) are computed against the pristine arrays, then
       // setup_numa translates the owned slices into each worker's
@@ -432,9 +508,14 @@ SpmvInstance::SpmvInstance(const Triplets& t, Format format,
       // store's per-worker spans instead of the matrix's).
       setup_tiling(t);
       // NUMA placement needs pinned workers: without a plan a worker's
-      // node is unknowable, so the policy silently resolves to off.
+      // node is unknowable, so the policy resolves to off.
       if (!plan.empty()) {
         setup_numa(topo);
+      } else if (const NumaPolicy req = numa_policy_from_env(opts_.numa);
+                 req != NumaPolicy::kOff) {
+        note_decision("numa", numa_policy_name(req), "off",
+                      "workers are not pinned, so per-worker NUMA nodes "
+                      "are unknown");
       }
     }
     if (sym_active_) {
@@ -500,10 +581,17 @@ void SpmvInstance::setup_schedule(const Triplets& t, const Topology& topo) {
                        "formats (concurrent window scatters); running "
                        "schedule=chunked instead\n");
         }
+        note_decision("schedule", "steal", "chunked",
+                      "stolen symmetric chunks would scatter into the "
+                      "owner's conflict window concurrently");
         requested = Schedule::kChunked;
       }
       break;
     default:
+      note_decision("schedule", schedule_name(requested), "static",
+                    format_name(format_) +
+                        " has no chunked execution path (work is not a "
+                        "contiguous row range of one kernel)");
       return;
   }
   obs::TraceSpan sched_span("schedule:" + schedule_name(requested));
@@ -546,6 +634,9 @@ void SpmvInstance::setup_schedule(const Triplets& t, const Topology& topo) {
   }
   if (chunk_plan_.nchunks() == 0) {
     chunk_plan_ = ChunkPlan{};
+    note_decision("schedule", schedule_name(requested), "static",
+                  "chunk plan degenerated (too little work per worker "
+                  "for the chunk target)");
     return;
   }
   sched_ = requested;
@@ -573,7 +664,7 @@ void SpmvInstance::setup_schedule(const Triplets& t, const Topology& topo) {
     // NUMA-near victim order from the pin plan; unknown topology (or a
     // single node) degrades to plain rotation inside the helper.
     std::vector<int> tnodes;
-    const std::vector<int>& cpus = pool_->worker_cpus();
+    const std::vector<int>& cpus = xpool_->worker_cpus();
     if (topo.num_nodes() > 1 && !cpus.empty() && cpus[0] >= 0) {
       tnodes.resize(nthreads_);
       for (std::size_t th = 0; th < nthreads_; ++th) {
@@ -632,6 +723,11 @@ void SpmvInstance::setup_tiling(const Triplets& t) {
   auto& reg = obs::Registry::global();
   if (!tile_plan_.active) {
     reg.counter("spc.tile.declined").add();
+    note_decision("tiling", tile_config_name(cfg), "off",
+                  tile_plan_.decline_reason != nullptr &&
+                          *tile_plan_.decline_reason != '\0'
+                      ? tile_plan_.decline_reason
+                      : "tile plan declined");
     return;
   }
   obs::TraceSpan tiling_span("tiling");
@@ -752,18 +848,29 @@ void SpmvInstance::setup_numa(const Topology& topo) {
     case Format::kSymCsrVi:
       break;
     default:
+      if (const NumaPolicy req = numa_policy_from_env(opts_.numa);
+          req != NumaPolicy::kOff) {
+        note_decision("numa", numa_policy_name(req), "off",
+                      format_name(format_) +
+                          " keeps shared arrays (work is not a "
+                          "row-partitioned slice of plain arrays)");
+      }
       return;
   }
   const NumaPolicy requested = numa_policy_from_env(opts_.numa);
   const NumaPolicy policy =
       resolve_numa_policy(requested, topo.num_nodes());
   if (policy == NumaPolicy::kOff) {
+    if (requested != NumaPolicy::kOff) {
+      note_decision("numa", numa_policy_name(requested), "off",
+                    "machine has a single NUMA node");
+    }
     return;
   }
   obs::TraceSpan numa_span("numa:" + numa_policy_name(policy));
 
   // Each worker's node, from its resolved pin target.
-  const std::vector<int>& cpus = pool_->worker_cpus();
+  const std::vector<int>& cpus = xpool_->worker_cpus();
   thread_node_.resize(nthreads_);
   for (std::size_t t = 0; t < nthreads_; ++t) {
     thread_node_[t] = std::max(0, topo.node_of_cpu(cpus[t]));
@@ -988,7 +1095,7 @@ void SpmvInstance::setup_numa(const Topology& topo) {
       }
     }
   }
-  pool_->run([&](std::size_t t) {
+  xpool_->run([&](std::size_t t) {
     arena_->first_touch(t);
     for (std::size_t i = 0; i < nodes_used.size(); ++i) {
       if (rep[i] != static_cast<int>(t)) {
@@ -1448,6 +1555,11 @@ void SpmvInstance::prepare() {
   // whose columns (or value-index table) could exceed 2^31 must stay on
   // the scalar kernels.
   if (ncols_ >= (index_t{1} << 31)) {
+    if (tier_ != IsaTier::kScalar) {
+      note_decision("isa", isa_tier_name(tier_), "scalar",
+                    "ncols >= 2^31 overflows the signed 32-bit gather "
+                    "lanes of the vector kernels");
+    }
     tier_ = IsaTier::kScalar;
   }
   const KernelTable& kt = kernel_table(tier_);
@@ -2101,6 +2213,27 @@ usize_t SpmvInstance::matrix_bytes() const {
   return std::visit([](const auto& m) { return m.bytes(); }, matrix_);
 }
 
+void SpmvInstance::run_locked(const Vector& x, Vector& y) {
+  // Shared-pool instances serialize their runs: run_args_ and the
+  // scheduler state are per-instance, and several engine dispatchers may
+  // drive this matrix at once. Owned-pool instances have no mutex and
+  // keep the historical zero-overhead path.
+  if (run_mu_ != nullptr) {
+    std::lock_guard<std::mutex> lk(*run_mu_);
+    if (nthreads_ == 1) {
+      run_serial(x.data(), y.data());
+    } else {
+      run_parallel(x, y);
+    }
+    return;
+  }
+  if (nthreads_ == 1) {
+    run_serial(x.data(), y.data());
+  } else {
+    run_parallel(x, y);
+  }
+}
+
 void SpmvInstance::run(const Vector& x, Vector& y) {
   SPC_CHECK_MSG(x.size() == ncols_, "x has wrong dimension");
   SPC_CHECK_MSG(y.size() == nrows_, "y has wrong dimension");
@@ -2110,11 +2243,7 @@ void SpmvInstance::run(const Vector& x, Vector& y) {
   const bool sample =
       obs::Tracer::global().enabled() || obs::MetricsSink::global().enabled();
   const std::uint64_t t0 = sample ? now_ns() : 0;
-  if (nthreads_ == 1) {
-    run_serial(x.data(), y.data());
-  } else {
-    run_parallel(x, y);
-  }
+  run_locked(x, y);
   runs_counter_->add();
   if (sample) {
     const std::uint64_t t1 = now_ns();
@@ -2126,14 +2255,46 @@ std::uint64_t SpmvInstance::run_probe(const Vector& x, Vector& y) {
   SPC_CHECK_MSG(x.size() == ncols_, "x has wrong dimension");
   SPC_CHECK_MSG(y.size() == nrows_, "y has wrong dimension");
   const std::uint64_t t0 = now_ns();
-  if (nthreads_ == 1) {
-    run_serial(x.data(), y.data());
-  } else {
-    run_parallel(x, y);
-  }
+  run_locked(x, y);
   const std::uint64_t t1 = now_ns();
   runs_counter_->add();
   return t1 >= t0 ? t1 - t0 : 0;
+}
+
+bool SpmvInstance::can_run_on_caller() const {
+  // Two-phase paths (symmetric scatter/reduce; unbound formats: CSC's
+  // partial-sum reduction, DIA/JDS/COO) either have no serial kernel or
+  // would reassociate the sums — not bit-identical to the pooled run.
+  if (sym_active_ || !binding_.bound()) {
+    return false;
+  }
+  // The tiled serial binding walks every block through worker 0's array
+  // pointers; under NUMA placement those cover only worker 0's blocks.
+  if (tiled_ && numa_policy_ != NumaPolicy::kOff) {
+    return false;
+  }
+  return true;
+}
+
+bool SpmvInstance::run_on_caller(const Vector& x, Vector& y) {
+  SPC_CHECK_MSG(x.size() == ncols_, "x has wrong dimension");
+  SPC_CHECK_MSG(y.size() == nrows_, "y has wrong dimension");
+  if (!can_run_on_caller()) {
+    return false;
+  }
+  // No run_mu_ here: the serial kernel reads only the immutable prepared
+  // arrays and writes only the caller's y — safe alongside concurrent
+  // pooled runs of the same instance.
+  const bool sample =
+      obs::Tracer::global().enabled() || obs::MetricsSink::global().enabled();
+  const std::uint64_t t0 = sample ? now_ns() : 0;
+  binding_.serial(x.data(), y.data());
+  runs_counter_->add();
+  if (sample) {
+    const std::uint64_t t1 = now_ns();
+    run_histo_->record(t1 >= t0 ? t1 - t0 : 0);
+  }
+  return true;
 }
 
 void SpmvInstance::run_serial(const value_t* x, value_t* y) {
@@ -2157,7 +2318,7 @@ void SpmvInstance::run_parallel(const Vector& x, Vector& y) {
     run_args_.y = yp;
     const bool reduce_needed = sym_reduce_ == SymReduce::kPrivate ||
                                sym_plan_.total_rows > 0;
-    if (pool_ == nullptr) {
+    if (xpool_ == nullptr) {
       // OpenMP backend: same phases as parallel regions.
       dispatch([&](std::size_t th) { sym_compute_job(this, th); });
       if (reduce_needed) {
@@ -2192,7 +2353,7 @@ void SpmvInstance::run_parallel(const Vector& x, Vector& y) {
   // copies its chunk of x into the node-placed mirror — and worker_x()
   // swaps in the per-thread mirror pointer.
   if (!binding_.per_thread.empty()) {
-    if (pool_ == nullptr) {
+    if (xpool_ == nullptr) {
       // OpenMP backend: parallel regions, always static.
       dispatch([&](std::size_t th) { binding_.per_thread[th](xp, yp); });
       return;

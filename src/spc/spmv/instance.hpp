@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <variant>
 #include <vector>
@@ -39,6 +40,7 @@
 #include "spc/spmv/sym_spmv.hpp"
 #include "spc/spmv/tiling.hpp"
 #include "spc/support/first_touch.hpp"
+#include "spc/support/status.hpp"
 
 namespace spc {
 
@@ -121,6 +123,26 @@ struct InstanceOptions {
   /// the plan degenerates toward full-length windows, where the classic
   /// private-y path is cheaper. See spmv/sym_spmv.hpp.
   SymReduce sym_reduce = SymReduce::kAuto;
+
+  /// Checks the option values themselves (not their fit to a matrix):
+  /// block shapes at least 1x1, finite non-negative guard factors, a
+  /// forced tile stripe with a nonzero width.
+  /// Returns ok() or an kInvalidArgument status naming the bad field and
+  /// value. The SpmvInstance constructor calls this and throws
+  /// InvalidArgument with the same message on failure.
+  Status validate() const;
+};
+
+/// One configuration aspect the instance resolved differently from what
+/// was requested (including env-var overrides), with the reason — e.g. a
+/// steal schedule demoted to chunked for a symmetric format, an auto
+/// tile plan that declined, NUMA placement off because workers are
+/// unpinned. Silent-at-run-time fallbacks stay queryable this way.
+struct InstanceDecision {
+  std::string aspect;     ///< "backend" | "schedule" | "tiling" | "numa" | "isa"
+  std::string requested;  ///< what the options/env asked for
+  std::string resolved;   ///< what actually runs
+  std::string reason;
 };
 
 /// True when the library was compiled with OpenMP support.
@@ -131,6 +153,18 @@ class SpmvInstance {
   /// Encodes `t` into `format` and prepares `nthreads`-way execution.
   /// nthreads == 1 runs on the calling thread (the paper's serial case).
   SpmvInstance(const Triplets& t, Format format, std::size_t nthreads = 1,
+               const InstanceOptions& opts = {});
+
+  /// Shared-pool form: prepares pool->size()-way execution on a pool the
+  /// caller owns (and may lend to many instances — the serving engine's
+  /// model). The instance serializes its own runs internally, so several
+  /// threads may call run() on instances sharing one pool concurrently;
+  /// opts.backend/pin_threads/placement are ignored (the pool is already
+  /// built). NUMA placement engages only when the pool's workers are
+  /// pinned. The pool must outlive the instance — the shared_ptr
+  /// enforces that.
+  SpmvInstance(const Triplets& t, Format format,
+               std::shared_ptr<ThreadPool> pool,
                const InstanceOptions& opts = {});
 
   ~SpmvInstance();
@@ -147,7 +181,31 @@ class SpmvInstance {
   usize_t matrix_bytes() const;
 
   /// Computes y = A*x. x must have ncols elements, y nrows elements.
+  /// Thread-safe on shared-pool instances (runs serialize internally);
+  /// instances owning their pool keep the zero-overhead unlocked path
+  /// and must not be run from two threads at once.
   void run(const Vector& x, Vector& y);
+
+  /// True when run_on_caller() can execute this instance: a serial
+  /// kernel is bound and computes bit-identically to the pooled run.
+  /// False for the two-phase paths (symmetric scatter/reduce, CSC,
+  /// DIA/JDS/COO) and for tiled instances under NUMA placement (the
+  /// serial binding reads one worker's arena copy).
+  bool can_run_on_caller() const;
+
+  /// Degraded-mode execution: computes y = A*x entirely on the calling
+  /// thread, without touching the pool — the serving engine's fallback
+  /// when the shared pool is saturated. Needs no run() serialization
+  /// (reads only the immutable prepared arrays, writes only `y`).
+  /// Returns false without computing when can_run_on_caller() is false.
+  bool run_on_caller(const Vector& x, Vector& y);
+
+  /// Every configuration aspect resolved away from its requested value
+  /// (backend/schedule/tiling/numa/isa fallbacks), in resolution order.
+  /// Empty when everything runs exactly as asked.
+  const std::vector<InstanceDecision>& decisions() const {
+    return decisions_;
+  }
 
   /// One-time per-tier setup, called by the constructor: resolves the
   /// active ISA tier (CPUID + SPC_ISA override), scans the DU unit-class
@@ -169,10 +227,15 @@ class SpmvInstance {
   /// The partition in use (empty bounds for serial-only formats).
   const RowPartition& partition() const { return partition_; }
 
-  /// The worker pool, when the pool backend is active (nullptr for
-  /// serial instances and the OpenMP backend). The bench harness uses
-  /// it to read busy-time imbalance and drive hardware counters.
-  ThreadPool* pool() const { return pool_.get(); }
+  /// The worker pool executing this instance — owned or borrowed
+  /// (nullptr for serial instances and the OpenMP backend). The bench
+  /// harness uses it to read busy-time imbalance and drive hardware
+  /// counters.
+  ThreadPool* pool() const { return xpool_; }
+
+  /// True when the pool was lent by the caller (the shared-pool
+  /// constructor) rather than built by this instance.
+  bool pool_is_shared() const { return shared_pool_ != nullptr; }
 
   /// The data-placement policy actually in effect: the resolved value of
   /// opts.numa / SPC_NUMA, or kOff when the format, backend, or thread
@@ -291,8 +354,21 @@ class SpmvInstance {
   std::uint64_t run_probe(const Vector& x, Vector& y);
 
  private:
+  /// Shared constructor body: validates options, encodes, partitions,
+  /// builds or borrows the pool, resolves schedule/tiling/NUMA, binds.
+  /// Expects format_/nthreads_/opts_ (and shared_pool_, when borrowing)
+  /// already set.
+  void init(const Triplets& t);
+  /// Records a requested-vs-resolved configuration fallback for
+  /// decisions(). Idempotent per (aspect, resolved, reason) so the
+  /// re-callable prepare() never duplicates entries.
+  void note_decision(const std::string& aspect, const std::string& requested,
+                     const std::string& resolved, const std::string& reason);
   void run_serial(const value_t* x, value_t* y);
   void run_parallel(const Vector& x, Vector& y);
+  /// The run()/run_probe() execution body (serial-vs-parallel split),
+  /// under the run mutex when this instance shares its pool.
+  void run_locked(const Vector& x, Vector& y);
   /// Runs body(tid) on every worker via the configured backend.
   void dispatch(const std::function<void(std::size_t)>& body);
   /// Pool-only raw dispatch for the scheduler executors (ctx = this).
@@ -336,7 +412,16 @@ class SpmvInstance {
   /// Per-thread private y for CSC and for the symmetric formats'
   /// private-y fallback mode.
   std::vector<Vector> csc_scratch_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> pool_;    ///< owned pool (classic ctor)
+  std::shared_ptr<ThreadPool> shared_pool_;  ///< borrowed pool (engine)
+  /// The pool runs execute on: pool_.get(), shared_pool_.get(), or
+  /// nullptr (serial / OpenMP backend).
+  ThreadPool* xpool_ = nullptr;
+  /// Serializes run()/run_probe() on shared-pool instances, so several
+  /// engine dispatchers may drive one matrix concurrently. Heap-held
+  /// (allocated only when sharing) to keep the defaulted move ctor.
+  std::unique_ptr<std::mutex> run_mu_;
+  std::vector<InstanceDecision> decisions_;
   // Prepared by prepare(): dispatch tier, bound kernels, and per-format
   // precomputation that would otherwise sit on the timed path.
   IsaTier tier_ = IsaTier::kScalar;

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace spc {
 
@@ -38,5 +39,27 @@ std::optional<bool> env_flag(const char* name);
 /// this call printed.
 bool env_warn_once(const char* name, const std::string& value,
                    const char* expected);
+
+/// One registered SPC_* environment override. The registry in env.cpp is
+/// the single source of truth for the library's environment surface:
+/// docs/API.md's table is generated from it (env_registry_markdown), and
+/// the api-surface test fails when a source file references an SPC_*
+/// variable the registry does not list — so option fields and env names
+/// cannot drift apart silently.
+struct EnvVarInfo {
+  const char* name;       ///< "SPC_SCHED"
+  const char* type;       ///< "flag" | "u64" | "double" | "string" | "enum" | "size" | "path" | "list"
+  const char* values;     ///< accepted syntax, human-readable
+  const char* overrides;  ///< the option/field it overrides ("—" if none)
+  const char* effect;     ///< one-line description
+};
+
+/// Every SPC_* environment variable the library reads, in presentation
+/// order. Append-only within a release; new knobs MUST register here.
+const std::vector<EnvVarInfo>& env_registry();
+
+/// The registry rendered as a GitHub-flavored markdown table — the exact
+/// text embedded between the generated-table markers in docs/API.md.
+std::string env_registry_markdown();
 
 }  // namespace spc

@@ -1,0 +1,80 @@
+// spc::Status — a value-typed outcome for fallible public APIs.
+//
+// The library's construction paths throw (spc::Error and friends, see
+// error.hpp); the serving surface must not: a request that misses its
+// deadline or bounces off a full admission queue is a normal outcome of
+// a loaded system, not an exceptional one. Status carries a coarse code
+// plus a human-readable diagnostic, and is cheap to copy/move. ok() is
+// the one test callers need; everything else is for reporting.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace spc {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     ///< caller passed something malformed
+  kNotFound,            ///< no matrix registered under that id
+  kAlreadyExists,       ///< id already registered
+  kResourceExhausted,   ///< bounded queue full (reject/timeout policies)
+  kFailedPrecondition,  ///< operation illegal in the current state
+  kDeadlineExceeded,    ///< request deadline passed before completion
+  kCancelled,           ///< request cancelled by the client
+  kUnavailable,         ///< engine draining or shut down
+  kInternal,            ///< invariant violation surfaced as a status
+};
+
+/// Stable lower-snake name ("ok", "invalid_argument", ...).
+const char* status_code_name(StatusCode c);
+
+class Status {
+ public:
+  /// Default is OK — `return {};` from a Status function means success.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code_name>: <message>".
+  std::string to_string() const;
+
+  static Status Ok() { return {}; }
+  static Status Invalid(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status NotFound(std::string msg) {
+    return {StatusCode::kNotFound, std::move(msg)};
+  }
+  static Status AlreadyExists(std::string msg) {
+    return {StatusCode::kAlreadyExists, std::move(msg)};
+  }
+  static Status Exhausted(std::string msg) {
+    return {StatusCode::kResourceExhausted, std::move(msg)};
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return {StatusCode::kFailedPrecondition, std::move(msg)};
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return {StatusCode::kDeadlineExceeded, std::move(msg)};
+  }
+  static Status Cancelled(std::string msg) {
+    return {StatusCode::kCancelled, std::move(msg)};
+  }
+  static Status Unavailable(std::string msg) {
+    return {StatusCode::kUnavailable, std::move(msg)};
+  }
+  static Status Internal(std::string msg) {
+    return {StatusCode::kInternal, std::move(msg)};
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace spc

@@ -51,19 +51,17 @@ void stamp(SpmvInstance& inst, const TuneReport& rep) {
   inst.set_tune_provenance(std::move(p));
 }
 
-}  // namespace
-
-bool tune_enabled() { return env_flag("SPC_TUNE").value_or(false); }
-
-SpmvInstance auto_instance(const Triplets& t, std::size_t nthreads,
-                           const InstanceOptions& opts,
-                           const TuneOptions& topts, TuneReport* report) {
+// The staged selection shared by auto_instance and pick_format. Fills
+// `rep`; returns the winning instance when `want_instance` (always
+// non-null then), nullptr when the caller only wants the format.
+std::unique_ptr<SpmvInstance> pick(const Triplets& t, std::size_t nthreads,
+                                   const InstanceOptions& opts,
+                                   const TuneOptions& topts,
+                                   bool want_instance, TuneReport& rep) {
   obs::Registry& reg = obs::Registry::global();
   reg.counter("spc.tune.requests").add();
   obs::TraceSpan span("tune");
   const std::uint64_t t_begin = now_ns();
-
-  TuneReport rep;
   rep.features = extract_features(t);
   rep.fingerprint = rep.features.fingerprint;
   rep.candidates = prune_candidates(rep.features, topts.max_candidates);
@@ -78,16 +76,17 @@ SpmvInstance auto_instance(const Triplets& t, std::size_t nthreads,
     if (cache.lookup(key, &hit)) {
       try {
         const Format fmt = parse_format(hit.format);
-        SpmvInstance inst(t, fmt, nthreads, opts);
+        // Format-only callers build later themselves; auto_instance
+        // validates here so an unencodable cached pick re-probes.
+        std::unique_ptr<SpmvInstance> inst;
+        if (want_instance) {
+          inst = std::make_unique<SpmvInstance>(t, fmt, nthreads, opts);
+        }
         reg.counter("spc.tune.cache_hits").add();
         rep.chosen = fmt;
         rep.cache_hit = true;
         rep.probe_ns = 0;  // the whole point: repeat runs skip the probe
         rep.source = "cache";
-        stamp(inst, rep);
-        if (report != nullptr) {
-          *report = std::move(rep);
-        }
         return inst;
       } catch (const Error&) {
         // Unknown format name (older/newer writer) or a matrix this
@@ -98,14 +97,14 @@ SpmvInstance auto_instance(const Triplets& t, std::size_t nthreads,
 
   if (rep.candidates.size() == 1) {
     // The model left no choice to measure; skip the probe.
-    SpmvInstance inst(t, rep.candidates[0], nthreads, opts);
+    std::unique_ptr<SpmvInstance> inst;
+    if (want_instance) {
+      inst = std::make_unique<SpmvInstance>(t, rep.candidates[0], nthreads,
+                                            opts);
+    }
     rep.chosen = rep.candidates[0];
     rep.probe_ns = now_ns() - t_begin;
     rep.source = "cost-model";
-    stamp(inst, rep);
-    if (report != nullptr) {
-      *report = std::move(rep);
-    }
     return inst;
   }
 
@@ -191,12 +190,39 @@ SpmvInstance auto_instance(const Triplets& t, std::size_t nthreads,
     cache.store(entry);
   }
 
-  SpmvInstance inst = std::move(*insts[best]);
-  stamp(inst, rep);
+  if (!want_instance) {
+    return nullptr;
+  }
+  return std::move(insts[best]);
+}
+
+}  // namespace
+
+bool tune_enabled() { return env_flag("SPC_TUNE").value_or(false); }
+
+SpmvInstance auto_instance(const Triplets& t, std::size_t nthreads,
+                           const InstanceOptions& opts,
+                           const TuneOptions& topts, TuneReport* report) {
+  TuneReport rep;
+  std::unique_ptr<SpmvInstance> inst =
+      pick(t, nthreads, opts, topts, /*want_instance=*/true, rep);
+  stamp(*inst, rep);
   if (report != nullptr) {
     *report = std::move(rep);
   }
-  return inst;
+  return std::move(*inst);
+}
+
+Format pick_format(const Triplets& t, std::size_t nthreads,
+                   const InstanceOptions& opts, const TuneOptions& topts,
+                   TuneReport* report) {
+  TuneReport rep;
+  pick(t, nthreads, opts, topts, /*want_instance=*/false, rep);
+  const Format chosen = rep.chosen;
+  if (report != nullptr) {
+    *report = std::move(rep);
+  }
+  return chosen;
 }
 
 }  // namespace spc::tune

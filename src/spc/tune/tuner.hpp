@@ -71,4 +71,17 @@ SpmvInstance auto_instance(const Triplets& t, std::size_t nthreads = 1,
                            const TuneOptions& topts = {},
                            TuneReport* report = nullptr);
 
+/// Format-only selection for callers that build the instance themselves
+/// — the serving engine registers a matrix by picking its format here,
+/// then constructing the instance against its shared pool. Same staged
+/// flow and cache as auto_instance (a warm cache answers without
+/// probing, probe_ns == 0); the probe instances are discarded. A cached
+/// format name this build cannot parse falls back to a re-probe, but a
+/// cached format the matrix can no longer encode surfaces when the
+/// caller constructs (auto_instance additionally validates by building).
+Format pick_format(const Triplets& t, std::size_t nthreads = 1,
+                   const InstanceOptions& opts = {},
+                   const TuneOptions& topts = {},
+                   TuneReport* report = nullptr);
+
 }  // namespace spc::tune

@@ -1,0 +1,193 @@
+// Concurrency stress for the serving engine — the TSan target: many
+// client threads hammering several resident matrices through one shared
+// pool, mixed sync/async traffic, concurrent registration churn, and an
+// overload phase that must reject rather than deadlock. Every served
+// result is verified against a per-matrix reference, so a race that
+// corrupts data (not just ordering) also fails loudly.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spc/engine/engine.hpp"
+#include "spc/gen/generators.hpp"
+#include "test_util.hpp"
+
+namespace spc::engine {
+namespace {
+
+struct Tenant {
+  std::string id;
+  Triplets t;
+  Format format;
+};
+
+std::vector<Tenant> tenants() {
+  std::vector<Tenant> ts;
+  ts.push_back({"lap", gen_laplacian_2d(14, 14), Format::kCsr});
+  ts.push_back({"du", gen_laplacian_2d(11, 17), Format::kCsrDu});
+  Rng rng(42);
+  ts.push_back({"rand", test::random_triplets(150, 90, 1200, rng),
+                Format::kCsrVi});
+  return ts;
+}
+
+TEST(EngineStress, ManyClientsManyMatricesAllResultsCorrect) {
+  // Scalar tier: every served y must equal the dense reference exactly
+  // modulo fp association — compare against a direct instance bitwise.
+  test::ScopedEnv isa("SPC_ISA", "scalar");
+  const std::vector<Tenant> ts = tenants();
+
+  EngineOptions o;
+  o.pool_threads = 2;
+  o.pin_threads = false;
+  o.dispatchers = 2;
+  o.queue_capacity = 64;
+  o.overflow = OverflowPolicy::kBlock;  // no rejections: count everything
+  Engine eng(o);
+
+  std::vector<Vector> expected;
+  for (const Tenant& tn : ts) {
+    RegisterOptions ropts;
+    ropts.format = tn.format;
+    ASSERT_TRUE(eng.register_matrix(tn.id, tn.t, ropts).ok());
+    InstanceOptions iopts;
+    iopts.pin_threads = false;
+    SpmvInstance direct(tn.t, tn.format, 2, iopts);
+    Vector y(tn.t.nrows(), 0.0);
+    const Vector x = const_vector(tn.t.ncols(), 1.0);
+    direct.run(x, y);
+    expected.push_back(std::move(y));
+  }
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 40;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::size_t which = static_cast<std::size_t>(c + i) % ts.size();
+        const Tenant& tn = ts[which];
+        const Vector x = const_vector(tn.t.ncols(), 1.0);
+        if (i % 2 == 0) {
+          Vector y;
+          const Status st = eng.run_sync(tn.id, x, &y);
+          if (!st.ok() || y != expected[which]) {
+            mismatches.fetch_add(1);
+          }
+        } else {
+          Future f = eng.submit(tn.id, x);
+          if (!f.status().ok() || f.value() != expected[which]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  // Registration churn concurrent with serving: a fourth tenant comes
+  // and goes while the clients hammer the stable three.
+  std::thread churn([&] {
+    const Triplets extra = gen_laplacian_2d(9, 9);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(eng.register_matrix("churn", extra).ok());
+      Vector y;
+      ASSERT_TRUE(eng.run_sync("churn", const_vector(81, 1.0), &y).ok());
+      ASSERT_TRUE(eng.unregister_matrix("churn").ok());
+    }
+  });
+  for (std::thread& th : clients) {
+    th.join();
+  }
+  churn.join();
+  eng.drain();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const Engine::Stats stats = eng.stats();
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.submitted,
+            static_cast<std::uint64_t>(kClients * kPerClient + 10));
+}
+
+TEST(EngineStress, TwoTimesOverloadRejectsInsteadOfHanging) {
+  EngineOptions o;
+  o.pool_threads = 2;
+  o.pin_threads = false;
+  o.dispatchers = 1;
+  o.queue_capacity = 8;
+  o.overflow = OverflowPolicy::kReject;
+  Engine eng(o);
+  ASSERT_TRUE(eng.register_matrix("lap", gen_laplacian_2d(40, 40)).ok());
+
+  // Fire 4 client threads submitting as fast as they can — far beyond
+  // what one dispatcher drains. The engine must keep answering every
+  // submit promptly (ok or kResourceExhausted), never block one.
+  std::atomic<std::uint64_t> ok{0}, exhausted{0}, other{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      std::vector<Future> futs;
+      for (int i = 0; i < 100; ++i) {
+        futs.push_back(eng.submit("lap", const_vector(1600, 1.0)));
+      }
+      for (Future& f : futs) {
+        switch (f.status().code()) {
+          case StatusCode::kOk:
+            ok.fetch_add(1);
+            break;
+          case StatusCode::kResourceExhausted:
+            exhausted.fetch_add(1);
+            break;
+          default:
+            other.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& th : clients) {
+    th.join();
+  }
+  eng.drain();
+  EXPECT_EQ(other.load(), 0u);
+  EXPECT_EQ(ok.load() + exhausted.load(), 400u);
+  EXPECT_GT(ok.load(), 0u);  // the engine still made forward progress
+  EXPECT_EQ(eng.stats().rejected, exhausted.load());
+}
+
+TEST(EngineStress, ShutdownUnderFireCompletesOrRefusesEveryFuture) {
+  EngineOptions o;
+  o.pool_threads = 2;
+  o.pin_threads = false;
+  o.dispatchers = 2;
+  o.overflow = OverflowPolicy::kBlock;
+  Engine eng(o);
+  ASSERT_TRUE(eng.register_matrix("lap", gen_laplacian_2d(16, 16)).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> resolved{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        Future f = eng.submit("lap", const_vector(256, 1.0));
+        const StatusCode code = f.status().code();  // must always resolve
+        ASSERT_TRUE(code == StatusCode::kOk ||
+                    code == StatusCode::kUnavailable)
+            << status_code_name(code);
+        resolved.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  eng.shutdown();  // while clients are mid-submit
+  stop.store(true, std::memory_order_release);
+  for (std::thread& th : clients) {
+    th.join();
+  }
+  EXPECT_GT(resolved.load(), 0u);
+}
+
+}  // namespace
+}  // namespace spc::engine

@@ -1,0 +1,145 @@
+// Guards the public API surface:
+//
+//  * every SPC_* environment variable mentioned anywhere in src/ or
+//    bench/ is registered in env_registry() (support/env.cpp), so the
+//    generated table in docs/API.md can never silently go stale;
+//  * nothing outside support/env.cpp parses the environment directly
+//    (std::getenv), so every knob goes through the registered helpers;
+//  * the generated env table embedded in docs/API.md matches
+//    env_registry_markdown() byte for byte (regenerate with
+//    `spctool env-table`);
+//  * every header under src/spc/ compiles as a standalone TU, included
+//    twice (self-contained + include-guarded) — enforced at build time
+//    by the header_hygiene object library this test links.
+//
+// The repo source tree is located via the SPC_SOURCE_DIR compile
+// definition (set in tests/CMakeLists.txt).
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spc/support/env.hpp"
+
+namespace spc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Every file under src/ and bench/ with a C++ extension.
+std::vector<fs::path> cxx_sources() {
+  std::vector<fs::path> out;
+  for (const char* root : {"src", "bench"}) {
+    for (const auto& e :
+         fs::recursive_directory_iterator(fs::path(SPC_SOURCE_DIR) / root)) {
+      if (!e.is_regular_file()) {
+        continue;
+      }
+      const std::string ext = e.path().extension().string();
+      if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc") {
+        out.push_back(e.path());
+      }
+    }
+  }
+  return out;
+}
+
+TEST(ApiSurface, EverySpcEnvVarLiteralIsRegistered) {
+  std::set<std::string> registered;
+  for (const EnvVarInfo& v : env_registry()) {
+    registered.insert(v.name);
+  }
+  ASSERT_FALSE(registered.empty());
+
+  // SPC_ prefixed all-caps identifiers inside string literals. Compile
+  // definitions (SPC_CHECK, SPC_DCHECK, SPC_SOURCE_DIR, ...) are code
+  // identifiers, not quoted, so requiring the quote keeps them out.
+  const std::regex lit("\"(SPC_[A-Z][A-Z0-9_]*)\"");
+  std::vector<std::string> unregistered;
+  for (const fs::path& p : cxx_sources()) {
+    const std::string text = read_file(p);
+    for (std::sregex_iterator it(text.begin(), text.end(), lit), end;
+         it != end; ++it) {
+      const std::string name = (*it)[1].str();
+      if (registered.count(name) == 0) {
+        unregistered.push_back(name + " (" + p.string() + ")");
+      }
+    }
+  }
+  EXPECT_TRUE(unregistered.empty())
+      << "SPC_* env vars referenced in source but missing from "
+         "env_registry() in support/env.cpp:\n  "
+      << [&] {
+           std::string joined;
+           for (const auto& s : unregistered) {
+             joined += s + "\n  ";
+           }
+           return joined;
+         }();
+}
+
+TEST(ApiSurface, EnvironmentIsParsedOnlyInSupportEnv) {
+  const std::regex getenv_call("std::getenv|::getenv|\\bgetenv\\s*\\(");
+  std::vector<std::string> offenders;
+  for (const fs::path& p : cxx_sources()) {
+    if (p.filename() == "env.cpp" || p.filename() == "env.hpp") {
+      continue;  // the one sanctioned caller
+    }
+    const std::string text = read_file(p);
+    if (std::regex_search(text, getenv_call)) {
+      offenders.push_back(p.string());
+    }
+  }
+  EXPECT_TRUE(offenders.empty())
+      << "getenv used outside support/env.cpp — route new knobs through "
+         "env_flag/env_u64/env_str so they register in env_registry():\n  "
+      << [&] {
+           std::string joined;
+           for (const auto& s : offenders) {
+             joined += s + "\n  ";
+           }
+           return joined;
+         }();
+}
+
+TEST(ApiSurface, DocsEnvTableMatchesRegistry) {
+  const fs::path doc = fs::path(SPC_SOURCE_DIR) / "docs" / "API.md";
+  ASSERT_TRUE(fs::exists(doc)) << doc << " is missing";
+  const std::string text = read_file(doc);
+  const std::string begin_marker = "<!-- BEGIN ENV TABLE (generated) -->\n";
+  const std::string end_marker = "<!-- END ENV TABLE (generated) -->";
+  const std::size_t b = text.find(begin_marker);
+  const std::size_t e = text.find(end_marker);
+  ASSERT_NE(b, std::string::npos) << "begin marker missing in docs/API.md";
+  ASSERT_NE(e, std::string::npos) << "end marker missing in docs/API.md";
+  const std::string embedded =
+      text.substr(b + begin_marker.size(), e - b - begin_marker.size());
+  EXPECT_EQ(embedded, env_registry_markdown())
+      << "docs/API.md env table is stale — regenerate it with "
+         "`spctool env-table` and paste between the markers";
+}
+
+TEST(ApiSurface, RegistryEntriesAreWellFormed) {
+  std::set<std::string> seen;
+  for (const EnvVarInfo& v : env_registry()) {
+    EXPECT_TRUE(seen.insert(v.name).second) << "duplicate: " << v.name;
+    EXPECT_TRUE(std::string(v.name).rfind("SPC_", 0) == 0) << v.name;
+    EXPECT_NE(std::string(v.type), "") << v.name;
+    EXPECT_NE(std::string(v.effect), "") << v.name;
+  }
+}
+
+}  // namespace
+}  // namespace spc

@@ -259,5 +259,92 @@ TEST(ThreadPool, CounterControlIsSafeWhateverThePlatformAllows) {
   }
 }
 
+
+TEST(ThreadPool, ConcurrentCallersSerializeWithoutLossOrDeadlock) {
+  ThreadPool pool(2);
+  constexpr int kCallers = 8;
+  constexpr int kRunsEach = 25;
+  std::atomic<int> executions{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int i = 0; i < kRunsEach; ++i) {
+        pool.run([&](std::size_t) {
+          executions.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : callers) {
+    t.join();
+  }
+  // Every dispatch ran on every worker exactly once.
+  EXPECT_EQ(executions.load(),
+            kCallers * kRunsEach * static_cast<int>(pool.size()));
+  EXPECT_EQ(pool.dispatch_count(),
+            static_cast<std::uint64_t>(kCallers * kRunsEach));
+  EXPECT_FALSE(pool.busy());
+}
+
+TEST(ThreadPool, ConcurrentCallerExceptionsReachTheirOwnCaller) {
+  ThreadPool pool(2);
+  std::atomic<int> caught{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&, c] {
+      for (int i = 0; i < 10; ++i) {
+        try {
+          pool.run([&](std::size_t tid) {
+            if (c % 2 == 0 && tid == 0) {
+              throw Error("boom");
+            }
+          });
+        } catch (const Error&) {
+          caught.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : callers) {
+    t.join();
+  }
+  // The two throwing callers each saw all 10 of their exceptions; the
+  // clean callers saw none (a worker exception must not leak into a
+  // different caller's dispatch).
+  EXPECT_EQ(caught.load(), 20);
+}
+
+TEST(ThreadPool, TryRunReportsSaturationAndRunsWhenIdle) {
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::atomic<bool> occupying{false};
+  std::thread occupier([&] {
+    pool.run([&](std::size_t) {
+      occupying.store(true);
+      while (!release.load()) {
+        std::this_thread::yield();
+      }
+    });
+  });
+  while (!occupying.load()) {
+    std::this_thread::yield();
+  }
+  // Pool is mid-dispatch: try_run must refuse without blocking.
+  std::atomic<int> ran{0};
+  auto job = [](void* ctx, std::size_t) {
+    static_cast<std::atomic<int>*>(ctx)->fetch_add(1);
+  };
+  EXPECT_FALSE(pool.try_run(job, &ran));
+  EXPECT_TRUE(pool.busy());
+  EXPECT_EQ(ran.load(), 0);
+  release.store(true);
+  occupier.join();
+  // Idle again: try_run dispatches and blocks to completion.
+  EXPECT_TRUE(pool.try_run(job, &ran));
+  EXPECT_EQ(ran.load(), static_cast<int>(pool.size()));
+  EXPECT_FALSE(pool.busy());
+}
+
 }  // namespace
 }  // namespace spc
